@@ -1,0 +1,145 @@
+// Command edramsim characterizes the eDRAM bit cells with the SPICE
+// engine (write transient, read transient, retention), then builds the
+// full 64 kB macro model and reports timing, energy, refresh and area —
+// Step 2 of the paper's design flow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"ppatc/internal/edram"
+	"ppatc/internal/spice"
+	"ppatc/internal/units"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "edramsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cellName := flag.String("cell", "both", "cell to characterize: si, m3d, or both")
+	clkMHz := flag.Float64("clock", 500, "clock frequency in MHz for the timing check")
+	deckPath := flag.String("deck", "", "simulate a SPICE deck file instead (needs a .tran card)")
+	probe := flag.String("probe", "", "comma-separated nodes to report for -deck (default: all)")
+	flag.Parse()
+
+	if *deckPath != "" {
+		return runDeck(*deckPath, *probe)
+	}
+
+	var designs []edram.CellDesign
+	switch *cellName {
+	case "si":
+		designs = []edram.CellDesign{edram.SiCellDesign()}
+	case "m3d":
+		designs = []edram.CellDesign{edram.M3DCellDesign()}
+	case "both":
+		designs = []edram.CellDesign{edram.SiCellDesign(), edram.M3DCellDesign()}
+	default:
+		return fmt.Errorf("unknown cell %q", *cellName)
+	}
+	clk := units.Megahertz(*clkMHz)
+
+	for _, d := range designs {
+		mem, err := edram.Build(d, edram.PaperArray(), edram.PaperPeriphery(d))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("=== %s ===\n", d.Name)
+		fmt.Printf("cell:        %.2f × %.2f µm, SN cap %.2f fF, VWWL %.1f V\n",
+			d.CellWidth.Micrometers(), d.CellHeight.Micrometers(), d.SNCap*1e15, d.VWWL)
+		fmt.Printf("write:       %.0f ps (energy %.3f fJ/bit)\n",
+			mem.Timing.WriteDelay*1e12, mem.Timing.WriteEnergy*1e15)
+		fmt.Printf("read:        %.0f ps against %.1f fF bitline\n",
+			mem.Timing.ReadDelay*1e12, mem.BitlineCap*1e15)
+		if mem.Timing.Retention > 1e4 {
+			fmt.Printf("retention:   %.3g s (no refresh needed)\n", mem.Timing.Retention)
+		} else {
+			fmt.Printf("retention:   %.1f µs → refresh every %.1f µs, %.3f mW\n",
+				mem.Timing.Retention*1e6, mem.RefreshInterval*1e6, mem.RefreshPower*1e3)
+		}
+		fmt.Printf("access:      read %.2f pJ, write %.2f pJ\n",
+			mem.ReadEnergy*1e12, mem.WriteEnergy*1e12)
+		fmt.Printf("latency:     read %.0f ps, write %.0f ps (period %.0f ps) — timing %s\n",
+			mem.ReadLatency*1e12, mem.WriteLatency*1e12, clk.PeriodSeconds()*1e12,
+			okString(mem.MeetsTiming(clk)))
+		fmt.Printf("macro:       %.3f mm² (%.0f × %.0f µm)\n",
+			mem.Area.SquareMillimeters(), mem.Width.Micrometers(), mem.Height.Micrometers())
+		refreshInfo := "none"
+		if !math.IsInf(mem.RefreshInterval, 1) {
+			refreshInfo = fmt.Sprintf("%.1f µs", mem.RefreshInterval*1e6)
+		}
+		fmt.Printf("refresh:     %s; leakage %.0f µW\n\n", refreshInfo, mem.LeakagePower*1e6)
+	}
+	return nil
+}
+
+func okString(ok bool) string {
+	if ok {
+		return "MET"
+	}
+	return "VIOLATED"
+}
+
+// runDeck parses and simulates a user-supplied SPICE deck, printing the
+// final value and extrema of each probed node.
+func runDeck(path, probe string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	ck, req, err := spice.ParseDeck(string(src))
+	if err != nil {
+		return err
+	}
+	if req == nil {
+		op, err := ck.OP()
+		if err != nil {
+			return err
+		}
+		for _, n := range probeNodes(ck, probe) {
+			v, err := op.Voltage(n)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-16s %10.4f V (DC)\n", n, v)
+		}
+		return nil
+	}
+	tr, err := ck.Transient(req.Stop, req.Step)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("transient: %d points to %.3g s\n", len(tr.Times), req.Stop)
+	for _, n := range probeNodes(ck, probe) {
+		w, err := tr.Voltage(n)
+		if err != nil {
+			return err
+		}
+		lo, hi := w[0], w[0]
+		for _, v := range w {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		fmt.Printf("%-16s final %8.4f V   min %8.4f   max %8.4f\n", n, w[len(w)-1], lo, hi)
+	}
+	return nil
+}
+
+func probeNodes(ck *spice.Circuit, probe string) []string {
+	if probe == "" {
+		return ck.Nodes()
+	}
+	var out []string
+	for _, n := range strings.Split(probe, ",") {
+		out = append(out, strings.TrimSpace(n))
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+// Command m0run executes an Embench-style workload (or a user-supplied
+// Thumb assembly file) on the Cortex-M0 simulator, reporting cycle count,
+// instruction count and memory-access statistics — the Step-4 quantities
+// of the paper's design flow. With -vcd it records the run as a value
+// change dump, the waveform artifact the paper extracts from RTL
+// simulation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ppatc/internal/embench"
+	"ppatc/internal/power"
+	"ppatc/internal/thumb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "m0run:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	workload := flag.String("workload", "matmult-int", "bundled workload name, or 'list'")
+	asmFile := flag.String("asm", "", "run a Thumb assembly file instead of a bundled workload")
+	vcdFile := flag.String("vcd", "", "write a VCD trace to this file")
+	sample := flag.Uint64("sample", 10000, "VCD sample interval in cycles")
+	budget := flag.Uint64("max-cycles", 1<<32, "cycle budget")
+	disasm := flag.Bool("disasm", false, "print the disassembly instead of running")
+	profile := flag.Int("profile", 0, "profile the run and print the N hottest instructions")
+	flag.Parse()
+
+	if *workload == "list" {
+		for _, w := range embench.Workloads() {
+			fmt.Printf("%-14s %s\n", w.Name, w.Description)
+		}
+		return nil
+	}
+
+	var src string
+	var name string
+	var expected *uint32
+	if *asmFile != "" {
+		b, err := os.ReadFile(*asmFile)
+		if err != nil {
+			return err
+		}
+		src, name = string(b), *asmFile
+	} else {
+		w, err := embench.ByName(*workload)
+		if err != nil {
+			return err
+		}
+		src, name = w.Source, w.Name
+		e := w.Expected
+		expected = &e
+	}
+
+	prog, err := thumb.Assemble(src)
+	if err != nil {
+		return err
+	}
+	if *disasm {
+		for i, line := range thumb.Disassemble(prog.Halfwords) {
+			fmt.Printf("%08x: %s\n", 2*i, line)
+		}
+		return nil
+	}
+	mem := thumb.NewMemory()
+	if err := mem.LoadProgram(prog); err != nil {
+		return err
+	}
+	cpu := thumb.NewCPU(mem)
+
+	switch {
+	case *vcdFile != "":
+		f, err := os.Create(*vcdFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		res, err := power.Trace(cpu, f, *budget, *sample)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("traced %d samples to %s\n", res.Samples, *vcdFile)
+	case *profile > 0:
+		p, err := thumb.RunProfiled(cpu, *budget)
+		if err != nil {
+			return err
+		}
+		out, err := p.FormatHotSpots(prog, *profile)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("hotspots (%d distinct PCs executed):\n%s\n", p.CoveragePC(), out)
+	default:
+		if err := cpu.Run(*budget); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("workload:      %s\n", name)
+	fmt.Printf("cycles:        %d\n", cpu.Cycles)
+	fmt.Printf("instructions:  %d (CPI %.3f)\n", cpu.Instructions,
+		float64(cpu.Cycles)/float64(cpu.Instructions))
+	fmt.Printf("program reads: %d (%.3f/cycle)\n", mem.Stats.ProgramReads,
+		float64(mem.Stats.ProgramReads)/float64(cpu.Cycles))
+	fmt.Printf("data reads:    %d (%.3f/cycle)\n", mem.Stats.DataReads,
+		float64(mem.Stats.DataReads)/float64(cpu.Cycles))
+	fmt.Printf("data writes:   %d (%.3f/cycle)\n", mem.Stats.DataWrites,
+		float64(mem.Stats.DataWrites)/float64(cpu.Cycles))
+	fmt.Printf("result (r0):   %#x\n", cpu.R[0])
+	if expected != nil {
+		status := "MATCH"
+		if cpu.R[0] != *expected {
+			status = "MISMATCH"
+		}
+		fmt.Printf("golden:        %#x (%s)\n", *expected, status)
+	}
+	return nil
+}

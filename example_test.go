@@ -1,0 +1,81 @@
+package ppatc_test
+
+import (
+	"fmt"
+	"log"
+
+	"ppatc"
+	"ppatc/internal/carbon"
+	"ppatc/internal/process"
+	"ppatc/internal/tcdp"
+	"ppatc/internal/units"
+)
+
+// ExampleEvaluate runs the full design flow for the M3D system on a light
+// workload and prints the per-good-die embodied carbon.
+func ExampleEvaluate() {
+	var sieve ppatc.Workload
+	for _, w := range ppatc.Workloads() {
+		if w.Name == "sieve" {
+			sieve = w
+		}
+	}
+	res, err := ppatc.Evaluate(ppatc.M3DSystem(), sieve, ppatc.GridUS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("embodied carbon per good die: %.2f gCO2e\n", res.EmbodiedPerGoodDie.Grams())
+	// Output:
+	// embodied carbon per good die: 3.80 gCO2e
+}
+
+// ExampleFlow_EPA prices the two fabrication processes of Fig. 2.
+func ExampleFlow_EPA() {
+	tbl := process.DefaultEnergyTable()
+	for _, f := range []*process.Flow{process.AllSi7nm(), process.M3D7nm()} {
+		epa, err := f.EPA(tbl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %.0f kWh/wafer\n", f.Name, epa.KilowattHours())
+	}
+	// Output:
+	// all-Si 7nm: 702 kWh/wafer
+	// M3D IGZO/CNFET/Si 7nm: 1086 kWh/wafer
+}
+
+// ExampleOperational evaluates Eq. 8 for the paper's usage pattern.
+func ExampleOperational() {
+	c, err := carbon.Operational(
+		units.Milliwatts(9.71),
+		carbon.PaperUsage,
+		carbon.Flat(carbon.GridUS),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("24-month operational carbon: %.2f gCO2e\n", c.Grams())
+	// Output:
+	// 24-month operational carbon: 5.39 gCO2e
+}
+
+// ExampleRatio reproduces the headline carbon-efficiency comparison from
+// pre-computed design points (the values of Table II).
+func ExampleRatio() {
+	execTime := 20047423 * 2e-9
+	si := tcdp.DesignPoint{
+		Name: "all-Si", Embodied: units.GramsCO2e(3.26),
+		Power: units.Milliwatts(9.714), ExecTime: execTime, Yield: 0.90,
+	}
+	m3d := tcdp.DesignPoint{
+		Name: "M3D", Embodied: units.GramsCO2e(3.80),
+		Power: units.Milliwatts(8.443), ExecTime: execTime, Yield: 0.50,
+	}
+	r, err := tcdp.Ratio(si, m3d, tcdp.PaperScenario(), 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tCDP(all-Si)/tCDP(M3D) at 24 months: %.2f\n", r)
+	// Output:
+	// tCDP(all-Si)/tCDP(M3D) at 24 months: 1.02
+}

@@ -1,0 +1,77 @@
+// Actcompare: the baseline comparison the paper motivates — the ACT-style
+// top-down model (paper reference [6]) prices silicon nodes per area, but
+// has no entry for beyond-Si M3D processes. This example shows the two
+// models agreeing on the all-Si design and the ACT table simply running
+// out when asked about the M3D process, which is exactly the gap the
+// paper's bottom-up per-step model fills.
+//
+//	go run ./examples/actcompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ppatc"
+	"ppatc/internal/act"
+	"ppatc/internal/process"
+)
+
+func main() {
+	var sieve ppatc.Workload
+	for _, w := range ppatc.Workloads() {
+		if w.Name == "sieve" {
+			sieve = w
+		}
+	}
+	si, err := ppatc.Evaluate(ppatc.AllSiSystem(), sieve, ppatc.GridUS)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("ACT-style CPA table (US grid):")
+	tbl, err := act.FormatTable(ppatc.GridUS.Intensity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tbl)
+
+	// Where the models overlap: pricing the all-Si wafer.
+	cpa, err := act.CPA(act.Node7, ppatc.GridUS.Intensity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	waferACT := cpa.GramsPerSquareCentimeter() * 706.858 / 1000 // kg per 300 mm wafer
+	fmt.Printf("all-Si 300 mm wafer:  ACT %.0f kgCO2e  vs  bottom-up %.0f kgCO2e\n",
+		waferACT, si.EmbodiedPerWafer.Total().Kilograms())
+
+	actDie, err := act.EmbodiedPerGoodDie(act.Inputs{
+		Node:    act.Node7,
+		DieArea: si.TotalArea,
+		Grid:    ppatc.GridUS.Intensity,
+		Yield:   si.Yield,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("all-Si good die:      ACT %.2f gCO2e  vs  bottom-up %.2f gCO2e\n",
+		actDie.Grams(), si.EmbodiedPerGoodDie.Grams())
+	fmt.Println("(ACT prices net die area; the difference is the wafer-level")
+	fmt.Println(" scribe/edge/flat amortization the bottom-up flow carries.)")
+
+	// Where ACT runs out.
+	m3dName := process.M3D7nm().Name
+	fmt.Printf("\nM3D process %q:\n", m3dName)
+	if act.SupportsProcess(m3dName) {
+		fmt.Println("  ACT claims support — unexpected!")
+	} else {
+		fmt.Println("  no ACT table entry: CNFET/IGZO BEOL tiers are outside its")
+		fmt.Println("  silicon-only node list. Pricing this process requires the")
+		fmt.Println("  paper's per-step model (internal/process), which reports")
+		epa, err := process.M3D7nm().EPA(process.DefaultEnergyTable())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  EPA = %.0f kWh/wafer → 1104 kgCO2e on the US grid.\n", epa.KilowattHours())
+	}
+}

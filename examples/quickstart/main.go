@@ -1,0 +1,48 @@
+// Quickstart: evaluate the paper's two embedded-system designs end to end
+// and print the Table II comparison plus the headline carbon-efficiency
+// result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ppatc"
+	"ppatc/internal/core"
+	"ppatc/internal/tcdp"
+)
+
+func main() {
+	// The headline workload: Embench-style matmul-int, calibrated to the
+	// paper's 20,047,348 cycles at 500 MHz.
+	workload := ppatc.MatmultInt()
+
+	si, m3d, table, err := ppatc.Table2(workload, ppatc.GridUS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("PPAtC comparison (Table II):")
+	fmt.Println(table)
+
+	// Carbon efficiency over the representative lifetime: 2 h/day for
+	// 24 months on the US grid.
+	scenario := tcdp.PaperScenario()
+	ratio, err := tcdp.Ratio(si.DesignPoint(), m3d.DesignPoint(), scenario, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tCDP(all-Si) / tCDP(M3D) at 24 months = %.3f\n", ratio)
+	if ratio > 1 {
+		fmt.Printf("→ the M3D design is %.2f× more carbon-efficient (paper: 1.02×)\n", ratio)
+	} else {
+		fmt.Printf("→ the all-Si design is %.2f× more carbon-efficient\n", 1/ratio)
+	}
+
+	// Where do the carbon curves cross?
+	if c, err := tcdp.DesignCrossover(si.DesignPoint(), m3d.DesignPoint(), scenario); err == nil {
+		fmt.Printf("tC curves cross at %.1f months: before that the M3D design emits more\n", float64(c))
+	}
+	_ = core.PaperClock // the full engine is available under internal/core
+}

@@ -1,0 +1,75 @@
+// Uncertainty: the Fig. 6b experiment — how robust is the "M3D is more
+// carbon-efficient" conclusion to uncertainty in lifetime, use-phase
+// carbon intensity and yield? Prints the isoline family and identifies
+// operating regions where the verdict survives every perturbation.
+//
+//	go run ./examples/uncertainty
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ppatc"
+	"ppatc/internal/tcdp"
+)
+
+func main() {
+	var sieve ppatc.Workload
+	for _, w := range ppatc.Workloads() {
+		if w.Name == "sieve" {
+			sieve = w
+		}
+	}
+	si, err := ppatc.Evaluate(ppatc.AllSiSystem(), sieve, ppatc.GridUS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m3d, err := ppatc.Evaluate(ppatc.M3DSystem(), sieve, ppatc.GridUS)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := tcdp.PaperScenario()
+	variants, err := tcdp.UncertaintySet(m3d.DesignPoint(), si.DesignPoint(), s, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opScales := []float64{0.25, 0.5, 0.75, 1.0, 1.25}
+	fmt.Println("Embodied-carbon scale at which the designs tie (tCDP isoline),")
+	fmt.Println("per operational-energy scale of the M3D design:")
+	fmt.Printf("%-20s", "variant")
+	for _, y := range opScales {
+		fmt.Printf(" %8.2f", y)
+	}
+	fmt.Println()
+	minAt := make([]float64, len(opScales))
+	for i := range minAt {
+		minAt[i] = 1e300
+	}
+	for _, v := range variants {
+		fmt.Printf("%-20s", v.Name)
+		for i, y := range opScales {
+			x := v.Isoline(y)
+			fmt.Printf(" %8.3f", x)
+			if x < minAt[i] {
+				minAt[i] = x
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nRobust-win region (M3D better under EVERY perturbation):")
+	for i, y := range opScales {
+		if minAt[i] > 0 {
+			fmt.Printf("  op scale %.2f: embodied scale below %.3f\n", y, minAt[i])
+		} else {
+			fmt.Printf("  op scale %.2f: no robust win\n", y)
+		}
+	}
+	fmt.Println("\nEven with worst-case yield, lifetime and grid assumptions, an M3D")
+	fmt.Println("process whose operational energy is ≤ half the projection keeps a")
+	fmt.Println("robust carbon-efficiency win across a wide embodied-carbon range —")
+	fmt.Println("the paper's Sec. III-D argument, regenerated.")
+}

@@ -1,0 +1,3 @@
+module ppatc
+
+go 1.22

@@ -1,0 +1,137 @@
+package act
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ppatc/internal/carbon"
+	"ppatc/internal/process"
+	"ppatc/internal/units"
+)
+
+func TestCPATrendAcrossNodes(t *testing.T) {
+	grid := carbon.GridUS.Intensity
+	var prev float64
+	for i, n := range Nodes() {
+		cpa, err := CPA(n, grid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := cpa.GramsPerSquareCentimeter()
+		if i > 0 && g <= prev {
+			t.Errorf("CPA must rise as nodes shrink: %dnm %.0f after %.0f", int(n), g, prev)
+		}
+		prev = g
+	}
+	if _, err := CPA(Node(3), grid); err == nil {
+		t.Error("3 nm has no entry and must fail")
+	}
+}
+
+// TestACTMatchesBottomUpAllSi aligns the two models where they overlap:
+// ACT's 7 nm CPA must price the all-Si wafer within 2% of the bottom-up
+// per-step model (which is calibrated to the paper).
+func TestACTMatchesBottomUpAllSi(t *testing.T) {
+	grid := carbon.GridUS
+	cpa, err := CPA(Node7, grid.Intensity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wafer := units.SquareCentimeters(706.858)
+	actWafer := cpa.Over(wafer).Kilograms()
+
+	epa, err := process.AllSi7nm().EPA(process.DefaultEnergyTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpa, err := carbon.GPAScaled(epa, process.IN7Reference(), process.IN7GPA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := carbon.EmbodiedPerWafer(carbon.EmbodiedInputs{
+		MPA: process.SiWaferMPA(), GPA: gpa, EPA: epa,
+		CIFab: grid.Intensity, WaferArea: wafer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottomUp := b.Total().Kilograms()
+	if math.Abs(actWafer-bottomUp)/bottomUp > 0.02 {
+		t.Errorf("ACT 7nm wafer = %.0f kg, bottom-up = %.0f kg (want ≤2%% apart)", actWafer, bottomUp)
+	}
+}
+
+func TestACTCannotPriceM3D(t *testing.T) {
+	// The paper's gap: ACT has no entry for the M3D process.
+	if SupportsProcess(process.M3D7nm().Name) {
+		t.Error("ACT must not claim to support the M3D IGZO/CNFET/Si process")
+	}
+	if !SupportsProcess(process.AllSi7nm().Name) {
+		t.Error("ACT supports plain silicon flows")
+	}
+	for _, name := range []string{"RRAM crossbar", "2D-material FET", "cnt logic"} {
+		if SupportsProcess(name) {
+			t.Errorf("ACT should not support %q", name)
+		}
+	}
+}
+
+func TestEmbodiedPerGoodDie(t *testing.T) {
+	in := Inputs{
+		Node:    Node7,
+		DieArea: units.SquareMillimeters(0.139),
+		Grid:    carbon.GridUS.Intensity,
+		Yield:   0.90,
+	}
+	c, err := EmbodiedPerGoodDie(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ACT per-area pricing of the all-Si die: CPA ≈ 1190 g/cm² ×
+	// 0.00139 cm² / 0.9 ≈ 1.8 g — below the paper's 3.11 g because ACT
+	// has no scribe/edge/flat amortization (it prices net die area, not
+	// wafer area over good dies). Both views are standard; the gap is the
+	// wafer-level overhead.
+	if c.Grams() < 1.0 || c.Grams() > 3.5 {
+		t.Errorf("ACT per good die = %.2f g, want 1-3.5", c.Grams())
+	}
+	in.IncludePackaging = true
+	withPkg, err := EmbodiedPerGoodDie(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withPkg-c != PackagingCarbon {
+		t.Error("packaging charge not applied")
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	base := Inputs{Node: Node7, DieArea: units.SquareMillimeters(1), Grid: carbon.GridUS.Intensity, Yield: 0.9}
+	bad := []func(*Inputs){
+		func(i *Inputs) { i.Node = Node(6) },
+		func(i *Inputs) { i.DieArea = 0 },
+		func(i *Inputs) { i.Grid = -1 },
+		func(i *Inputs) { i.Yield = 0 },
+		func(i *Inputs) { i.Yield = 1.1 },
+	}
+	for k, mutate := range bad {
+		in := base
+		mutate(&in)
+		if _, err := EmbodiedPerGoodDie(in); err == nil {
+			t.Errorf("case %d should fail", k)
+		}
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out, err := FormatTable(carbon.GridUS.Intensity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"28nm", "7nm", "5nm", "CPA"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}

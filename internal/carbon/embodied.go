@@ -1,0 +1,122 @@
+package carbon
+
+import (
+	"errors"
+	"fmt"
+
+	"ppatc/internal/units"
+)
+
+// FacilityOverhead is the multiplicative overhead applied to fabrication
+// electricity to approximate facility energy (HVAC, clean-room air handling,
+// ultrapure water, ...): EPA_f = EPA × 1.4, as estimated by the 2015 ITRS
+// ESH chapter and adopted by the paper (Fig. 2 caption).
+const FacilityOverhead = 1.4
+
+// EmbodiedInputs carries the per-wafer terms of Eq. 2:
+//
+//	C_embodied = (MPA + GPA + CI_fab · EPA) · Area
+//
+// MPA is materials procurement carbon per area, GPA is direct gas emissions
+// per area, EPA is fabrication electricity per wafer (before the facility
+// overhead), and CIFab is the fab's grid intensity.
+type EmbodiedInputs struct {
+	// MPA is the materials-procurement carbon per unit wafer area.
+	MPA units.CarbonPerArea
+	// GPA is the direct gas-emission carbon per unit wafer area.
+	GPA units.CarbonPerArea
+	// EPA is the fabrication electricity for one whole wafer, before the
+	// facility overhead is applied.
+	EPA units.Energy
+	// CIFab is the carbon intensity of the fab's electricity supply.
+	CIFab units.CarbonIntensity
+	// WaferArea is the area of the wafer the per-area terms apply to.
+	WaferArea units.Area
+	// FacilityFactor multiplies EPA to account for facility energy; zero
+	// means the default FacilityOverhead (1.4).
+	FacilityFactor float64
+}
+
+// Validate checks the inputs for physical sanity.
+func (in EmbodiedInputs) Validate() error {
+	switch {
+	case in.WaferArea <= 0:
+		return errors.New("carbon: wafer area must be positive")
+	case in.MPA < 0 || in.GPA < 0:
+		return errors.New("carbon: MPA and GPA must be non-negative")
+	case in.EPA < 0:
+		return errors.New("carbon: EPA must be non-negative")
+	case in.CIFab < 0:
+		return errors.New("carbon: CI_fab must be non-negative")
+	case in.FacilityFactor < 0:
+		return errors.New("carbon: facility factor must be non-negative")
+	}
+	return nil
+}
+
+// facility reports the effective facility multiplier.
+func (in EmbodiedInputs) facility() float64 {
+	if in.FacilityFactor == 0 {
+		return FacilityOverhead
+	}
+	return in.FacilityFactor
+}
+
+// EmbodiedBreakdown itemizes a per-wafer embodied-carbon result.
+type EmbodiedBreakdown struct {
+	// Materials is the MPA contribution over the wafer.
+	Materials units.Carbon
+	// Gases is the GPA contribution over the wafer.
+	Gases units.Carbon
+	// Electricity is the CI_fab · EPA_f contribution (facility overhead
+	// included).
+	Electricity units.Carbon
+	// EPAFacility is the facility-adjusted fabrication energy EPA_f.
+	EPAFacility units.Energy
+}
+
+// Total reports the per-wafer embodied carbon.
+func (b EmbodiedBreakdown) Total() units.Carbon {
+	return b.Materials + b.Gases + b.Electricity
+}
+
+// EmbodiedPerWafer evaluates Eq. 2 for one wafer, returning the itemized
+// contributions.
+func EmbodiedPerWafer(in EmbodiedInputs) (EmbodiedBreakdown, error) {
+	if err := in.Validate(); err != nil {
+		return EmbodiedBreakdown{}, err
+	}
+	epaF := units.Energy(float64(in.EPA) * in.facility())
+	return EmbodiedBreakdown{
+		Materials:   in.MPA.Over(in.WaferArea),
+		Gases:       in.GPA.Over(in.WaferArea),
+		Electricity: in.CIFab.Apply(epaF),
+		EPAFacility: epaF,
+	}, nil
+}
+
+// PerGoodDie amortizes a per-wafer embodied carbon over the good dies on the
+// wafer (Eq. 5): C_embodied per good die = C_wafer / (N_diePerWafer · Yield).
+func PerGoodDie(perWafer units.Carbon, diesPerWafer int, yield float64) (units.Carbon, error) {
+	if diesPerWafer <= 0 {
+		return 0, fmt.Errorf("carbon: dies per wafer must be positive, got %d", diesPerWafer)
+	}
+	if yield <= 0 || yield > 1 {
+		return 0, fmt.Errorf("carbon: yield must be in (0, 1], got %g", yield)
+	}
+	return units.Carbon(float64(perWafer) / (float64(diesPerWafer) * yield)), nil
+}
+
+// GPAScaled evaluates Eq. 3: the gas emissions per area of a process are
+// scaled from a reference process by the ratio of fabrication energies,
+//
+//	GPA_process = (EPA_process / EPA_reference) · GPA_reference.
+func GPAScaled(epaProcess, epaReference units.Energy, gpaReference units.CarbonPerArea) (units.CarbonPerArea, error) {
+	if epaReference <= 0 {
+		return 0, errors.New("carbon: reference EPA must be positive")
+	}
+	if epaProcess < 0 {
+		return 0, errors.New("carbon: process EPA must be non-negative")
+	}
+	return units.CarbonPerArea(float64(gpaReference) * float64(epaProcess) / float64(epaReference)), nil
+}

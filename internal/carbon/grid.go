@@ -1,0 +1,203 @@
+// Package carbon implements the total-carbon accounting of the PPAtC
+// framework: embodied carbon of fabrication (Eq. 2 of the paper), operational
+// carbon of use (Eqs. 1, 6-8), per-good-die amortization (Eq. 5), energy-grid
+// carbon intensities, and diurnal carbon-intensity profiles.
+package carbon
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ppatc/internal/units"
+)
+
+// Grid describes an electricity supply with its carbon intensity. The paper
+// evaluates fabrication (CI_fab) and use (CI_use) against four grids whose
+// intensities come from Electricity Maps and reference [4].
+type Grid struct {
+	// Name identifies the grid ("US", "Coal", "Solar", "Taiwan").
+	Name string
+	// Intensity is the average carbon intensity of delivered energy.
+	Intensity units.CarbonIntensity
+}
+
+// Canonical grids from the paper (Fig. 2c caption), in gCO2e/kWh.
+var (
+	GridUS     = Grid{Name: "US", Intensity: units.GramsPerKilowattHour(380)}
+	GridCoal   = Grid{Name: "Coal", Intensity: units.GramsPerKilowattHour(820)}
+	GridSolar  = Grid{Name: "Solar", Intensity: units.GramsPerKilowattHour(48)}
+	GridTaiwan = Grid{Name: "Taiwan", Intensity: units.GramsPerKilowattHour(563)}
+)
+
+// Grids returns the four canonical grids in the paper's presentation order.
+func Grids() []Grid {
+	return []Grid{GridUS, GridCoal, GridSolar, GridTaiwan}
+}
+
+// GridByName looks a canonical grid up by its (case-sensitive) name.
+func GridByName(name string) (Grid, error) {
+	for _, g := range Grids() {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	return Grid{}, fmt.Errorf("carbon: unknown grid %q", name)
+}
+
+// Profile models the time variation of use-phase carbon intensity CI_use(t)
+// across a day. Hour is a local time of day in [0, 24).
+type Profile interface {
+	// At reports the carbon intensity at the given hour of day.
+	At(hour float64) units.CarbonIntensity
+	// Mean reports the all-day average intensity.
+	Mean() units.CarbonIntensity
+}
+
+// FlatProfile is a time-invariant CI_use, the baseline assumption when only
+// a grid average is known.
+type FlatProfile struct {
+	Intensity units.CarbonIntensity
+}
+
+// At implements Profile.
+func (p FlatProfile) At(float64) units.CarbonIntensity { return p.Intensity }
+
+// Mean implements Profile.
+func (p FlatProfile) Mean() units.CarbonIntensity { return p.Intensity }
+
+// Flat wraps a grid's average intensity into a constant profile.
+func Flat(g Grid) FlatProfile { return FlatProfile{Intensity: g.Intensity} }
+
+// HourlyProfile is a piecewise-constant CI_use with one value per hour of
+// day, the shape published by grid observatories such as Electricity Maps.
+type HourlyProfile struct {
+	// Name labels the profile shape.
+	Name string
+	// Hours holds 24 intensities; Hours[h] applies on [h, h+1).
+	Hours [24]units.CarbonIntensity
+}
+
+// At implements Profile.
+func (p *HourlyProfile) At(hour float64) units.CarbonIntensity {
+	h := int(math.Floor(math.Mod(hour, 24)))
+	if h < 0 {
+		h += 24
+	}
+	return p.Hours[h]
+}
+
+// Mean implements Profile.
+func (p *HourlyProfile) Mean() units.CarbonIntensity {
+	var sum float64
+	for _, v := range p.Hours {
+		sum += float64(v)
+	}
+	return units.CarbonIntensity(sum / 24)
+}
+
+// MeanWindow reports the average intensity over the daily window
+// [startHour, endHour). Windows may wrap midnight (start > end).
+func (p *HourlyProfile) MeanWindow(startHour, endHour float64) units.CarbonIntensity {
+	return meanWindow(p, startHour, endHour)
+}
+
+// meanWindow numerically averages any profile over a daily window, sampling
+// on a fine grid so that piecewise-constant and smooth profiles are both
+// handled. Windows may wrap midnight.
+func meanWindow(p Profile, startHour, endHour float64) units.CarbonIntensity {
+	span := endHour - startHour
+	if span <= 0 {
+		span += 24
+	}
+	const steps = 2400
+	var sum float64
+	for i := 0; i < steps; i++ {
+		h := startHour + span*(float64(i)+0.5)/steps
+		sum += float64(p.At(h))
+	}
+	return units.CarbonIntensity(sum / steps)
+}
+
+// MeanWindow averages an arbitrary profile over a daily window.
+func MeanWindow(p Profile, startHour, endHour float64) units.CarbonIntensity {
+	if hp, ok := p.(*HourlyProfile); ok && startHour == math.Trunc(startHour) && endHour == math.Trunc(endHour) {
+		// Exact average over whole-hour windows.
+		s, e := int(startHour), int(endHour)
+		n := e - s
+		if n <= 0 {
+			n += 24
+		}
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(hp.Hours[(s+i)%24])
+		}
+		return units.CarbonIntensity(sum / float64(n))
+	}
+	return meanWindow(p, startHour, endHour)
+}
+
+// EveningPeak builds an hourly profile with the given daily mean whose shape
+// has a fossil-heavy evening peak (the typical load-following shape of
+// thermal-backed grids): intensity rises through the evening as solar output
+// falls and peaker plants come online.
+func EveningPeak(mean units.CarbonIntensity) *HourlyProfile {
+	// Relative shape, normalized below to the requested mean.
+	shape := [24]float64{
+		0.95, 0.93, 0.91, 0.90, 0.90, 0.92, // 00-06: overnight trough
+		0.97, 1.02, 1.00, 0.94, 0.88, 0.84, // 06-12: morning ramp, midday solar dip
+		0.82, 0.82, 0.85, 0.90, 0.98, 1.08, // 12-18: solar fades
+		1.18, 1.22, 1.20, 1.12, 1.04, 0.98, // 18-24: evening peak (8-10pm highest)
+	}
+	return normalizedProfile("evening-peak", shape, mean)
+}
+
+// SolarDay builds an hourly profile with the given daily mean whose shape is
+// solar-dominated: low intensity through daylight hours and high at night.
+func SolarDay(mean units.CarbonIntensity) *HourlyProfile {
+	shape := [24]float64{
+		1.45, 1.45, 1.45, 1.45, 1.45, 1.40,
+		1.20, 0.90, 0.65, 0.50, 0.42, 0.40,
+		0.40, 0.42, 0.48, 0.60, 0.80, 1.05,
+		1.30, 1.42, 1.45, 1.45, 1.45, 1.45,
+	}
+	return normalizedProfile("solar-day", shape, mean)
+}
+
+func normalizedProfile(name string, shape [24]float64, mean units.CarbonIntensity) *HourlyProfile {
+	var sum float64
+	for _, v := range shape {
+		sum += v
+	}
+	scale := float64(mean) * 24 / sum
+	p := &HourlyProfile{Name: name}
+	for i, v := range shape {
+		p.Hours[i] = units.CarbonIntensity(v * scale)
+	}
+	return p
+}
+
+// PeakHours reports the n consecutive whole hours of the day with the
+// highest average intensity, returned as [start, end) hours. Useful for
+// locating a profile's worst usage window.
+func PeakHours(p Profile, n int) (start, end int) {
+	if n <= 0 || n > 24 {
+		n = 1
+	}
+	type window struct {
+		start int
+		mean  float64
+	}
+	var wins []window
+	for s := 0; s < 24; s++ {
+		m := float64(MeanWindow(p, float64(s), float64(s+n)))
+		wins = append(wins, window{s, m})
+	}
+	sort.Slice(wins, func(i, j int) bool {
+		if wins[i].mean != wins[j].mean {
+			return wins[i].mean > wins[j].mean
+		}
+		return wins[i].start < wins[j].start
+	})
+	return wins[0].start, (wins[0].start + n) % 24
+}

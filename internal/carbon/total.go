@@ -1,0 +1,46 @@
+package carbon
+
+import "ppatc/internal/units"
+
+// Total is the headline quantity of the paper: total carbon footprint
+// tC = C_embodied + C_operational for one die over its lifetime.
+type Total struct {
+	// Embodied is the per-good-die embodied carbon (Eq. 5).
+	Embodied units.Carbon
+	// Operational is the lifetime use-phase carbon (Eq. 8).
+	Operational units.Carbon
+}
+
+// TC reports the total carbon footprint.
+func (t Total) TC() units.Carbon { return t.Embodied + t.Operational }
+
+// EmbodiedDominates reports whether the embodied contribution exceeds the
+// operational one — the regime the paper identifies before the 14-month
+// (all-Si) and 19-month (M3D) crossovers in Fig. 5.
+func (t Total) EmbodiedDominates() bool { return t.Embodied > t.Operational }
+
+// WaterPerArea is an extension hook for the water-consumption accounting the
+// paper's conclusion lists as future work. Fab water usage is tracked per
+// wafer area (liters/cm²) and reported alongside carbon; it does not enter
+// tC but lets downstream users extend the figure of merit.
+type WaterPerArea float64
+
+// LitersPerSquareCentimeter constructs a water density.
+func LitersPerSquareCentimeter(l float64) WaterPerArea { return WaterPerArea(l * 1e4) }
+
+// Over reports total liters of water for the given area.
+func (w WaterPerArea) Over(a units.Area) float64 {
+	return float64(w) * a.SquareMeters()
+}
+
+// CostPerArea is an extension hook for the cost accounting the paper's
+// conclusion lists as future work (USD/cm² of processed wafer).
+type CostPerArea float64
+
+// DollarsPerSquareCentimeter constructs a cost density.
+func DollarsPerSquareCentimeter(d float64) CostPerArea { return CostPerArea(d * 1e4) }
+
+// Over reports total dollars for the given area.
+func (c CostPerArea) Over(a units.Area) float64 {
+	return float64(c) * a.SquareMeters()
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"ppatc/internal/carbon"
+	"ppatc/internal/embench"
+	"ppatc/internal/tcdp"
+)
+
+func TestFig2cDriver(t *testing.T) {
+	out, err := Fig2c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"US", "Coal", "Solar", "Taiwan", "average", "1.31"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig2c output missing %q", want)
+		}
+	}
+}
+
+func TestFig2dDriver(t *testing.T) {
+	out, err := Fig2d()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"lithography (EUV)", "dry etch", "EPA total", "fixed FEOL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig2d output missing %q", want)
+		}
+	}
+}
+
+func TestTable1Driver(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"Si NMOS", "CNFET", "IGZO", "IEFF"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q", want)
+		}
+	}
+}
+
+func TestFig4Driver(t *testing.T) {
+	out, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"HVT", "RVT", "LVT", "SLVT"} {
+		if !strings.Contains(out, f) {
+			t.Errorf("fig4 output missing %q", f)
+		}
+	}
+}
+
+func TestTable2AndFigureDrivers(t *testing.T) {
+	// Use the sieve workload to keep the driver tests fast; the anchors
+	// are checked elsewhere with matmult-int.
+	si, m3d, text, err := Table2(embench.Sieve(), carbon.GridUS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "sieve") {
+		t.Error("table2 text missing workload name")
+	}
+	out, err := Fig5(si, m3d, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "dominates until") || !strings.Contains(out, "ratio") {
+		t.Error("fig5 output incomplete")
+	}
+	out, err = Fig6a(si, m3d, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "isoline") {
+		t.Error("fig6a output missing isoline")
+	}
+	out, err = Fig6b(si, m3d, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"baseline", "lifetime +6 months", "M3D yield 10%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig6b output missing %q", want)
+		}
+	}
+}
+
+func TestSuiteDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite evaluates every workload twice")
+	}
+	rows, err := Suite(carbon.GridUS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 8 {
+		t.Fatalf("suite has %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.TCDPRatio24 < 0.9 || r.TCDPRatio24 > 1.1 {
+			t.Errorf("%s: tCDP ratio %v outside the expected band", r.Workload, r.TCDPRatio24)
+		}
+		if r.SiMemPJ <= r.M3DMemPJ {
+			t.Errorf("%s: Si memory energy should exceed M3D", r.Workload)
+		}
+	}
+	out := FormatSuite(rows)
+	if !strings.Contains(out, "matmult-int") || !strings.Contains(out, "tCDP ratio") {
+		t.Error("suite table incomplete")
+	}
+}
+
+func TestWriteMarkdownReport(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteMarkdownReport(&buf, embench.Sieve(), carbon.GridUS, 24); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# PPAtC report", "## Fig. 2c", "## Table II", "## Fig. 6b",
+		"## Headline", "tCDP(all-Si)/tCDP(M3D)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown report missing %q", want)
+		}
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	si, m3d := headline(t)
+	var buf strings.Builder
+	if err := WriteJSON(&buf, si, m3d); err != nil {
+		t.Fatal(err)
+	}
+	var back []map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("JSON has %d entries", len(back))
+	}
+	if back[0]["system"] != "all-Si" || back[1]["system"] != "M3D IGZO/CNFET/Si" {
+		t.Error("system names wrong in JSON")
+	}
+	if v := back[0]["memory_pj_per_cycle"].(float64); math.Abs(v-18.0) > 0.2 {
+		t.Errorf("Si memory pJ in JSON = %v", v)
+	}
+	if v := back[1]["yield"].(float64); v != 0.5 {
+		t.Errorf("M3D yield in JSON = %v", v)
+	}
+	if err := WriteJSON(&buf, nil); err == nil {
+		t.Error("nil result should fail")
+	}
+}
+
+func TestLifetimeCSVExport(t *testing.T) {
+	si, m3d := headline(t)
+	s := tcdp.PaperScenario()
+	sa, err := tcdp.Lifetime(si.DesignPoint(), s, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := tcdp.Lifetime(m3d.DesignPoint(), s, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteLifetimeCSV(&buf, sa, sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("CSV has %d lines, want header + 6", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "month,all-Si_embodied_g") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if got := strings.Count(lines[1], ","); got != 8 {
+		t.Errorf("row has %d commas, want 8", got)
+	}
+	if err := WriteLifetimeCSV(&buf); err == nil {
+		t.Error("empty export should fail")
+	}
+	short := sa
+	short.Months = short.Months[:2]
+	if err := WriteLifetimeCSV(&buf, sa, short); err == nil {
+		t.Error("mismatched series should fail")
+	}
+}

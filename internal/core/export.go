@@ -1,0 +1,105 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"ppatc/internal/tcdp"
+)
+
+// Machine-readable exports: JSON for evaluation results and CSV for the
+// lifetime series, so the regenerated figures can be plotted or diffed by
+// downstream tooling without scraping the text tables.
+
+// exportedPPAtC is the stable JSON shape of an evaluation (flattened
+// units: pJ, mm², µm, kgCO2e, gCO2e, mW).
+type exportedPPAtC struct {
+	System               string  `json:"system"`
+	Workload             string  `json:"workload"`
+	ClockMHz             float64 `json:"clock_mhz"`
+	Cycles               uint64  `json:"cycles"`
+	ExecTimeSeconds      float64 `json:"exec_time_s"`
+	M0DynamicPJPerCycle  float64 `json:"m0_dynamic_pj_per_cycle"`
+	MemPJPerCycle        float64 `json:"memory_pj_per_cycle"`
+	OperationalPowerMW   float64 `json:"operational_power_mw"`
+	MemoryAreaMM2        float64 `json:"memory_area_mm2"`
+	TotalAreaMM2         float64 `json:"total_area_mm2"`
+	DieWidthUM           float64 `json:"die_width_um"`
+	DieHeightUM          float64 `json:"die_height_um"`
+	EPAKWhPerWafer       float64 `json:"epa_kwh_per_wafer"`
+	EmbodiedWaferKG      float64 `json:"embodied_per_wafer_kg"`
+	DiesPerWafer         int     `json:"dies_per_wafer"`
+	Yield                float64 `json:"yield"`
+	EmbodiedPerGoodDieG  float64 `json:"embodied_per_good_die_g"`
+	ProgramReadsPerCycle float64 `json:"program_reads_per_cycle"`
+	DataReadsPerCycle    float64 `json:"data_reads_per_cycle"`
+	DataWritesPerCycle   float64 `json:"data_writes_per_cycle"`
+}
+
+// WriteJSON emits one or more evaluations as a JSON array.
+func WriteJSON(w io.Writer, results ...*PPAtC) error {
+	out := make([]exportedPPAtC, 0, len(results))
+	for _, r := range results {
+		if r == nil {
+			return fmt.Errorf("core: nil result in JSON export")
+		}
+		out = append(out, exportedPPAtC{
+			System:               r.System,
+			Workload:             r.Workload,
+			ClockMHz:             r.Clock.Megahertz(),
+			Cycles:               r.Cycles,
+			ExecTimeSeconds:      r.ExecTime,
+			M0DynamicPJPerCycle:  r.M0DynamicPerCycle.Picojoules(),
+			MemPJPerCycle:        r.MemPerCycle.Picojoules(),
+			OperationalPowerMW:   r.OperationalPower.Milliwatts(),
+			MemoryAreaMM2:        r.MemoryArea.SquareMillimeters(),
+			TotalAreaMM2:         r.TotalArea.SquareMillimeters(),
+			DieWidthUM:           r.DieWidth.Micrometers(),
+			DieHeightUM:          r.DieHeight.Micrometers(),
+			EPAKWhPerWafer:       r.EPA.KilowattHours(),
+			EmbodiedWaferKG:      r.EmbodiedPerWafer.Total().Kilograms(),
+			DiesPerWafer:         r.DiesPerWafer,
+			Yield:                r.Yield,
+			EmbodiedPerGoodDieG:  r.EmbodiedPerGoodDie.Grams(),
+			ProgramReadsPerCycle: r.ProgramReadsPerCycle,
+			DataReadsPerCycle:    r.DataReadsPerCycle,
+			DataWritesPerCycle:   r.DataWritesPerCycle,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteLifetimeCSV emits the Fig. 5 series of one or more designs as CSV
+// with a shared month column — directly loadable by any plotting tool.
+func WriteLifetimeCSV(w io.Writer, series ...tcdp.Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("core: no series to export")
+	}
+	n := len(series[0].Months)
+	header := "month"
+	for _, s := range series {
+		if len(s.Months) != n {
+			return fmt.Errorf("core: series %q has %d points, want %d", s.Name, len(s.Months), n)
+		}
+		header += fmt.Sprintf(",%s_embodied_g,%s_operational_g,%s_tc_g,%s_tcdp_gs",
+			s.Name, s.Name, s.Name, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		line := strconv.FormatFloat(series[0].Months[i], 'g', -1, 64)
+		for _, s := range series {
+			line += fmt.Sprintf(",%.6g,%.6g,%.6g,%.6g",
+				s.Embodied[i], s.Operational[i], s.TCSeries[i], s.TCDPSeries[i])
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package core
+
+import "ppatc/internal/tcdp"
+
+// DesignPoint summarizes the evaluation for lifetime/carbon-efficiency
+// analysis in the tcdp package (Figs. 5 and 6).
+func (p *PPAtC) DesignPoint() tcdp.DesignPoint {
+	return tcdp.DesignPoint{
+		Name:     p.System,
+		Embodied: p.EmbodiedPerGoodDie,
+		Power:    p.OperationalPower,
+		ExecTime: p.ExecTime,
+		Yield:    p.Yield,
+	}
+}

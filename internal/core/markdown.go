@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"ppatc/internal/carbon"
+	"ppatc/internal/embench"
+	"ppatc/internal/tcdp"
+	"ppatc/internal/units"
+)
+
+// WriteMarkdownReport generates a self-contained markdown artifact with
+// every experiment of the paper — the machine-written counterpart of
+// EXPERIMENTS.md, regenerated from the current models so drift between
+// code and documentation is impossible.
+func WriteMarkdownReport(w io.Writer, workload embench.Workload, grid carbon.Grid, months int) error {
+	pr := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := pr("# PPAtC report\n\nWorkload: `%s` · grid: %s (%s) · lifetime: %d months\n\n",
+		workload.Name, grid.Name, grid.Intensity, months); err != nil {
+		return err
+	}
+
+	section := func(title, body string) error {
+		return pr("## %s\n\n```\n%s```\n\n", title, body)
+	}
+
+	fig2c, err := Fig2c()
+	if err != nil {
+		return err
+	}
+	if err := section("Fig. 2c — embodied carbon per wafer", fig2c); err != nil {
+		return err
+	}
+	fig2d, err := Fig2d()
+	if err != nil {
+		return err
+	}
+	if err := section("Fig. 2d — Eq. 4 step-energy matrix", fig2d); err != nil {
+		return err
+	}
+	if err := section("Table I — FET comparison", Table1()); err != nil {
+		return err
+	}
+	fig4, err := Fig4()
+	if err != nil {
+		return err
+	}
+	if err := section("Fig. 4 — M0 synthesis sweep", fig4); err != nil {
+		return err
+	}
+
+	si, m3d, t2, err := Table2(workload, grid)
+	if err != nil {
+		return err
+	}
+	if err := section("Table II — PPAtC summary", t2); err != nil {
+		return err
+	}
+	fig5, err := Fig5(si, m3d, months)
+	if err != nil {
+		return err
+	}
+	if err := section("Fig. 5 — tC and tCDP vs lifetime", fig5); err != nil {
+		return err
+	}
+	fig6a, err := Fig6a(si, m3d, months)
+	if err != nil {
+		return err
+	}
+	if err := section("Fig. 6a — tCDP benefit map", fig6a); err != nil {
+		return err
+	}
+	fig6b, err := Fig6b(si, m3d, months)
+	if err != nil {
+		return err
+	}
+	if err := section("Fig. 6b — isoline uncertainty", fig6b); err != nil {
+		return err
+	}
+
+	// Headline summary table.
+	ratio, err := tcdp.Ratio(si.DesignPoint(), m3d.DesignPoint(), tcdp.PaperScenario(), units.Months(months))
+	if err != nil {
+		return err
+	}
+	if err := pr("## Headline\n\n| quantity | all-Si | M3D |\n|---|---|---|\n"); err != nil {
+		return err
+	}
+	rows := [][3]string{
+		{"memory energy per cycle", fmt.Sprintf("%.1f pJ", si.MemPerCycle.Picojoules()), fmt.Sprintf("%.1f pJ", m3d.MemPerCycle.Picojoules())},
+		{"embodied carbon per good die", fmt.Sprintf("%.2f g", si.EmbodiedPerGoodDie.Grams()), fmt.Sprintf("%.2f g", m3d.EmbodiedPerGoodDie.Grams())},
+		{"operational power", si.OperationalPower.String(), m3d.OperationalPower.String()},
+	}
+	for _, r := range rows {
+		if err := pr("| %s | %s | %s |\n", r[0], r[1], r[2]); err != nil {
+			return err
+		}
+	}
+	return pr("\ntCDP(all-Si)/tCDP(M3D) at %d months = **%.3f** (paper: 1.02 at 24 months).\n",
+		months, ratio)
+}

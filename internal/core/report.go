@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ppatc/internal/device"
+	"ppatc/internal/stdcell"
+)
+
+// stdcellFor builds the library corner for a flavour (indirection point for
+// tests that want to substitute corners).
+func stdcellFor(f device.VTFlavor) stdcell.Library { return stdcell.New(f) }
+
+// FormatTable2 renders two PPAtC evaluations side by side in the shape of
+// the paper's Table II.
+func FormatTable2(a, b *PPAtC) string {
+	var sb strings.Builder
+	row := func(label, va, vb string) {
+		fmt.Fprintf(&sb, "%-40s %22s %22s\n", label, va, vb)
+	}
+	row("System", a.System, b.System)
+	row("clock frequency", a.Clock.String(), b.Clock.String())
+	row("M0 dynamic energy per cycle",
+		fmt.Sprintf("%.2f pJ", a.M0DynamicPerCycle.Picojoules()),
+		fmt.Sprintf("%.2f pJ", b.M0DynamicPerCycle.Picojoules()))
+	row("average memory energy per cycle",
+		fmt.Sprintf("%.1f pJ", a.MemPerCycle.Picojoules()),
+		fmt.Sprintf("%.1f pJ", b.MemPerCycle.Picojoules()))
+	row(fmt.Sprintf("clock cycles to run %q", a.Workload),
+		fmt.Sprintf("%d", a.Cycles), fmt.Sprintf("%d", b.Cycles))
+	row("64 kB memory area footprint",
+		fmt.Sprintf("%.3f mm²", a.MemoryArea.SquareMillimeters()),
+		fmt.Sprintf("%.3f mm²", b.MemoryArea.SquareMillimeters()))
+	row("total area footprint (memory + M0)",
+		fmt.Sprintf("%.3f mm²", a.TotalArea.SquareMillimeters()),
+		fmt.Sprintf("%.3f mm²", b.TotalArea.SquareMillimeters()))
+	row("  die H × W",
+		fmt.Sprintf("%.0f × %.0f µm", a.DieHeight.Micrometers(), a.DieWidth.Micrometers()),
+		fmt.Sprintf("%.0f × %.0f µm", b.DieHeight.Micrometers(), b.DieWidth.Micrometers()))
+	row("embodied carbon per wafer",
+		fmt.Sprintf("%.0f kgCO2e", a.EmbodiedPerWafer.Total().Kilograms()),
+		fmt.Sprintf("%.0f kgCO2e", b.EmbodiedPerWafer.Total().Kilograms()))
+	row("total die count per 300 mm wafer",
+		fmt.Sprintf("%d", a.DiesPerWafer), fmt.Sprintf("%d", b.DiesPerWafer))
+	row("yield",
+		fmt.Sprintf("%.0f%%", a.Yield*100), fmt.Sprintf("%.0f%%", b.Yield*100))
+	row("embodied carbon per good die",
+		fmt.Sprintf("%.2f gCO2e", a.EmbodiedPerGoodDie.Grams()),
+		fmt.Sprintf("%.2f gCO2e", b.EmbodiedPerGoodDie.Grams()))
+	row("operational power while running",
+		a.OperationalPower.String(), b.OperationalPower.String())
+	return sb.String()
+}

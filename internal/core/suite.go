@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ppatc/internal/carbon"
+	"ppatc/internal/embench"
+	"ppatc/internal/tcdp"
+	"ppatc/internal/units"
+)
+
+// SuiteRow is one workload's comparison across the two designs.
+type SuiteRow struct {
+	// Workload names the kernel.
+	Workload string
+	// Cycles is the execution length (identical for both designs).
+	Cycles uint64
+	// SiMemPJ and M3DMemPJ are the per-cycle memory energies (pJ).
+	SiMemPJ, M3DMemPJ float64
+	// SiPowerMW and M3DPowerMW are the operating powers (mW).
+	SiPowerMW, M3DPowerMW float64
+	// TCDPRatio24 is tCDP(all-Si)/tCDP(M3D) at 24 months (>1 → M3D wins).
+	TCDPRatio24 float64
+}
+
+// Suite evaluates every bundled workload through the full PPAtC pipeline
+// on both designs — the paper's "variety of applications ... well
+// represented by the workloads in Embench" framing, made concrete.
+func Suite(grid carbon.Grid) ([]SuiteRow, error) {
+	scenario := tcdp.PaperScenario()
+	var rows []SuiteRow
+	for _, w := range embench.Workloads() {
+		si, err := Evaluate(AllSiSystem(), w, grid)
+		if err != nil {
+			return nil, fmt.Errorf("core: suite %s: %w", w.Name, err)
+		}
+		m3d, err := Evaluate(M3DSystem(), w, grid)
+		if err != nil {
+			return nil, fmt.Errorf("core: suite %s: %w", w.Name, err)
+		}
+		ratio, err := tcdp.Ratio(si.DesignPoint(), m3d.DesignPoint(), scenario, units.Months(24))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SuiteRow{
+			Workload:    w.Name,
+			Cycles:      si.Cycles,
+			SiMemPJ:     si.MemPerCycle.Picojoules(),
+			M3DMemPJ:    m3d.MemPerCycle.Picojoules(),
+			SiPowerMW:   si.OperationalPower.Milliwatts(),
+			M3DPowerMW:  m3d.OperationalPower.Milliwatts(),
+			TCDPRatio24: ratio,
+		})
+	}
+	return rows, nil
+}
+
+// FormatSuite renders the suite comparison table.
+func FormatSuite(rows []SuiteRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %12s %10s %10s %10s %10s %12s\n",
+		"workload", "cycles", "Si pJ/cyc", "M3D pJ/cyc", "Si mW", "M3D mW", "tCDP ratio")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s %12d %10.2f %10.2f %10.3f %10.3f %12.4f\n",
+			r.Workload, r.Cycles, r.SiMemPJ, r.M3DMemPJ,
+			r.SiPowerMW, r.M3DPowerMW, r.TCDPRatio24)
+	}
+	return sb.String()
+}

@@ -1,0 +1,297 @@
+// Package core is the PPAtC engine: it ties every substrate together to
+// evaluate a complete embedded system — ARM Cortex-M0 plus two 64 kB eDRAM
+// macros — in a chosen fabrication technology, reproducing the paper's
+// five-step design flow (Sec. III-B):
+//
+//  1. memory sizing (fixed at the paper's 64 kB program + 64 kB data),
+//  2. eDRAM schematic & physical design (internal/edram, SPICE-validated),
+//  3. M0 synthesis and timing closure (internal/synth),
+//  4. application-dependent energy from ISA simulation (internal/embench),
+//  5. total carbon per good die (internal/process, wafer, yield, carbon).
+//
+// The output of Evaluate is a PPAtC report — the rows of the paper's
+// Table II — which the tcdp package turns into lifetime and carbon-
+// efficiency analyses (Figs. 5 and 6).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ppatc/internal/carbon"
+	"ppatc/internal/device"
+	"ppatc/internal/edram"
+	"ppatc/internal/embench"
+	"ppatc/internal/floorplan"
+	"ppatc/internal/process"
+	"ppatc/internal/synth"
+	"ppatc/internal/units"
+	"ppatc/internal/wafer"
+	"ppatc/internal/yield"
+)
+
+// SystemDesign is one technology realization of the embedded system.
+type SystemDesign struct {
+	// Name identifies the design ("all-Si", "M3D IGZO/CNFET/Si").
+	Name string
+	// Flow is the fabrication process.
+	Flow *process.Flow
+	// Cell is the eDRAM bit-cell implementation.
+	Cell edram.CellDesign
+	// Array is the memory organization (shared by both macros).
+	Array edram.ArraySpec
+	// Periphery is the memory peripheral energy set.
+	Periphery edram.PeripheryEnergies
+	// Core is the M0 synthesis model.
+	Core synth.Design
+	// CoreFlavor is the VT flavour the core is implemented in.
+	CoreFlavor device.VTFlavor
+	// Clock is the system clock (500 MHz in the case study).
+	Clock units.Frequency
+	// Yield is the die-yield model.
+	Yield yield.Model
+	// Wafer is the wafer specification.
+	Wafer wafer.Spec
+	// DieSpacing is the scribe spacing between dies.
+	DieSpacing units.Length
+	// HasCNT and HasIGZO flag the beyond-Si films for MPA accounting.
+	HasCNT, HasIGZO bool
+}
+
+// PaperClock is the case study's clock frequency.
+var PaperClock = units.Megahertz(500)
+
+// AllSiSystem returns the baseline design of Fig. 1c.
+func AllSiSystem() SystemDesign {
+	cell := edram.SiCellDesign()
+	return SystemDesign{
+		Name:       "all-Si",
+		Flow:       process.AllSi7nm(),
+		Cell:       cell,
+		Array:      edram.PaperArray(),
+		Periphery:  edram.PaperPeriphery(cell),
+		Core:       synth.CortexM0(),
+		CoreFlavor: device.RVT,
+		Clock:      PaperClock,
+		Yield:      yield.PaperAllSi,
+		Wafer:      wafer.Paper300mm(),
+		DieSpacing: units.Millimeters(0.1),
+	}
+}
+
+// M3DSystem returns the monolithic-3D design of Fig. 1b.
+func M3DSystem() SystemDesign {
+	cell := edram.M3DCellDesign()
+	return SystemDesign{
+		Name:       "M3D IGZO/CNFET/Si",
+		Flow:       process.M3D7nm(),
+		Cell:       cell,
+		Array:      edram.PaperArray(),
+		Periphery:  edram.PaperPeriphery(cell),
+		Core:       synth.CortexM0(),
+		CoreFlavor: device.RVT,
+		Clock:      PaperClock,
+		Yield:      yield.PaperM3D,
+		Wafer:      wafer.Paper300mm(),
+		DieSpacing: units.Millimeters(0.1),
+		HasCNT:     true,
+		HasIGZO:    true,
+	}
+}
+
+// Validate checks the design is complete.
+func (s SystemDesign) Validate() error {
+	switch {
+	case s.Name == "":
+		return errors.New("core: design must be named")
+	case s.Flow == nil:
+		return errors.New("core: design needs a process flow")
+	case s.Yield == nil:
+		return errors.New("core: design needs a yield model")
+	case s.Clock <= 0:
+		return errors.New("core: clock must be positive")
+	case s.DieSpacing < 0:
+		return errors.New("core: die spacing must be non-negative")
+	}
+	return nil
+}
+
+// PPAtC is the full evaluation result — the paper's Table II plus the
+// intermediate quantities behind it.
+type PPAtC struct {
+	// System echoes the design name; Workload the application.
+	System, Workload string
+	// Clock is the operating frequency.
+	Clock units.Frequency
+
+	// --- Performance ---
+	// Cycles is the cycle count of one application execution.
+	Cycles uint64
+	// ExecTime is Cycles / Clock.
+	ExecTime float64
+
+	// --- Power / energy ---
+	// M0DynamicPerCycle is the core's dynamic energy per cycle.
+	M0DynamicPerCycle units.Energy
+	// MemPerCycle is the combined program+data memory energy per cycle
+	// (accesses, refresh and leakage).
+	MemPerCycle units.Energy
+	// M0LeakagePower is the core's static power.
+	M0LeakagePower units.Power
+	// OperationalPower is the total power while running (Eq. 6).
+	OperationalPower units.Power
+
+	// --- Area ---
+	// MemoryArea is one 64 kB macro footprint.
+	MemoryArea units.Area
+	// TotalArea is the die area; DieWidth/DieHeight its dimensions.
+	TotalArea           units.Area
+	DieWidth, DieHeight units.Length
+
+	// --- Carbon ---
+	// EPA is the fabrication energy per wafer.
+	EPA units.Energy
+	// EmbodiedPerWafer is the per-wafer embodied carbon breakdown.
+	EmbodiedPerWafer carbon.EmbodiedBreakdown
+	// DiesPerWafer and Yield size the good-die amortization.
+	DiesPerWafer int
+	Yield        float64
+	// EmbodiedPerGoodDie is Eq. 5's result.
+	EmbodiedPerGoodDie units.Carbon
+
+	// --- Memory details ---
+	// Program and Data are the characterized macros (identical hardware,
+	// different access mixes).
+	Memory *edram.Memory
+	// AccessRates are the workload's per-cycle access rates
+	// (program reads, data reads, data writes).
+	ProgramReadsPerCycle, DataReadsPerCycle, DataWritesPerCycle float64
+}
+
+// Evaluate runs the full design flow for a system and workload on a grid.
+func Evaluate(sys SystemDesign, w embench.Workload, grid carbon.Grid) (*PPAtC, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Step 4 first: the workload's cycle count and access mix.
+	run, err := embench.Run(w, 1<<34)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 2: characterize the eDRAM macro.
+	mem, err := edram.Build(sys.Cell, sys.Array, sys.Periphery)
+	if err != nil {
+		return nil, err
+	}
+	if !mem.MeetsTiming(sys.Clock) {
+		return nil, fmt.Errorf("core: %s memory misses timing at %v", sys.Name, sys.Clock)
+	}
+
+	// Step 3: synthesize the core at the target clock.
+	var lib = stdcellFor(sys.CoreFlavor)
+	cRes, err := synth.Close(sys.Core, lib, sys.Clock)
+	if err != nil {
+		return nil, err
+	}
+	if !cRes.Closed {
+		return nil, fmt.Errorf("core: %s M0 fails timing closure at %v", sys.Name, sys.Clock)
+	}
+
+	// Memory energy: program macro serves fetches; data macro serves
+	// loads/stores; both pay refresh + leakage every cycle.
+	progE, err := mem.EnergyPerCycle(run.ProgramReadsPerCycle(), 0, sys.Clock)
+	if err != nil {
+		return nil, err
+	}
+	dataE, err := mem.EnergyPerCycle(run.DataReadsPerCycle(), run.DataWritesPerCycle(), sys.Clock)
+	if err != nil {
+		return nil, err
+	}
+	memPerCycle := progE + dataE
+
+	// Floorplan: two macros plus the core.
+	chip, err := floorplan.Compose(mem.Width, mem.Height, mem.Area, sys.Core.Area())
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 5: carbon.
+	epa, err := sys.Flow.EPA(process.DefaultEnergyTable())
+	if err != nil {
+		return nil, err
+	}
+	gpa, err := carbon.GPAScaled(epa, process.IN7Reference(), process.IN7GPA())
+	if err != nil {
+		return nil, err
+	}
+	waferArea := sys.Wafer.Area()
+	var films []process.FilmMaterial
+	if sys.HasCNT {
+		f, err := process.CNTMaterial(process.PaperCNTFilm(waferArea))
+		if err != nil {
+			return nil, err
+		}
+		films = append(films, f)
+	}
+	if sys.HasIGZO {
+		f, err := process.IGZOMaterial(process.PaperIGZOFilm(waferArea))
+		if err != nil {
+			return nil, err
+		}
+		films = append(films, f)
+	}
+	mpa, err := process.MPAWithFilms(waferArea, films...)
+	if err != nil {
+		return nil, err
+	}
+	breakdown, err := carbon.EmbodiedPerWafer(carbon.EmbodiedInputs{
+		MPA: mpa, GPA: gpa, EPA: epa,
+		CIFab: grid.Intensity, WaferArea: waferArea,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	die := wafer.Die{Width: chip.Width, Height: chip.Height, Spacing: sys.DieSpacing}
+	dies, err := wafer.EstimateGeometric(sys.Wafer, die)
+	if err != nil {
+		return nil, err
+	}
+	yieldVal, err := sys.Yield.Yield(chip.Area)
+	if err != nil {
+		return nil, err
+	}
+	perGood, err := carbon.PerGoodDie(breakdown.Total(), dies, yieldVal)
+	if err != nil {
+		return nil, err
+	}
+
+	opPower := carbon.OperationalPower(cRes.LeakagePower, cRes.DynamicEnergy, memPerCycle, sys.Clock)
+
+	return &PPAtC{
+		System:               sys.Name,
+		Workload:             w.Name,
+		Clock:                sys.Clock,
+		Cycles:               run.Cycles,
+		ExecTime:             float64(run.Cycles) * sys.Clock.PeriodSeconds(),
+		M0DynamicPerCycle:    cRes.DynamicEnergy,
+		MemPerCycle:          memPerCycle,
+		M0LeakagePower:       cRes.LeakagePower,
+		OperationalPower:     opPower,
+		MemoryArea:           mem.Area,
+		TotalArea:            chip.Area,
+		DieWidth:             chip.Width,
+		DieHeight:            chip.Height,
+		EPA:                  epa,
+		EmbodiedPerWafer:     breakdown,
+		DiesPerWafer:         dies,
+		Yield:                yieldVal,
+		EmbodiedPerGoodDie:   perGood,
+		Memory:               mem,
+		ProgramReadsPerCycle: run.ProgramReadsPerCycle(),
+		DataReadsPerCycle:    run.DataReadsPerCycle(),
+		DataWritesPerCycle:   run.DataWritesPerCycle(),
+	}, nil
+}

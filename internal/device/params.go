@@ -1,0 +1,152 @@
+package device
+
+import "fmt"
+
+// VTFlavor selects one of the ASAP7 threshold-voltage flavours the paper
+// sweeps in its synthesis experiments (Fig. 4).
+type VTFlavor int
+
+// The four ASAP7 VT flavours, slowest/least-leaky first.
+const (
+	HVT  VTFlavor = iota // high VT
+	RVT                  // regular VT
+	LVT                  // low VT
+	SLVT                 // super-low VT
+)
+
+// VTFlavors returns all flavours in canonical order.
+func VTFlavors() []VTFlavor { return []VTFlavor{HVT, RVT, LVT, SLVT} }
+
+// String implements fmt.Stringer.
+func (f VTFlavor) String() string {
+	switch f {
+	case HVT:
+		return "HVT"
+	case RVT:
+		return "RVT"
+	case LVT:
+		return "LVT"
+	case SLVT:
+		return "SLVT"
+	default:
+		return fmt.Sprintf("VTFlavor(%d)", int(f))
+	}
+}
+
+// vt0 reports the nominal threshold magnitude of the flavour. Steps of
+// ~70 mV give roughly an order of magnitude of leakage per flavour, the
+// ASAP7 pattern.
+func (f VTFlavor) vt0() float64 {
+	switch f {
+	case HVT:
+		return 0.42
+	case RVT:
+		return 0.35
+	case LVT:
+		return 0.28
+	default: // SLVT
+		return 0.21
+	}
+}
+
+// VDD is the nominal supply of the ASAP7 standard-cell libraries, which the
+// paper adopts for the memory supply as well (Sec. III-B, Step 2).
+const VDD = 0.7
+
+// WriteWordlineVoltage is the boosted write wordline level used to
+// overdrive the IGZO write transistor (Sec. III-B, Step 2).
+const WriteWordlineVoltage = 1.3
+
+// SiNFET returns the 7 nm Si FinFET NMOS parameter set for a VT flavour.
+// Transport values are chosen to land in the ASAP7 envelope: ION ≈
+// 0.5-0.8 mA/µm and IOFF spanning ~35 pA/µm (HVT) to ~60 nA/µm (SLVT)
+// at VDD = 0.7 V.
+func SiNFET(f VTFlavor) Params {
+	return Params{
+		Name:       "Si NMOS " + f.String(),
+		Polarity:   NMOS,
+		VT0:        f.vt0(),
+		DIBL:       0.05,
+		SSmVdec:    65,
+		Vx0:        6e4,
+		MuEff:      200,
+		Lg:         21e-9,
+		Cinv:       0.025,
+		CgPerWidth: 1.0e-9,
+		Beta:       1.8,
+	}
+}
+
+// SiPFET returns the 7 nm Si FinFET PMOS parameter set for a VT flavour.
+// FinFET PMOS drive is close to NMOS thanks to strained SiGe fins; we model
+// a modest deficit.
+func SiPFET(f VTFlavor) Params {
+	p := SiNFET(f)
+	p.Name = "Si PMOS " + f.String()
+	p.Polarity = PMOS
+	p.Vx0 = 5e4
+	p.MuEff = 150
+	return p
+}
+
+// CNFET returns the carbon-nanotube FET parameter set (paper Table I:
+// high I_EFF, BEOL-compatible, subject to metallic CNTs). The injection
+// velocity of semiconducting CNTs gives it ≈1.5× the Si drive; the
+// LeakFloor term models the residual metallic-CNT population left after
+// removal processing, which raises I_OFF well above the Si and IGZO
+// devices.
+func CNFET() Params {
+	return Params{
+		Name:       "CNFET",
+		Polarity:   NMOS,
+		VT0:        0.32,
+		DIBL:       0.06,
+		SSmVdec:    70,
+		Vx0:        1.2e5,
+		MuEff:      1500,
+		Lg:         30e-9, // 30 nm gate length per the paper's M3D flow
+		Cinv:       0.018,
+		CgPerWidth: 0.8e-9,
+		Beta:       1.8,
+		LeakFloor:  2e-3, // ≈2 nA/µm residual metallic-CNT leakage
+	}
+}
+
+// CNFETPMOS returns the P-type CNFET used in complementary peripheral
+// logic; CNT valence and conduction transport are nearly symmetric.
+func CNFETPMOS() Params {
+	p := CNFET()
+	p.Name = "CNFET PMOS"
+	p.Polarity = PMOS
+	p.Vx0 = 1.1e5
+	return p
+}
+
+// IGZO returns the IGZO FET parameter set (paper Table I: low I_EFF from
+// ~1 cm²/V·s mobility, ultra-low I_OFF, BEOL-compatible; NMOS only —
+// amorphous oxide semiconductors lack usable p-type conduction). Mobility
+// and swing follow the experimentally measured values the paper calibrates
+// to (1 cm²/V·s, 90 mV/dec at 44 nm gate length, from Samanta et al.); the
+// hold-state leakage is anchored to the Belmonte et al. measurement of
+// < 3×10⁻²¹ A/µm.
+func IGZO() Params {
+	return Params{
+		Name:       "IGZO",
+		Polarity:   NMOS,
+		VT0:        0.50,
+		DIBL:       0.02,
+		SSmVdec:    90,
+		Vx0:        2e2,
+		MuEff:      1,
+		Lg:         44e-9,
+		Cinv:       0.020,
+		CgPerWidth: 1.2e-9,
+		Beta:       1.8,
+		IOFFSpec:   3e-15, // 3e-21 A/µm in A/m
+	}
+}
+
+// PerWidthToMicroAmpPerMicron converts an A/m per-width current to µA/µm.
+// The two units are numerically identical; the helper exists to make call
+// sites self-documenting.
+func PerWidthToMicroAmpPerMicron(aPerM float64) float64 { return aPerM }

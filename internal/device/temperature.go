@@ -1,0 +1,51 @@
+package device
+
+import "math"
+
+// Temperature handling. The base parameter sets are specified at 300 K.
+// AtTemperature derives a new parameter set for a different junction
+// temperature, applying the dominant effects for leakage-sensitive design:
+//
+//   - the thermal voltage kT/q grows linearly with T, flattening the
+//     sub-threshold slope (SSmVdec scales with T/300);
+//   - the threshold voltage drops by ≈0.7 mV/K, compounding the leakage
+//     increase (the classic reason retention times collapse at 85 °C);
+//   - experimentally anchored hold leakages (IOFFSpec) double roughly
+//     every 25 K, the empirical behaviour of oxide-semiconductor TFTs.
+const (
+	// ReferenceTempK is the temperature the base parameter sets assume.
+	ReferenceTempK = 300.0
+	// vtTempCoefficient is the threshold shift in V/K (magnitude).
+	vtTempCoefficient = 0.7e-3
+	// ioffSpecDoublingK is the temperature increase that doubles an
+	// experimentally anchored hold leakage.
+	ioffSpecDoublingK = 25.0
+)
+
+// AtTemperature returns the parameter set adjusted to the given junction
+// temperature in °C. Temperatures outside the model's validity range
+// (−73 °C to 177 °C) are clamped.
+func (p Params) AtTemperature(tempC float64) Params {
+	tK := tempC + 273.15
+	if tK < 200 {
+		tK = 200
+	}
+	if tK > 450 {
+		tK = 450
+	}
+	dT := tK - ReferenceTempK
+	out := p
+	out.SSmVdec = p.SSmVdec * tK / ReferenceTempK
+	out.VT0 = p.VT0 - vtTempCoefficient*dT
+	if out.VT0 < 0.05 {
+		out.VT0 = 0.05
+	}
+	if p.IOFFSpec > 0 {
+		out.IOFFSpec = p.IOFFSpec * math.Pow(2, dT/ioffSpecDoublingK)
+	}
+	if p.LeakFloor > 0 {
+		// Metallic-CNT conduction is ohmic and nearly athermal; keep it.
+		out.LeakFloor = p.LeakFloor
+	}
+	return out
+}

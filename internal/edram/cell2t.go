@@ -1,0 +1,49 @@
+package edram
+
+import (
+	"ppatc/internal/device"
+	"ppatc/internal/units"
+)
+
+// Alternative memory-cell topology — the first item on the paper's list of
+// extensions ("alternative memory cell topologies"): the capacitorless
+// 2T0C IGZO gain cell of the paper's references [13]/[23]/[33] (Belmonte
+// et al., Su et al.). Both transistors are IGZO: the write device charges
+// the storage node, which is nothing but the read device's gate (zero
+// explicit capacitor — hence 2T0C), and the read device discharges the
+// read bitline directly.
+//
+// Against the paper's 3T IGZO/CNFET cell the trade is clean and the
+// characterization quantifies it:
+//
+//   - smaller cell (two devices, no CNT tier needed → one fewer BEOL tier),
+//   - even lower standby power (no CNFET metallic-CNT leakage anywhere),
+//   - but the read is driven by the *IGZO* channel: ~100× less read
+//     current than the CNFET stack, so the read misses the paper's 2 ns
+//     single-cycle contract at the 64 kB bitline loading — the reason the
+//     paper's design pays for CNFETs in the read path.
+
+// TwoT0CCellDesign returns the all-IGZO 2T0C cell. The CellDesign shape is
+// reused: Storage is the read transistor (its gate is the storage node)
+// and Select is a cascode/wordline device folded into the same IGZO tier;
+// SNCap is just the read device's gate capacitance plus parasitics.
+func TwoT0CCellDesign() CellDesign {
+	igzo := device.IGZO()
+	return CellDesign{
+		Name:     "2T0C IGZO",
+		Write:    igzo,
+		Storage:  igzo,
+		Select:   igzo,
+		WriteW:   80e-9,
+		StorageW: 120e-9, // widened read device, still IGZO-slow
+		SelectW:  120e-9,
+		// Storage node = read-gate capacitance only (capacitorless).
+		SNCap:                0.12e-15,
+		CellWidth:            units.Micrometers(0.14),
+		CellHeight:           units.Micrometers(0.20),
+		VDD:                  device.VDD,
+		VWWL:                 device.WriteWordlineVoltage,
+		StackedOverPeriphery: true,
+		SenseMargin:          0.10,
+	}
+}

@@ -1,0 +1,278 @@
+package edram
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ppatc/internal/units"
+)
+
+// ArraySpec describes the sub-array organisation of the memory. The paper
+// partitions each 64 kB memory into 2 kB sub-arrays ("each with 512 32-bit
+// words, which improves timing due to relatively smaller capacitive loading
+// of 2 kB sub-arrays", Sec. III-B Step 2); we fold each sub-array into a
+// near-square 128×128 cell mat with 4:1 column multiplexing.
+type ArraySpec struct {
+	// Rows and Cols are the physical mat dimensions in cells.
+	Rows, Cols int
+	// WordBits is the access width (32 for the M0).
+	WordBits int
+	// SubArrayBytes is the capacity of one sub-array.
+	SubArrayBytes int
+	// TotalBytes is the memory capacity.
+	TotalBytes int
+	// WireCapPerMicron is the routing capacitance per micron (F/µm) used
+	// for wordlines, bitlines and the global H-tree.
+	WireCapPerMicron float64
+	// JunctionCapPerCell is the drain-junction load each cell adds to its
+	// bitline (F).
+	JunctionCapPerCell float64
+}
+
+// PaperArray returns the paper's organisation: 64 kB of 2 kB sub-arrays,
+// 128×128 mats, 32-bit words.
+func PaperArray() ArraySpec {
+	return ArraySpec{
+		Rows: 128, Cols: 128,
+		WordBits:           32,
+		SubArrayBytes:      2 * 1024,
+		TotalBytes:         64 * 1024,
+		WireCapPerMicron:   0.35e-15,
+		JunctionCapPerCell: 0.04e-15,
+	}
+}
+
+// Validate checks the spec.
+func (a ArraySpec) Validate() error {
+	switch {
+	case a.Rows <= 0 || a.Cols <= 0 || a.WordBits <= 0:
+		return errors.New("edram: array dimensions must be positive")
+	case a.SubArrayBytes <= 0 || a.TotalBytes < a.SubArrayBytes:
+		return errors.New("edram: need total ≥ sub-array > 0 bytes")
+	case a.Rows*a.Cols != a.SubArrayBytes*8:
+		return fmt.Errorf("edram: mat %d×%d does not hold %d bytes", a.Rows, a.Cols, a.SubArrayBytes)
+	case a.Cols%a.WordBits != 0:
+		return errors.New("edram: columns must be a multiple of the word width")
+	case a.WireCapPerMicron <= 0 || a.JunctionCapPerCell < 0:
+		return errors.New("edram: wire parameters must be positive")
+	}
+	return nil
+}
+
+// SubArrays reports the number of sub-arrays in the memory.
+func (a ArraySpec) SubArrays() int { return a.TotalBytes / a.SubArrayBytes }
+
+// PeripheryEnergies collects the per-event energies of the peripheral
+// circuits, the quantities the paper extracts from post-layout power
+// analysis (Cadence Innovus) of the decoder, refresh controller, write
+// drivers and sense amplifiers.
+type PeripheryEnergies struct {
+	// SenseAmp is the energy of one sense-amplifier evaluation (J).
+	SenseAmp float64
+	// DecoderPerAccess is the row/column decode energy per access (J).
+	DecoderPerAccess float64
+	// ControlPerAccess is the clocking/control overhead per access (J).
+	// This is the calibration anchor matched to the paper's post-layout
+	// power analysis; it absorbs clock tree, latches and repeaters that a
+	// geometric wire model cannot see.
+	ControlPerAccess float64
+	// LeakagePower is the static power of the peripheral circuits (W).
+	LeakagePower float64
+}
+
+// Memory is the characterized 64 kB eDRAM macro.
+type Memory struct {
+	// Design and Array echo the inputs.
+	Design CellDesign
+	Array  ArraySpec
+	// Periphery echoes the peripheral energy set.
+	Periphery PeripheryEnergies
+	// Timing is the SPICE-characterized cell behaviour.
+	Timing CellTiming
+	// ReadEnergy and WriteEnergy are per 32-bit access (J).
+	ReadEnergy, WriteEnergy float64
+	// ReadLatency and WriteLatency are the access critical paths (s).
+	ReadLatency, WriteLatency float64
+	// RefreshPower is the average power spent refreshing the whole memory
+	// while powered (W); zero when retention makes refresh unnecessary.
+	RefreshPower float64
+	// RefreshInterval is the per-row refresh period (s); +Inf when no
+	// refresh is needed.
+	RefreshInterval float64
+	// LeakagePower is the static power of the macro (W).
+	LeakagePower float64
+	// Area is the macro footprint; Width and Height its dimensions.
+	Area          units.Area
+	Width, Height units.Length
+	// BitlineCap is the read-bitline capacitance seen by a cell (F).
+	BitlineCap float64
+}
+
+// refreshHorizon is the powered time (s) beyond which we treat retention
+// as unlimited: cells holding longer than a day never refresh within any
+// realistic duty cycle.
+const refreshHorizon = 86400.0
+
+// peripheryAreaOverhead is the footprint the row/column periphery adds to
+// a planar (non-stacked) array, as a fraction of cell area.
+const peripheryAreaOverhead = 0.16
+
+// Build characterizes the memory macro: runs the cell transients, derives
+// wire loads from the physical geometry, and assembles access energies,
+// latencies, refresh and leakage.
+func Build(d CellDesign, a ArraySpec, p PeripheryEnergies) (*Memory, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if p.SenseAmp < 0 || p.DecoderPerAccess < 0 || p.ControlPerAccess < 0 || p.LeakagePower < 0 {
+		return nil, errors.New("edram: periphery energies must be non-negative")
+	}
+
+	m := &Memory{Design: d, Array: a, Periphery: p}
+
+	// --- Geometry ---------------------------------------------------------
+	cellW := d.CellWidth.Micrometers()
+	cellH := d.CellHeight.Micrometers()
+	matW := cellW * float64(a.Cols) // µm
+	matH := cellH * float64(a.Rows)
+	cellArea := d.CellArea().SquareMicrometers() * float64(a.TotalBytes*8)
+	totalArea := cellArea
+	if !d.StackedOverPeriphery {
+		totalArea *= 1 + peripheryAreaOverhead
+	}
+	m.Area = units.SquareMicrometers(totalArea)
+	// Near-square macro.
+	side := math.Sqrt(totalArea)
+	m.Width = units.Micrometers(side)
+	m.Height = units.Micrometers(totalArea / side)
+
+	// --- Wire loads -------------------------------------------------------
+	// Read bitline: one mat column of wire plus per-cell junctions.
+	m.BitlineCap = matH*a.WireCapPerMicron + float64(a.Rows)*a.JunctionCapPerCell
+	// Wordlines: one mat row of wire plus the gate loads it drives.
+	rwlCap := matW*a.WireCapPerMicron + float64(a.Cols)*d.Select.CgPerWidth*d.SelectW
+	wwlCap := matW*a.WireCapPerMicron + float64(a.Cols)*d.Write.CgPerWidth*d.WriteW
+	// Write bitline: same wire as read bitline, loaded by write-FET
+	// junctions (reuse the junction parameter).
+	wblCap := m.BitlineCap
+
+	// --- Cell characterization ---------------------------------------------
+	tm, err := CharacterizeCell(d, m.BitlineCap)
+	if err != nil {
+		return nil, err
+	}
+	m.Timing = tm
+
+	// --- Access energies ----------------------------------------------------
+	vdd := d.VDD
+	// Global H-tree: write-data, read-data, address and control wires
+	// routed half the macro perimeter on average, toggling with ~50%
+	// activity. Wire capacitance per micron includes repeater loading.
+	routeLen := (m.Width.Micrometers() + m.Height.Micrometers()) / 2
+	addrBits := int(math.Ceil(math.Log2(float64(a.TotalBytes * 8 / a.WordBits))))
+	htreeWires := float64(2*a.WordBits + addrBits + 4)
+	htreeCap := routeLen * a.WireCapPerMicron * htreeWires
+	eHtree := htreeCap * vdd * vdd * 0.5
+
+	// Read: decode + RWL swing + all mat bitlines droop by the sense
+	// margin (the whole activated row evaluates) + sense amps on the
+	// selected word + H-tree + control.
+	eBitlines := float64(a.Cols) * m.BitlineCap * vdd * d.SenseMargin
+	eRead := p.DecoderPerAccess + rwlCap*vdd*vdd + eBitlines +
+		float64(a.WordBits)*p.SenseAmp + eHtree + p.ControlPerAccess
+	// Write: decode + boosted WWL swing + write bitlines driven rail to
+	// rail on the selected word (half toggle on average) + cell write
+	// energy + H-tree + control.
+	eWrite := p.DecoderPerAccess + wwlCap*d.VWWL*d.VWWL +
+		float64(a.WordBits)*wblCap*vdd*vdd*0.5 +
+		float64(a.WordBits)*tm.WriteEnergy + eHtree + p.ControlPerAccess
+	m.ReadEnergy, m.WriteEnergy = eRead, eWrite
+
+	// --- Latencies ----------------------------------------------------------
+	// Decode and wordline rise are modeled as fixed peripheral stages;
+	// the SPICE-characterized cell/bitline transient dominates.
+	const decodeDelay = 150e-12
+	const senseDelay = 100e-12
+	m.ReadLatency = decodeDelay + tm.ReadDelay + senseDelay
+	m.WriteLatency = decodeDelay + tm.WriteDelay
+
+	// --- Refresh -------------------------------------------------------------
+	// Refresh every half retention period (guard-banded), one row at a
+	// time: each row refresh is a read of the row plus a write-back.
+	if tm.Retention < refreshHorizon {
+		m.RefreshInterval = tm.Retention / 2
+		rowsTotal := float64(a.SubArrays() * a.Rows)
+		// A row refresh is an internal operation: the refresh controller
+		// activates one row (read wordline + all bitlines + sense) and
+		// writes it back (boosted write wordline + write bitlines + cell
+		// charge). No H-tree or per-access control energy is spent — the
+		// data never leaves the mat.
+		eRowRefresh := p.DecoderPerAccess +
+			rwlCap*vdd*vdd + wwlCap*d.VWWL*d.VWWL +
+			eBitlines +
+			float64(a.Cols)*(p.SenseAmp+wblCap*vdd*vdd*0.5+tm.WriteEnergy)
+		m.RefreshPower = rowsTotal * eRowRefresh / m.RefreshInterval
+	} else {
+		m.RefreshInterval = math.Inf(1)
+	}
+
+	m.LeakagePower = p.LeakagePower
+	return m, nil
+}
+
+// EnergyPerCycle reports the average memory energy per clock cycle for an
+// access mix: reads and writes per cycle (fractions), at the given clock
+// frequency. Refresh and leakage powers convert to per-cycle energies
+// through the clock period. This is the quantity Table II reports as
+// "average memory energy per cycle".
+func (m *Memory) EnergyPerCycle(readsPerCycle, writesPerCycle float64, clk units.Frequency) (units.Energy, error) {
+	if readsPerCycle < 0 || writesPerCycle < 0 {
+		return 0, errors.New("edram: access rates must be non-negative")
+	}
+	if clk <= 0 {
+		return 0, errors.New("edram: clock frequency must be positive")
+	}
+	period := clk.PeriodSeconds()
+	e := readsPerCycle*m.ReadEnergy + writesPerCycle*m.WriteEnergy +
+		(m.RefreshPower+m.LeakagePower)*period
+	return units.Joules(e), nil
+}
+
+// MeetsTiming reports whether both access latencies fit within the clock
+// period — the paper's single-cycle access constraint (Sec. III-B Step 2).
+func (m *Memory) MeetsTiming(clk units.Frequency) bool {
+	period := clk.PeriodSeconds()
+	return m.ReadLatency <= period && m.WriteLatency <= period
+}
+
+// PaperPeriphery returns the peripheral energy set calibrated against the
+// paper's post-layout power numbers. The control-per-access anchor is the
+// dominant knob: it is set so that the Table II per-cycle energies
+// (18.0 pJ all-Si, 15.5 pJ M3D at 500 MHz under the matmul-int access mix)
+// are reproduced by the full system model in internal/core.
+func PaperPeriphery(d CellDesign) PeripheryEnergies {
+	// The ControlPerAccess anchor dominates: post-P&R power analysis of a
+	// 64 kB macro attributes most of the access energy to the clock tree,
+	// pipeline registers, refresh controller and control logic rather
+	// than the array wires a geometric model can see. It is set so the
+	// full-system model reproduces Table II's 18.0 / 15.5 pJ per cycle.
+	p := PeripheryEnergies{
+		SenseAmp:         0.030e-12,
+		DecoderPerAccess: 0.50e-12,
+		ControlPerAccess: 15.70e-12,
+		LeakagePower:     120e-6,
+	}
+	if d.StackedOverPeriphery {
+		// The M3D macro is ~2.7× smaller: shorter clock/control routing
+		// and a more compact decoder, and its Si periphery is the only
+		// leakage contributor (the IGZO/CNFET array adds ~nothing).
+		p.DecoderPerAccess = 0.40e-12
+		p.ControlPerAccess = 15.05e-12
+		p.LeakagePower = 90e-6
+	}
+	return p
+}

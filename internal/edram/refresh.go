@@ -1,0 +1,63 @@
+package edram
+
+import (
+	"errors"
+	"math"
+
+	"ppatc/internal/units"
+)
+
+// Refresh interference analysis. A refreshing sub-array cannot serve an
+// access in the same cycle, so refresh steals both energy (already in
+// RefreshPower) and availability. For the single-cycle-access contract of
+// the paper's system, a collision means a stall cycle. This module
+// quantifies the expected stall rate and the resulting effective CPI
+// penalty — the availability side of the refresh tax the M3D design
+// avoids entirely.
+
+// RefreshInterference summarizes the availability cost.
+type RefreshInterference struct {
+	// RowRefreshesPerSecond is the total row-refresh rate of the macro.
+	RowRefreshesPerSecond float64
+	// BusyFraction is the fraction of time some sub-array is refreshing.
+	BusyFraction float64
+	// CollisionProbability is the chance a random access hits a
+	// refreshing sub-array.
+	CollisionProbability float64
+	// StallCyclesPerAccess is the expected added cycles per access.
+	StallCyclesPerAccess float64
+	// EffectiveCPIPenalty is the CPI increase at the given access rate.
+	EffectiveCPIPenalty float64
+}
+
+// Interference computes the expected refresh/access interference at a
+// clock frequency and per-cycle access rate. Refreshes are spread evenly
+// (distributed refresh); each row refresh occupies its sub-array for one
+// cycle, and a colliding access stalls one cycle.
+func (m *Memory) Interference(clk units.Frequency, accessesPerCycle float64) (RefreshInterference, error) {
+	if clk <= 0 {
+		return RefreshInterference{}, errors.New("edram: clock must be positive")
+	}
+	if accessesPerCycle < 0 || accessesPerCycle > 1 {
+		return RefreshInterference{}, errors.New("edram: access rate must be in [0, 1]")
+	}
+	var out RefreshInterference
+	if math.IsInf(m.RefreshInterval, 1) {
+		return out, nil // no refresh, no interference
+	}
+	rows := float64(m.Array.SubArrays() * m.Array.Rows)
+	out.RowRefreshesPerSecond = rows / m.RefreshInterval
+	// Each row refresh holds its sub-array for one cycle.
+	cyclesPerSecond := clk.Hertz()
+	busyCyclesPerSecond := out.RowRefreshesPerSecond
+	out.BusyFraction = busyCyclesPerSecond / cyclesPerSecond
+	if out.BusyFraction > 1 {
+		out.BusyFraction = 1
+	}
+	// A random access targets one of the sub-arrays; a refresh busies one
+	// sub-array at a time under distributed scheduling.
+	out.CollisionProbability = out.BusyFraction / float64(m.Array.SubArrays())
+	out.StallCyclesPerAccess = out.CollisionProbability // one stall cycle
+	out.EffectiveCPIPenalty = out.StallCyclesPerAccess * accessesPerCycle
+	return out, nil
+}

@@ -1,0 +1,142 @@
+package edram
+
+import (
+	"errors"
+	"fmt"
+
+	"ppatc/internal/device"
+	"ppatc/internal/spice"
+)
+
+// Sense-amplifier characterization (Fig. 3b's SA blocks). The array's
+// sense amplifiers are latch-type: a cross-coupled inverter pair that
+// regenerates a small bitline differential to full rail when enabled.
+// This module builds the latch netlist and characterizes its resolution
+// time and energy with the SPICE engine — the periphery counterpart of
+// the bit-cell transients in cell.go.
+
+// SenseAmpSpec describes the latch and its stimulus.
+type SenseAmpSpec struct {
+	// NMOS and PMOS are the latch devices (Si periphery in both designs).
+	NMOS, PMOS device.Params
+	// NW and PW are the device widths (meters).
+	NW, PW float64
+	// BitlineCap loads each side of the latch.
+	BitlineCap float64
+	// VDD is the supply.
+	VDD float64
+	// InputDifferential is the initial voltage difference the latch must
+	// resolve (the sense margin developed by the cell).
+	InputDifferential float64
+}
+
+// PaperSenseAmp returns the latch used by both designs' periphery.
+func PaperSenseAmp(blCap float64) SenseAmpSpec {
+	return SenseAmpSpec{
+		NMOS:              device.SiNFET(device.LVT),
+		PMOS:              device.SiPFET(device.LVT),
+		NW:                60e-9,
+		PW:                90e-9,
+		BitlineCap:        blCap,
+		VDD:               device.VDD,
+		InputDifferential: 0.10,
+	}
+}
+
+// Validate checks the spec.
+func (s SenseAmpSpec) Validate() error {
+	switch {
+	case s.NW <= 0 || s.PW <= 0:
+		return errors.New("edram: sense-amp widths must be positive")
+	case s.BitlineCap <= 0:
+		return errors.New("edram: sense-amp load must be positive")
+	case s.VDD <= 0:
+		return errors.New("edram: sense-amp VDD must be positive")
+	case s.InputDifferential <= 0 || s.InputDifferential >= s.VDD:
+		return errors.New("edram: differential must be in (0, VDD)")
+	}
+	if err := s.NMOS.Validate(); err != nil {
+		return err
+	}
+	return s.PMOS.Validate()
+}
+
+// SenseAmpResult is the characterized behaviour.
+type SenseAmpResult struct {
+	// ResolveTime is the time from enable until the high side reaches
+	// 90% VDD and the low side falls below 10% VDD.
+	ResolveTime float64
+	// Energy is drawn from the supply during resolution (J).
+	Energy float64
+}
+
+// CharacterizeSenseAmp runs the latch transient: both sides precharged
+// near VDD with the input differential applied, then the foot switch
+// enables regeneration.
+func CharacterizeSenseAmp(s SenseAmpSpec) (SenseAmpResult, error) {
+	if err := s.Validate(); err != nil {
+		return SenseAmpResult{}, err
+	}
+	ck := spice.NewCircuit()
+	if err := ck.AddV("vdd", "vdd", spice.Ground, spice.DC(s.VDD)); err != nil {
+		return SenseAmpResult{}, err
+	}
+	// Foot enable: the latch sources tie to "foot", pulled to ground
+	// through a wide enable NMOS gated at t = 100 ps.
+	en := spice.Pulse{V1: 0, V2: s.VDD, Delay: 100e-12, Rise: 10e-12, Width: 1}
+	if err := ck.AddV("ven", "en", spice.Ground, en); err != nil {
+		return SenseAmpResult{}, err
+	}
+	if err := ck.AddFET("mfoot", "foot", "en", spice.Ground, s.NMOS, 4*s.NW); err != nil {
+		return SenseAmpResult{}, err
+	}
+	// Cross-coupled pair: left inverter drives "r", right drives "l".
+	add := func(id, out, in string) error {
+		if err := ck.AddFET("mp"+id, out, in, "vdd", s.PMOS, s.PW); err != nil {
+			return err
+		}
+		return ck.AddFET("mn"+id, out, in, "foot", s.NMOS, s.NW)
+	}
+	if err := add("l", "l", "r"); err != nil {
+		return SenseAmpResult{}, err
+	}
+	if err := add("r", "r", "l"); err != nil {
+		return SenseAmpResult{}, err
+	}
+	if err := ck.AddC("cl", "l", spice.Ground, s.BitlineCap); err != nil {
+		return SenseAmpResult{}, err
+	}
+	if err := ck.AddC("cr", "r", spice.Ground, s.BitlineCap); err != nil {
+		return SenseAmpResult{}, err
+	}
+	// Initial differential: weak sources preset the nodes, releasing
+	// before enable (large series resistors model released precharge).
+	if err := ck.AddV("vinitl", "pl", spice.Ground, spice.Pulse{V1: s.VDD, V2: s.VDD, Width: 1}); err != nil {
+		return SenseAmpResult{}, err
+	}
+	if err := ck.AddV("vinitr", "pr", spice.Ground, spice.Pulse{V1: s.VDD - s.InputDifferential, V2: s.VDD - s.InputDifferential, Width: 1}); err != nil {
+		return SenseAmpResult{}, err
+	}
+	if err := ck.AddR("rpl", "pl", "l", 50e3); err != nil {
+		return SenseAmpResult{}, err
+	}
+	if err := ck.AddR("rpr", "pr", "r", 50e3); err != nil {
+		return SenseAmpResult{}, err
+	}
+
+	tr, err := ck.Transient(2e-9, 1e-12)
+	if err != nil {
+		return SenseAmpResult{}, fmt.Errorf("edram: sense amp transient: %w", err)
+	}
+	tLow, err := tr.CrossingTime("r", 0.1*s.VDD, false, 100e-12)
+	if err != nil {
+		return SenseAmpResult{}, fmt.Errorf("edram: latch never resolved low: %w", err)
+	}
+	res := SenseAmpResult{ResolveTime: tLow - 100e-12}
+	e, err := tr.SourceEnergy("vdd")
+	if err != nil {
+		return SenseAmpResult{}, err
+	}
+	res.Energy = e
+	return res, nil
+}

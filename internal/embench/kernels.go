@@ -1,0 +1,375 @@
+package embench
+
+import "fmt"
+
+// crc32Reps and crc32Words size the CRC workload: bitwise (table-free)
+// CRC-32 over a 1 kB buffer, the control-flow-heavy profile of Embench's
+// crc32.
+const (
+	crc32Reps  = 40
+	crc32Words = 256
+)
+
+// CRC32 returns the bitwise CRC-32 workload.
+func CRC32() Workload {
+	src := fmt.Sprintf(`
+	.equ REPS, %d
+	.equ WORDS, %d
+		; init buffer with LCG
+		li r0, 0x20000000
+		li r1, %d               ; byte count
+		movs r2, #1
+	init_loop:
+		movs r3, #75
+		muls r2, r3
+		adds r2, #74
+		str r2, [r0]
+		adds r0, #4
+		subs r1, #4
+		bne init_loop
+
+		li r2, 0xffffffff       ; crc
+		li r5, 0xedb88320       ; reflected polynomial
+		li r6, REPS
+	rep_loop:
+		li r0, 0x20000000
+		li r1, WORDS
+	word_loop:
+		ldr r3, [r0]
+		eors r2, r3
+		movs r4, #32
+	bit_loop:
+		lsrs r2, r2, #1
+		bcc no_xor
+		eors r2, r5
+	no_xor:
+		subs r4, #1
+		bne bit_loop
+		adds r0, #4
+		subs r1, #1
+		bne word_loop
+		subs r6, #1
+		beq done
+		b rep_loop
+	done:
+		mvns r0, r2
+		bkpt #0
+	`, crc32Reps, crc32Words, crc32Words*4)
+	return Workload{
+		Name:        "crc32",
+		Description: fmt.Sprintf("%d passes of bitwise CRC-32 over a %d-word buffer", crc32Reps, crc32Words),
+		Source:      src,
+		Expected:    crc32Golden(crc32Reps),
+	}
+}
+
+func crc32Golden(reps int) uint32 {
+	buf := make([]uint32, crc32Words)
+	x := uint32(1)
+	for i := range buf {
+		x = lcgNext(x)
+		buf[i] = x
+	}
+	crc := uint32(0xFFFFFFFF)
+	for r := 0; r < reps; r++ {
+		for _, w := range buf {
+			crc ^= w
+			for b := 0; b < 32; b++ {
+				if crc&1 != 0 {
+					crc = crc>>1 ^ 0xEDB88320
+				} else {
+					crc >>= 1
+				}
+			}
+		}
+	}
+	return ^crc
+}
+
+// EDN parameters: a 16-tap FIR over 256 samples, the inner-product profile
+// of Embench's edn.
+const (
+	ednReps    = 12
+	ednTaps    = 16
+	ednSamples = 256
+)
+
+// EDN returns the FIR-filter workload.
+func EDN() Workload {
+	outputs := ednSamples - ednTaps + 1
+	src := fmt.Sprintf(`
+	.equ REPS, %d
+	.equ OUTPUTS, %d
+		; init taps then samples contiguously with the LCG
+		li r0, 0x20000000
+		li r1, %d               ; (taps+samples)*4 bytes
+		movs r2, #1
+	init_loop:
+		movs r3, #75
+		muls r2, r3
+		adds r2, #74
+		str r2, [r0]
+		adds r0, #4
+		subs r1, #4
+		bne init_loop
+
+		li r6, REPS
+		movs r7, #0             ; checksum
+	rep_loop:
+		li r4, OUTPUTS          ; n counter (counting down)
+		li r0, 0x20000040       ; xPtr = samples base (taps end at +64)
+	n_loop:
+		li r2, 0x20000000       ; hPtr
+		movs r1, r0             ; x window pointer
+		movs r5, #0             ; acc
+		movs r3, #%d            ; k counter
+	k_loop:
+		push {r4}
+		ldr r4, [r2]
+		adds r2, #4
+		push {r3}
+		ldr r3, [r1]
+		adds r1, #4
+		muls r3, r4
+		adds r5, r5, r3
+		pop {r3}
+		pop {r4}
+		subs r3, #1
+		bne k_loop
+		adds r7, r7, r5
+		adds r0, #4
+		subs r4, #1
+		beq n_done
+		b n_loop
+	n_done:
+		subs r6, #1
+		beq done
+		b rep_loop
+	done:
+		movs r0, r7
+		bkpt #0
+	`, ednReps, outputs, (ednTaps+ednSamples)*4, ednTaps)
+	return Workload{
+		Name:        "edn",
+		Description: fmt.Sprintf("%d passes of a %d-tap FIR over %d samples", ednReps, ednTaps, ednSamples),
+		Source:      src,
+		Expected:    ednGolden(ednReps),
+	}
+}
+
+func ednGolden(reps int) uint32 {
+	mem := make([]uint32, ednTaps+ednSamples)
+	x := uint32(1)
+	for i := range mem {
+		x = lcgNext(x)
+		mem[i] = x
+	}
+	h := mem[:ednTaps]
+	samples := mem[ednTaps:]
+	var sum uint32
+	for r := 0; r < reps; r++ {
+		for n := 0; n+ednTaps <= ednSamples; n++ {
+			var acc uint32
+			for k := 0; k < ednTaps; k++ {
+				acc += h[k] * samples[n+k]
+			}
+			sum += acc
+		}
+	}
+	return sum
+}
+
+// Sieve parameters: Eratosthenes over sieveLimit flags, the branchy
+// bit-array profile standing in for Embench's primecount.
+const (
+	sieveReps  = 10
+	sieveLimit = 4096
+)
+
+// Sieve returns the prime-sieve workload.
+func Sieve() Workload {
+	src := fmt.Sprintf(`
+	.equ REPS, %d
+	.equ LIMIT, %d
+		li r6, REPS
+		movs r7, #0             ; prime-count accumulator
+	rep_loop:
+		; set all flags to 1, word at a time
+		li r0, 0x20000000
+		li r1, LIMIT            ; bytes
+		li r2, 0x01010101
+	fill_loop:
+		str r2, [r0]
+		adds r0, #4
+		subs r1, #4
+		bne fill_loop
+
+		; cross out multiples: p from 2 while p*p < LIMIT
+		movs r4, #2             ; p
+	p_loop:
+		movs r0, r4
+		muls r0, r4             ; p*p
+		li r1, LIMIT
+		cmp r0, r1
+		bge count
+		li r5, 0x20000000
+		adds r1, r5, r4
+		ldrb r2, [r1]           ; flag[p]
+		cmp r2, #0
+		beq next_p
+		; m = p*p; while m < LIMIT: flag[m] = 0; m += p
+		movs r1, r0             ; m = p*p
+	m_loop:
+		adds r2, r5, r1
+		movs r3, #0
+		strb r3, [r2]
+		adds r1, r1, r4
+		li r3, LIMIT
+		cmp r1, r3
+		blt m_loop
+	next_p:
+		adds r4, #1
+		b p_loop
+
+	count:
+		li r0, 0x20000002       ; start at flag[2]
+		li r1, LIMIT
+		subs r1, #2
+	count_loop:
+		ldrb r2, [r0]
+		adds r7, r7, r2
+		adds r0, #1
+		subs r1, #1
+		bne count_loop
+		subs r6, #1
+		beq done
+		b rep_loop
+	done:
+		movs r0, r7
+		bkpt #0
+	`, sieveReps, sieveLimit)
+	return Workload{
+		Name:        "sieve",
+		Description: fmt.Sprintf("%d passes of Eratosthenes below %d (primecount stand-in)", sieveReps, sieveLimit),
+		Source:      src,
+		Expected:    sieveGolden(sieveReps),
+	}
+}
+
+func sieveGolden(reps int) uint32 {
+	var total uint32
+	for r := 0; r < reps; r++ {
+		flags := make([]byte, sieveLimit)
+		for i := range flags {
+			flags[i] = 1
+		}
+		for p := 2; p*p < sieveLimit; p++ {
+			if flags[p] == 0 {
+				continue
+			}
+			for m := p * p; m < sieveLimit; m += p {
+				flags[m] = 0
+			}
+		}
+		for i := 2; i < sieveLimit; i++ {
+			total += uint32(flags[i])
+		}
+	}
+	return total
+}
+
+// StrSearch parameters: naive 4-byte needle search over a 2 kB haystack,
+// the byte-compare profile of Embench's string workloads.
+const (
+	strReps         = 30
+	strHaystackSize = 2048
+	strNeedleOffset = 512
+)
+
+// StrSearch returns the substring-search workload.
+func StrSearch() Workload {
+	src := fmt.Sprintf(`
+	.equ REPS, %d
+	.equ HAYBYTES, %d
+		; init haystack with LCG
+		li r0, 0x20000000
+		li r1, HAYBYTES
+		movs r2, #1
+	init_loop:
+		movs r3, #75
+		muls r2, r3
+		adds r2, #74
+		str r2, [r0]
+		adds r0, #4
+		subs r1, #4
+		bne init_loop
+
+		li r6, REPS
+		movs r7, #0             ; match count
+	rep_loop:
+		li r0, 0x20000000       ; scan pointer
+		li r1, %d               ; positions to test
+	scan_loop:
+		; compare 4 bytes against needle = haystack[512..515]
+		li r4, 0x20000200       ; needle base
+		movs r5, #4             ; needle length
+		movs r2, r0             ; candidate pointer
+	cmp_loop:
+		ldrb r3, [r2]
+		push {r2}
+		ldrb r2, [r4]
+		cmp r3, r2
+		pop {r2}
+		bne miss
+		adds r2, #1
+		adds r4, #1
+		subs r5, #1
+		bne cmp_loop
+		adds r7, #1             ; full match
+	miss:
+		adds r0, #1
+		subs r1, #1
+		beq scan_done
+		b scan_loop
+	scan_done:
+		subs r6, #1
+		beq done
+		b rep_loop
+	done:
+		movs r0, r7
+		bkpt #0
+	`, strReps, strHaystackSize, strHaystackSize-4+1)
+	return Workload{
+		Name:        "strsearch",
+		Description: fmt.Sprintf("%d passes of naive 4-byte search over a %d-byte haystack", strReps, strHaystackSize),
+		Source:      src,
+		Expected:    strSearchGolden(strReps),
+	}
+}
+
+func strSearchGolden(reps int) uint32 {
+	hay := make([]byte, strHaystackSize)
+	x := uint32(1)
+	for i := 0; i < strHaystackSize; i += 4 {
+		x = lcgNext(x)
+		hay[i] = byte(x)
+		hay[i+1] = byte(x >> 8)
+		hay[i+2] = byte(x >> 16)
+		hay[i+3] = byte(x >> 24)
+	}
+	needle := hay[strNeedleOffset : strNeedleOffset+4]
+	var count uint32
+	for pos := 0; pos+4 <= strHaystackSize; pos++ {
+		match := true
+		for k := 0; k < 4; k++ {
+			if hay[pos+k] != needle[k] {
+				match = false
+				break
+			}
+		}
+		if match {
+			count++
+		}
+	}
+	return count * uint32(reps)
+}

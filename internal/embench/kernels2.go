@@ -1,0 +1,199 @@
+package embench
+
+import "fmt"
+
+// blockmove parameters: LDM/STM burst copies, the streaming profile that
+// stresses the data memory's write path (highest write rate in the suite).
+const (
+	blockReps  = 60
+	blockBytes = 4096
+)
+
+// BlockMove returns the burst-copy workload: blockBytes copied from one
+// data-memory buffer to another in 4-word LDM/STM bursts, with a running
+// checksum over the moved words.
+func BlockMove() Workload {
+	src := fmt.Sprintf(`
+	.equ REPS, %d
+	.equ BURSTS, %d
+		; init source buffer with the LCG
+		li r0, 0x20000000
+		li r1, %d
+		movs r2, #1
+	init_loop:
+		movs r3, #75
+		muls r2, r3
+		adds r2, #74
+		str r2, [r0]
+		adds r0, #4
+		subs r1, #4
+		bne init_loop
+
+		sub sp, #8
+		li r0, REPS
+		str r0, [sp, #0]
+		movs r3, #0             ; checksum
+	rep_loop:
+		li r0, 0x20000000       ; src
+		li r1, 0x20001000       ; dst
+		li r2, BURSTS
+	burst_loop:
+		ldmia r0!, {r4-r7}
+		stmia r1!, {r4-r7}
+		adds r3, r3, r4
+		adds r3, r3, r7
+		subs r2, #1
+		bne burst_loop
+		ldr r0, [sp, #0]
+		subs r0, #1
+		str r0, [sp, #0]
+		beq done
+		b rep_loop
+	done:
+		movs r0, r3
+		add sp, #8
+		bkpt #0
+	`, blockReps, blockBytes/16, blockBytes)
+	return Workload{
+		Name:        "blockmove",
+		Description: fmt.Sprintf("%d LDM/STM burst copies of a %d-byte buffer (memory-streaming stand-in)", blockReps, blockBytes),
+		Source:      src,
+		Expected:    blockMoveGolden(blockReps),
+	}
+}
+
+func blockMoveGolden(reps int) uint32 {
+	words := blockBytes / 4
+	buf := make([]uint32, words)
+	x := uint32(1)
+	for i := range buf {
+		x = lcgNext(x)
+		buf[i] = x
+	}
+	var sum uint32
+	for r := 0; r < reps; r++ {
+		for b := 0; b < words; b += 4 {
+			sum += buf[b] + buf[b+3]
+		}
+	}
+	return sum
+}
+
+// huff parameters: variable-length bit packing, the shift/branch-heavy
+// profile of Embench's huffbench. Each input word contributes either a
+// 4-bit or a 12-bit code (chosen by its low bit); codes never straddle
+// 32-bit output words (the packer flushes first).
+const (
+	huffReps  = 25
+	huffWords = 256
+)
+
+// Huff returns the bit-packing workload.
+func Huff() Workload {
+	src := fmt.Sprintf(`
+	.equ REPS, %d
+	.equ WORDS, %d
+		; init input with the LCG
+		li r0, 0x20000000
+		li r1, %d
+		movs r2, #1
+	init_loop:
+		movs r3, #75
+		muls r2, r3
+		adds r2, #74
+		str r2, [r0]
+		adds r0, #4
+		subs r1, #4
+		bne init_loop
+
+		sub sp, #8
+		li r0, REPS
+		str r0, [sp, #0]
+		movs r7, #0             ; packed-stream checksum
+	rep_loop:
+		li r0, 0x20000000       ; src
+		li r1, WORDS
+		movs r2, #0             ; acc
+		movs r3, #0             ; nbits
+	pack_loop:
+		ldr r4, [r0]
+		adds r0, #4
+		; choose code length by bit 0
+		movs r5, #1
+		ands r5, r4
+		beq short_code
+		; long: data = w & 0xfff, len = 12
+		movs r5, #0xff
+		lsls r5, r5, #4
+		adds r5, #0xf           ; 0xfff
+		ands r5, r4             ; data
+		movs r6, #12
+		b have_code
+	short_code:
+		movs r5, #0xf
+		ands r5, r4
+		movs r6, #4
+	have_code:
+		; flush if nbits + len > 32
+		movs r4, r3
+		adds r4, r4, r6
+		cmp r4, #32
+		ble no_flush
+		adds r7, r7, r2         ; checksum += acc
+		movs r2, #0
+		movs r3, #0
+	no_flush:
+		lsls r5, r3             ; data << nbits (register shift)
+		orrs r2, r5
+		adds r3, r3, r6
+		subs r1, #1
+		bne pack_loop
+		adds r7, r7, r2         ; final partial word
+		ldr r0, [sp, #0]
+		subs r0, #1
+		str r0, [sp, #0]
+		beq done
+		b rep_loop
+	done:
+		movs r0, r7
+		add sp, #8
+		bkpt #0
+	`, huffReps, huffWords, huffWords*4)
+	return Workload{
+		Name:        "huff",
+		Description: fmt.Sprintf("%d passes of variable-length bit packing over %d words (huffbench stand-in)", huffReps, huffWords),
+		Source:      src,
+		Expected:    huffGolden(huffReps),
+	}
+}
+
+func huffGolden(reps int) uint32 {
+	in := make([]uint32, huffWords)
+	x := uint32(1)
+	for i := range in {
+		x = lcgNext(x)
+		in[i] = x
+	}
+	var checksum uint32
+	for r := 0; r < reps; r++ {
+		var acc uint32
+		nbits := 0
+		for _, w := range in {
+			var data uint32
+			var length int
+			if w&1 != 0 {
+				data, length = w&0xFFF, 12
+			} else {
+				data, length = w&0xF, 4
+			}
+			if nbits+length > 32 {
+				checksum += acc
+				acc, nbits = 0, 0
+			}
+			acc |= data << nbits
+			nbits += length
+		}
+		checksum += acc
+	}
+	return checksum
+}

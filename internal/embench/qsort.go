@@ -1,0 +1,179 @@
+package embench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// qsort parameters: iterative quicksort over qsortWords 32-bit values with
+// an explicit range stack in data memory — the compare/branch/swap profile
+// of Embench's sorting kernels. The implementation keeps the array base,
+// pivot and a scratch pointer in high registers (r8, r10, r12), exercising
+// the simulator's hi-register move path alongside the usual ALU and
+// memory forms. Comparisons are unsigned (bhs/blo), mirrored exactly in
+// the golden model.
+const (
+	qsortReps  = 8
+	qsortWords = 512
+)
+
+// QSortInt returns the quicksort workload. The checksum XORs every 16th
+// element of the sorted array, so both completion and correct ordering are
+// verified against the golden model.
+func QSortInt() Workload {
+	src := fmt.Sprintf(`
+	.equ REPS, %d
+	.equ WORDS, %d
+	; data layout: array at 0x20000000, range stack at 0x20004000
+		sub sp, #8
+		li r0, REPS
+		str r0, [sp, #0]
+		movs r7, #0             ; checksum
+		li r0, 0x20000000
+		mov r8, r0              ; array base lives in r8
+	rep_loop:
+		; (re)initialize the array with the LCG
+		mov r0, r8
+		li r1, %d               ; bytes
+		movs r2, #1
+	init_loop:
+		movs r3, #75
+		muls r2, r3
+		adds r2, #74
+		str r2, [r0]
+		adds r0, #4
+		subs r1, #4
+		bne init_loop
+
+		; push the initial range [0, WORDS-1]
+		li r6, 0x20004000
+		movs r0, #0
+		str r0, [r6]
+		li r1, WORDS
+		subs r1, #1
+		str r1, [r6, #4]
+		adds r6, #8
+
+	sort_loop:
+		li r0, 0x20004000
+		cmp r6, r0
+		beq sorted              ; range stack empty
+		subs r6, #8             ; pop [lo, hi]
+		ldr r4, [r6]            ; lo
+		ldr r5, [r6, #4]        ; hi
+		cmp r4, r5
+		bge sort_loop
+
+		; --- Lomuto partition with pivot = a[hi] ---
+		mov r3, r8
+		lsls r2, r5, #2
+		adds r2, r2, r3
+		ldr r2, [r2]
+		mov r10, r2             ; pivot value
+		movs r0, r4             ; i = lo
+		movs r1, r4             ; j = lo
+	part_loop:
+		cmp r1, r5
+		bge part_done
+		mov r3, r8
+		lsls r2, r1, #2
+		adds r2, r2, r3         ; &a[j]
+		mov r12, r2
+		ldr r3, [r2]            ; a[j]
+		mov r2, r10
+		cmp r3, r2
+		bhs no_swap             ; unsigned: a[j] >= pivot
+		; swap a[i] <-> a[j]
+		push {r3}               ; old a[j]
+		mov r3, r8
+		lsls r2, r0, #2
+		adds r2, r2, r3         ; &a[i]
+		ldr r3, [r2]            ; old a[i]
+		push {r2}               ; &a[i]
+		mov r2, r12
+		str r3, [r2]            ; a[j] = old a[i]
+		pop {r2}
+		pop {r3}
+		str r3, [r2]            ; a[i] = old a[j]
+		adds r0, #1             ; i++
+	no_swap:
+		adds r1, #1
+		b part_loop
+	part_done:
+		; place the pivot: swap a[i] <-> a[hi]
+		mov r3, r8
+		lsls r2, r0, #2
+		adds r2, r2, r3         ; &a[i]
+		mov r12, r2
+		lsls r2, r5, #2
+		adds r2, r2, r3         ; &a[hi]
+		ldr r3, [r2]            ; pivot (a[hi])
+		push {r2}
+		mov r2, r12
+		ldr r1, [r2]            ; old a[i]
+		str r3, [r2]            ; a[i] = pivot
+		pop {r2}
+		str r1, [r2]            ; a[hi] = old a[i]
+		; push sub-ranges [lo, i-1] and [i+1, hi]
+		movs r1, r0
+		subs r1, #1
+		cmp r4, r1
+		bge skip_left
+		str r4, [r6]
+		str r1, [r6, #4]
+		adds r6, #8
+	skip_left:
+		adds r0, #1
+		cmp r0, r5
+		bge skip_right
+		str r0, [r6]
+		str r5, [r6, #4]
+		adds r6, #8
+	skip_right:
+		b sort_loop
+
+	sorted:
+		; checksum: XOR every 16th element
+		mov r0, r8
+		li r1, WORDS
+		lsrs r1, r1, #4
+	sum_loop:
+		ldr r2, [r0]
+		eors r7, r2
+		adds r0, #64
+		subs r1, #1
+		bne sum_loop
+		ldr r0, [sp, #0]
+		subs r0, #1
+		str r0, [sp, #0]
+		beq done
+		b rep_loop
+	done:
+		movs r0, r7
+		add sp, #8
+		bkpt #0
+	`, qsortReps, qsortWords, qsortWords*4)
+	return Workload{
+		Name:        "qsort-int",
+		Description: fmt.Sprintf("%d iterative quicksorts of %d words with an explicit range stack", qsortReps, qsortWords),
+		Source:      src,
+		Expected:    qsortGolden(qsortReps),
+	}
+}
+
+func qsortGolden(reps int) uint32 {
+	var checksum uint32
+	for r := 0; r < reps; r++ {
+		a := make([]uint32, qsortWords)
+		x := uint32(1)
+		for i := range a {
+			x = lcgNext(x)
+			a[i] = x
+		}
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		for i := 0; i < qsortWords; i += 16 {
+			checksum ^= a[i]
+		}
+	}
+	return checksum
+}

@@ -1,0 +1,99 @@
+package embench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Embench-style scoring: the suite's headline number is the geometric mean
+// of per-benchmark speed relative to a reference platform. Our reference
+// is the bundled suite itself at its calibrated cycle counts, so a
+// modified core (different cycle model, added instructions) scores against
+// the shipped baseline.
+
+// ReferenceCycles returns the bundled suite's cycle counts, measured once
+// per process (the assembly is deterministic, so these are constants of
+// the build).
+func ReferenceCycles() (map[string]uint64, error) {
+	refOnce()
+	if refErr != nil {
+		return nil, refErr
+	}
+	out := make(map[string]uint64, len(refCycles))
+	for k, v := range refCycles {
+		out[k] = v
+	}
+	return out, nil
+}
+
+var (
+	refCycles map[string]uint64
+	refErr    error
+	refDone   bool
+)
+
+func refOnce() {
+	if refDone {
+		return
+	}
+	refDone = true
+	refCycles = make(map[string]uint64)
+	for _, w := range Workloads() {
+		res, err := Run(w, 1<<34)
+		if err != nil {
+			refErr = err
+			return
+		}
+		refCycles[w.Name] = res.Cycles
+	}
+}
+
+// Score computes the Embench-style relative score of a set of measured
+// cycle counts against the reference: geometric mean over workloads of
+// reference/measured (higher is faster; 1.0 matches the reference).
+// Every reference workload must be present.
+func Score(measured map[string]uint64) (float64, error) {
+	ref, err := ReferenceCycles()
+	if err != nil {
+		return 0, err
+	}
+	if len(measured) == 0 {
+		return 0, errors.New("embench: no measurements")
+	}
+	var logSum float64
+	n := 0
+	for name, refC := range ref {
+		m, ok := measured[name]
+		if !ok {
+			return 0, fmt.Errorf("embench: measurement missing workload %q", name)
+		}
+		if m == 0 {
+			return 0, fmt.Errorf("embench: zero cycles for %q", name)
+		}
+		logSum += math.Log(float64(refC) / float64(m))
+		n++
+	}
+	return math.Exp(logSum / float64(n)), nil
+}
+
+// FormatReference renders the reference table.
+func FormatReference() (string, error) {
+	ref, err := ReferenceCycles()
+	if err != nil {
+		return "", err
+	}
+	names := make([]string, 0, len(ref))
+	for n := range ref {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %12s\n", "workload", "ref cycles")
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%-14s %12d\n", n, ref[n])
+	}
+	return sb.String(), nil
+}

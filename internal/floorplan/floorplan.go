@@ -1,0 +1,53 @@
+// Package floorplan composes the chip-level physical layout of the paper's
+// embedded system (Fig. 3c): the two 64 kB eDRAM macros (program and data)
+// placed side by side with the Cortex-M0 core and its glue in a strip along
+// one edge. The resulting die dimensions feed the die-per-wafer estimate
+// (Table II reports H×W of 270×515 µm for the all-Si design and 159×334 µm
+// for the M3D design).
+package floorplan
+
+import (
+	"errors"
+
+	"ppatc/internal/units"
+)
+
+// Chip is the composed die.
+type Chip struct {
+	// Width and Height are the die dimensions.
+	Width, Height units.Length
+	// Area is Width × Height.
+	Area units.Area
+	// MemoryArea is the footprint of one 64 kB macro.
+	MemoryArea units.Area
+	// CoreArea is the M0 + glue footprint.
+	CoreArea units.Area
+}
+
+// Compose places two identical memory macros side by side with the core
+// strip beneath them:
+//
+//	+-----------+-----------+
+//	| program   | data      |
+//	| memory    | memory    |
+//	+-----------+-----------+
+//	| M0 core + glue strip  |
+//	+-----------------------+
+func Compose(memWidth, memHeight units.Length, memArea, coreArea units.Area) (Chip, error) {
+	if memWidth <= 0 || memHeight <= 0 {
+		return Chip{}, errors.New("floorplan: memory dimensions must be positive")
+	}
+	if memArea <= 0 || coreArea <= 0 {
+		return Chip{}, errors.New("floorplan: areas must be positive")
+	}
+	w := 2 * memWidth.Meters()
+	coreH := coreArea.SquareMeters() / w
+	h := memHeight.Meters() + coreH
+	return Chip{
+		Width:      units.Meters(w),
+		Height:     units.Meters(h),
+		Area:       units.SquareMeters(w * h),
+		MemoryArea: memArea,
+		CoreArea:   coreArea,
+	}, nil
+}

@@ -1,0 +1,55 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+
+	"ppatc/internal/units"
+)
+
+func TestComposeTableIIDies(t *testing.T) {
+	// Si: two 0.068 mm² macros (≈261 µm square) plus a 0.0039 mm² core
+	// must land near Table II's 0.139 mm² die.
+	memSide := units.Micrometers(math.Sqrt(0.068e6)) // µm
+	chip, err := Compose(memSide, memSide, units.SquareMillimeters(0.068), units.SquareMillimeters(0.0039))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := chip.Area.SquareMillimeters(); math.Abs(got-0.139)/0.139 > 0.03 {
+		t.Errorf("Si die area = %v mm², want 0.139 ± 3%%", got)
+	}
+	if chip.Width <= chip.Height {
+		t.Error("side-by-side macros make the die wider than tall")
+	}
+}
+
+func TestComposeGeometry(t *testing.T) {
+	chip, err := Compose(units.Micrometers(100), units.Micrometers(50),
+		units.SquareMicrometers(5000), units.SquareMicrometers(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := chip.Width.Micrometers(); math.Abs(got-200) > 1e-9 {
+		t.Errorf("width = %v µm, want 200", got)
+	}
+	// Height = memH + coreArea/width = 50 + 1000/200 = 55.
+	if got := chip.Height.Micrometers(); math.Abs(got-55) > 1e-9 {
+		t.Errorf("height = %v µm, want 55", got)
+	}
+	// Area identity.
+	if got, want := chip.Area.SquareMicrometers(), 200.0*55; math.Abs(got-want) > 1e-6 {
+		t.Errorf("area = %v µm², want %v", got, want)
+	}
+}
+
+func TestComposeValidation(t *testing.T) {
+	if _, err := Compose(0, 1, 1, 1); err == nil {
+		t.Error("zero width should fail")
+	}
+	if _, err := Compose(1, 1, 0, 1); err == nil {
+		t.Error("zero memory area should fail")
+	}
+	if _, err := Compose(1, 1, 1, 0); err == nil {
+		t.Error("zero core area should fail")
+	}
+}

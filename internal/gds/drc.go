@@ -1,0 +1,162 @@
+package gds
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DRC-lite: a minimal design-rule check over a structure's rectangles.
+// Real sign-off DRC runs thousands of rules; the three implemented here
+// catch the errors a layout generator can actually make — degenerate or
+// sub-minimum-width shapes, shapes escaping the cell outline, and
+// unintended same-layer overlaps — and keep the generated artifact honest.
+
+// DRCRules parameterizes the checks.
+type DRCRules struct {
+	// MinWidth is the minimum rectangle width/height per layer in
+	// database units; layers absent from the map use Default.
+	MinWidth map[int16]int32
+	// Default is the fallback minimum width.
+	Default int32
+	// CellWidth and CellHeight bound the allowed geometry (0 = unchecked).
+	CellWidth, CellHeight int32
+	// AllowOverlap lists layers where same-layer overlap is legal
+	// (e.g. routing layers where shapes merge).
+	AllowOverlap map[int16]bool
+}
+
+// DefaultDRCRules returns rules matched to the M3D bit-cell generator:
+// 2 nm minimum for the atomically thin CNT film, 10 nm for everything
+// else, overlap allowed on the metal routing layers.
+func DefaultDRCRules(cellW, cellH int32) DRCRules {
+	allow := map[int16]bool{}
+	for m := int16(1); m <= 15; m++ {
+		allow[m] = true
+	}
+	return DRCRules{
+		MinWidth: map[int16]int32{
+			LayerCNTActive1: 2,
+			LayerCNTActive2: 2,
+		},
+		Default:      10,
+		CellWidth:    cellW,
+		CellHeight:   cellH,
+		AllowOverlap: allow,
+	}
+}
+
+// Violation is one DRC finding.
+type Violation struct {
+	// Rule names the violated check.
+	Rule string
+	// Layer is the offending layer.
+	Layer int16
+	// Detail describes the geometry.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s on layer %d: %s", v.Rule, v.Layer, v.Detail)
+}
+
+// rect is an axis-aligned bounding box.
+type rect struct {
+	x0, y0, x1, y1 int32
+	layer          int16
+}
+
+// normalizeRect extracts the bounding box of a boundary's vertices.
+func normalizeRect(b Boundary) rect {
+	r := rect{layer: b.Layer}
+	if len(b.XY) == 0 {
+		return r
+	}
+	r.x0, r.y0 = b.XY[0].X, b.XY[0].Y
+	r.x1, r.y1 = r.x0, r.y0
+	for _, p := range b.XY {
+		if p.X < r.x0 {
+			r.x0 = p.X
+		}
+		if p.X > r.x1 {
+			r.x1 = p.X
+		}
+		if p.Y < r.y0 {
+			r.y0 = p.Y
+		}
+		if p.Y > r.y1 {
+			r.y1 = p.Y
+		}
+	}
+	return r
+}
+
+// overlaps reports strict interior overlap (shared edges are legal).
+func (a rect) overlaps(b rect) bool {
+	return a.x0 < b.x1 && b.x0 < a.x1 && a.y0 < b.y1 && b.y0 < a.y1
+}
+
+// CheckStructure runs the DRC-lite rules over a structure's boundaries
+// (references are not expanded). Violations are returned sorted by layer.
+func CheckStructure(s *Structure, rules DRCRules) []Violation {
+	var out []Violation
+	byLayer := map[int16][]rect{}
+	for _, e := range s.Elements {
+		b, ok := e.(Boundary)
+		if !ok {
+			continue
+		}
+		r := normalizeRect(b)
+		byLayer[r.layer] = append(byLayer[r.layer], r)
+
+		min := rules.Default
+		if m, ok := rules.MinWidth[r.layer]; ok {
+			min = m
+		}
+		w, h := r.x1-r.x0, r.y1-r.y0
+		if w <= 0 || h <= 0 {
+			out = append(out, Violation{
+				Rule: "degenerate-shape", Layer: r.layer,
+				Detail: fmt.Sprintf("box (%d,%d)-(%d,%d) has no area", r.x0, r.y0, r.x1, r.y1),
+			})
+			continue
+		}
+		if w < min || h < min {
+			out = append(out, Violation{
+				Rule: "min-width", Layer: r.layer,
+				Detail: fmt.Sprintf("%d×%d below minimum %d", w, h, min),
+			})
+		}
+		if rules.CellWidth > 0 && (r.x0 < 0 || r.x1 > rules.CellWidth) ||
+			rules.CellHeight > 0 && (r.y0 < 0 || r.y1 > rules.CellHeight) {
+			out = append(out, Violation{
+				Rule: "outside-cell", Layer: r.layer,
+				Detail: fmt.Sprintf("box (%d,%d)-(%d,%d) escapes %d×%d cell",
+					r.x0, r.y0, r.x1, r.y1, rules.CellWidth, rules.CellHeight),
+			})
+		}
+	}
+	// Same-layer overlap.
+	for layer, rects := range byLayer {
+		if rules.AllowOverlap[layer] {
+			continue
+		}
+		for i := 0; i < len(rects); i++ {
+			for j := i + 1; j < len(rects); j++ {
+				if rects[i].overlaps(rects[j]) {
+					out = append(out, Violation{
+						Rule: "same-layer-overlap", Layer: layer,
+						Detail: fmt.Sprintf("boxes %d and %d intersect", i, j),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Layer != out[j].Layer {
+			return out[i].Layer < out[j].Layer
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}

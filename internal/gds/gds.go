@@ -1,0 +1,306 @@
+// Package gds implements a GDSII stream-format writer and reader and a
+// generator for the M3D eDRAM layout. The paper's artifact repository
+// includes a circuit layout (GDS) of the M3D process with instructions to
+// render it in 3D using GDS3D; this package produces the equivalent
+// artifact: the 3T bit-cell with its device layers on every tier, arrayed
+// into a sub-array mat, plus a GDS3D-style layer map.
+package gds
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// GDSII record types used here.
+const (
+	recHeader   = 0x00
+	recBgnLib   = 0x01
+	recLibName  = 0x02
+	recUnits    = 0x03
+	recEndLib   = 0x04
+	recBgnStr   = 0x05
+	recStrName  = 0x06
+	recEndStr   = 0x07
+	recBoundary = 0x08
+	recSRef     = 0x0A
+	recARef     = 0x0B
+	recLayer    = 0x0D
+	recDataType = 0x0E
+	recXY       = 0x10
+	recEndEl    = 0x11
+	recSName    = 0x12
+	recColRow   = 0x13
+)
+
+// GDSII data types.
+const (
+	dtNone  = 0x00
+	dtInt16 = 0x02
+	dtInt32 = 0x03
+	dtReal8 = 0x05
+	dtASCII = 0x06
+)
+
+// Point is a coordinate in database units.
+type Point struct{ X, Y int32 }
+
+// Element is a drawable element of a structure.
+type Element interface {
+	encode(w *writer) error
+}
+
+// Boundary is a closed polygon on a layer.
+type Boundary struct {
+	// Layer and DataType select the drawing layer.
+	Layer, DataType int16
+	// XY are the vertices; the closing vertex is appended automatically
+	// if absent.
+	XY []Point
+}
+
+// Rect builds a rectangular boundary from two corners.
+func Rect(layer int16, x0, y0, x1, y1 int32) Boundary {
+	return Boundary{
+		Layer: layer,
+		XY: []Point{
+			{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1},
+		},
+	}
+}
+
+func (b Boundary) encode(w *writer) error {
+	if len(b.XY) < 3 {
+		return errors.New("gds: boundary needs at least 3 vertices")
+	}
+	w.record(recBoundary, dtNone, nil)
+	w.record(recLayer, dtInt16, i16(b.Layer))
+	w.record(recDataType, dtInt16, i16(b.DataType))
+	pts := b.XY
+	if pts[0] != pts[len(pts)-1] {
+		pts = append(append([]Point{}, pts...), pts[0])
+	}
+	w.record(recXY, dtInt32, xy(pts))
+	w.record(recEndEl, dtNone, nil)
+	return w.err
+}
+
+// SRef places one instance of a named structure.
+type SRef struct {
+	// Name is the referenced structure.
+	Name string
+	// Origin is the placement point.
+	Origin Point
+}
+
+func (s SRef) encode(w *writer) error {
+	w.record(recSRef, dtNone, nil)
+	w.record(recSName, dtASCII, ascii(s.Name))
+	w.record(recXY, dtInt32, xy([]Point{s.Origin}))
+	w.record(recEndEl, dtNone, nil)
+	return w.err
+}
+
+// ARef places a cols×rows array of a named structure.
+type ARef struct {
+	// Name is the referenced structure.
+	Name string
+	// Cols and Rows are the array dimensions.
+	Cols, Rows int16
+	// Origin is the array anchor; ColStep and RowStep the pitches in
+	// database units.
+	Origin           Point
+	ColStep, RowStep int32
+}
+
+func (a ARef) encode(w *writer) error {
+	if a.Cols <= 0 || a.Rows <= 0 {
+		return errors.New("gds: array needs positive dimensions")
+	}
+	w.record(recARef, dtNone, nil)
+	w.record(recSName, dtASCII, ascii(a.Name))
+	w.record(recColRow, dtInt16, append(i16(a.Cols), i16(a.Rows)...))
+	// GDSII ARef XY: origin, origin + cols·colstep (x axis), origin +
+	// rows·rowstep (y axis).
+	pts := []Point{
+		a.Origin,
+		{a.Origin.X + int32(a.Cols)*a.ColStep, a.Origin.Y},
+		{a.Origin.X, a.Origin.Y + int32(a.Rows)*a.RowStep},
+	}
+	w.record(recXY, dtInt32, xy(pts))
+	w.record(recEndEl, dtNone, nil)
+	return w.err
+}
+
+// Structure is a named cell.
+type Structure struct {
+	// Name is the cell name.
+	Name string
+	// Elements are drawn in order.
+	Elements []Element
+}
+
+// Library is a GDSII library.
+type Library struct {
+	// Name is the library name.
+	Name string
+	// UserUnitsPerDBUnit is the user unit expressed in database units
+	// (typically 1e-3: one database unit is a thousandth of a micron).
+	UserUnitsPerDBUnit float64
+	// MetersPerDBUnit is the physical size of one database unit.
+	MetersPerDBUnit float64
+	// Structures are the cells.
+	Structures []*Structure
+}
+
+// NewLibrary returns a library with nanometre database units.
+func NewLibrary(name string) *Library {
+	return &Library{
+		Name:               name,
+		UserUnitsPerDBUnit: 1e-3, // user unit = µm, db unit = nm
+		MetersPerDBUnit:    1e-9,
+	}
+}
+
+// Encode writes the library as a GDSII stream.
+func (l *Library) Encode(out io.Writer) error {
+	if l.Name == "" {
+		return errors.New("gds: library must be named")
+	}
+	if l.UserUnitsPerDBUnit <= 0 || l.MetersPerDBUnit <= 0 {
+		return errors.New("gds: units must be positive")
+	}
+	w := &writer{w: out}
+	w.record(recHeader, dtInt16, i16(600)) // GDSII v6
+	w.record(recBgnLib, dtInt16, zeroTimestamp())
+	w.record(recLibName, dtASCII, ascii(l.Name))
+	w.record(recUnits, dtReal8, append(real8(l.UserUnitsPerDBUnit), real8(l.MetersPerDBUnit)...))
+	for _, s := range l.Structures {
+		if s.Name == "" {
+			return errors.New("gds: structure must be named")
+		}
+		w.record(recBgnStr, dtInt16, zeroTimestamp())
+		w.record(recStrName, dtASCII, ascii(s.Name))
+		for _, e := range s.Elements {
+			if err := e.encode(w); err != nil {
+				return err
+			}
+		}
+		w.record(recEndStr, dtNone, nil)
+	}
+	w.record(recEndLib, dtNone, nil)
+	return w.err
+}
+
+// writer emits length-prefixed GDSII records.
+type writer struct {
+	w   io.Writer
+	err error
+}
+
+func (w *writer) record(recType, dataType byte, payload []byte) {
+	if w.err != nil {
+		return
+	}
+	n := 4 + len(payload)
+	if len(payload)%2 != 0 {
+		w.err = fmt.Errorf("gds: odd payload for record %#x", recType)
+		return
+	}
+	hdr := []byte{byte(n >> 8), byte(n), recType, dataType}
+	if _, err := w.w.Write(hdr); err != nil {
+		w.err = err
+		return
+	}
+	if len(payload) > 0 {
+		if _, err := w.w.Write(payload); err != nil {
+			w.err = err
+		}
+	}
+}
+
+// i16 encodes a big-endian int16.
+func i16(v int16) []byte {
+	out := make([]byte, 2)
+	binary.BigEndian.PutUint16(out, uint16(v))
+	return out
+}
+
+// xy encodes points as big-endian int32 pairs.
+func xy(pts []Point) []byte {
+	out := make([]byte, 0, 8*len(pts))
+	var buf [4]byte
+	for _, p := range pts {
+		binary.BigEndian.PutUint32(buf[:], uint32(p.X))
+		out = append(out, buf[:]...)
+		binary.BigEndian.PutUint32(buf[:], uint32(p.Y))
+		out = append(out, buf[:]...)
+	}
+	return out
+}
+
+// ascii encodes a string padded to even length.
+func ascii(s string) []byte {
+	b := []byte(s)
+	if len(b)%2 != 0 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// zeroTimestamp encodes the 12 int16 modification/access time fields.
+func zeroTimestamp() []byte {
+	return make([]byte, 24)
+}
+
+// real8 encodes an IEEE float64 as the GDSII excess-64 base-16 real.
+func real8(v float64) []byte {
+	out := make([]byte, 8)
+	if v == 0 {
+		return out
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	// v = mantissa × 16^exp with mantissa in [1/16, 1).
+	exp := 0
+	for v >= 1 {
+		v /= 16
+		exp++
+	}
+	for v < 1.0/16 {
+		v *= 16
+		exp--
+	}
+	mant := uint64(v * math.Pow(2, 56))
+	b := byte(exp + 64)
+	if neg {
+		b |= 0x80
+	}
+	out[0] = b
+	for i := 0; i < 7; i++ {
+		out[7-i] = byte(mant >> (8 * i))
+	}
+	return out
+}
+
+// parseReal8 decodes the GDSII real format.
+func parseReal8(b []byte) float64 {
+	if len(b) != 8 {
+		return 0
+	}
+	neg := b[0]&0x80 != 0
+	exp := int(b[0]&0x7F) - 64
+	var mant uint64
+	for i := 1; i < 8; i++ {
+		mant = mant<<8 | uint64(b[i])
+	}
+	v := float64(mant) / math.Pow(2, 56) * math.Pow(16, float64(exp))
+	if neg {
+		v = -v
+	}
+	return v
+}

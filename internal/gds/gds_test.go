@@ -1,0 +1,239 @@
+package gds
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ppatc/internal/edram"
+)
+
+func TestReal8RoundTrip(t *testing.T) {
+	values := []float64{0, 1e-3, 1e-9, 1, 0.5, 123.456, -2.5e-6}
+	for _, v := range values {
+		got := parseReal8(real8(v))
+		if math.Abs(got-v) > 1e-12*math.Max(1, math.Abs(v)) {
+			t.Errorf("real8 round trip: %v → %v", v, got)
+		}
+	}
+}
+
+func TestReal8Property(t *testing.T) {
+	f := func(mant uint32, expSel uint8) bool {
+		exp := float64(int(expSel%24) - 12)
+		v := (float64(mant)/float64(1<<32) + 0.001) * math.Pow(10, exp)
+		got := parseReal8(real8(v))
+		return math.Abs(got-v) <= 1e-10*math.Abs(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLibraryEncodeDecodeRoundTrip(t *testing.T) {
+	lib := NewLibrary("TESTLIB")
+	cell := &Structure{
+		Name: "unit",
+		Elements: []Element{
+			Rect(5, 0, 0, 100, 200),
+			Boundary{Layer: 7, DataType: 1, XY: []Point{{0, 0}, {50, 0}, {25, 40}}},
+		},
+	}
+	top := &Structure{
+		Name: "top",
+		Elements: []Element{
+			SRef{Name: "unit", Origin: Point{10, 20}},
+			ARef{Name: "unit", Cols: 4, Rows: 3, Origin: Point{0, 0}, ColStep: 120, RowStep: 220},
+		},
+	}
+	lib.Structures = append(lib.Structures, cell, top)
+
+	var buf bytes.Buffer
+	if err := lib.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Stream starts with the HEADER record.
+	if b := buf.Bytes(); len(b) < 4 || b[2] != recHeader {
+		t.Fatal("stream does not start with HEADER")
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "TESTLIB" {
+		t.Errorf("library name = %q", back.Name)
+	}
+	if math.Abs(back.UserUnitsPerDBUnit-1e-3) > 1e-15 || math.Abs(back.MetersPerDBUnit-1e-9) > 1e-21 {
+		t.Errorf("units = %v, %v", back.UserUnitsPerDBUnit, back.MetersPerDBUnit)
+	}
+	if len(back.Structures) != 2 {
+		t.Fatalf("structures = %d, want 2", len(back.Structures))
+	}
+	u := back.Structures[0]
+	if u.Name != "unit" || len(u.Elements) != 2 {
+		t.Fatalf("unit cell decoded wrong: %q with %d elements", u.Name, len(u.Elements))
+	}
+	b0, ok := u.Elements[0].(Boundary)
+	if !ok || b0.Layer != 5 {
+		t.Fatalf("first element = %#v", u.Elements[0])
+	}
+	// Closing vertex appended.
+	if b0.XY[0] != b0.XY[len(b0.XY)-1] {
+		t.Error("boundary not closed")
+	}
+	tp := back.Structures[1]
+	ar, ok := tp.Elements[1].(ARef)
+	if !ok || ar.Cols != 4 || ar.Rows != 3 || ar.ColStep != 120 || ar.RowStep != 220 {
+		t.Fatalf("aref decoded wrong: %#v", tp.Elements[1])
+	}
+	sr, ok := tp.Elements[0].(SRef)
+	if !ok || sr.Origin != (Point{10, 20}) {
+		t.Fatalf("sref decoded wrong: %#v", tp.Elements[0])
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	var buf bytes.Buffer
+	lib := &Library{}
+	if err := lib.Encode(&buf); err == nil {
+		t.Error("unnamed library should fail")
+	}
+	lib = NewLibrary("X")
+	lib.Structures = append(lib.Structures, &Structure{})
+	if err := lib.Encode(&buf); err == nil {
+		t.Error("unnamed structure should fail")
+	}
+	lib = NewLibrary("X")
+	lib.Structures = append(lib.Structures, &Structure{
+		Name:     "bad",
+		Elements: []Element{Boundary{Layer: 1, XY: []Point{{0, 0}}}},
+	})
+	if err := lib.Encode(&buf); err == nil {
+		t.Error("degenerate boundary should fail")
+	}
+	lib = NewLibrary("X")
+	lib.Structures = append(lib.Structures, &Structure{
+		Name:     "bad",
+		Elements: []Element{ARef{Name: "u", Cols: 0, Rows: 1}},
+	})
+	if err := lib.Encode(&buf); err == nil {
+		t.Error("zero-column array should fail")
+	}
+}
+
+func TestM3DSubArrayGeneration(t *testing.T) {
+	lib, err := M3DSubArray(edram.M3DCellDesign(), 128, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := lib.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 500 {
+		t.Fatalf("suspiciously small GDS: %d bytes", buf.Len())
+	}
+	back, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Structures) != 2 {
+		t.Fatalf("structures = %d, want bitcell + subarray", len(back.Structures))
+	}
+	// The bit cell must draw on the IGZO and CNT tiers and the metals.
+	layers := map[int16]bool{}
+	for _, e := range back.Structures[0].Elements {
+		if b, ok := e.(Boundary); ok {
+			layers[b.Layer] = true
+		}
+	}
+	for _, want := range []int16{LayerCNTActive1, LayerIGZOActive, 5, 9} {
+		if !layers[want] {
+			t.Errorf("bit cell missing layer %d", want)
+		}
+	}
+	// The mat places a 128×128 array at the cell pitch.
+	var found bool
+	for _, e := range back.Structures[1].Elements {
+		if ar, ok := e.(ARef); ok {
+			found = true
+			if ar.Cols != 128 || ar.Rows != 128 {
+				t.Errorf("array = %d×%d, want 128×128", ar.Cols, ar.Rows)
+			}
+			if ar.ColStep != int32(edram.M3DCellDesign().CellWidth.Nanometers()) {
+				t.Errorf("column pitch = %d", ar.ColStep)
+			}
+		}
+	}
+	if !found {
+		t.Error("sub-array has no ARef")
+	}
+	if _, err := M3DSubArray(edram.M3DCellDesign(), 0, 128); err == nil {
+		t.Error("zero rows should fail")
+	}
+}
+
+func TestLayerMap(t *testing.T) {
+	var buf bytes.Buffer
+	if err := LayerMap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"M1", "M15", "CNT_tier1", "CNT_tier2", "IGZO_tier", "Si_active"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("layer map missing %q", want)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 20 {
+		t.Errorf("layer map has %d lines, want ≥ 20", len(lines))
+	}
+}
+
+func TestDRCCleanBitCell(t *testing.T) {
+	d := edram.M3DCellDesign()
+	cell := M3DBitCell(d)
+	rules := DefaultDRCRules(int32(d.CellWidth.Nanometers()), int32(d.CellHeight.Nanometers()))
+	violations := CheckStructure(cell, rules)
+	for _, v := range violations {
+		t.Errorf("generated bit cell violates DRC: %s", v)
+	}
+}
+
+func TestDRCDetectsViolations(t *testing.T) {
+	s := &Structure{
+		Name: "bad",
+		Elements: []Element{
+			Rect(50, 0, 0, 5, 100),   // min-width (5 < 10)
+			Rect(50, 0, 0, 100, 0),   // degenerate
+			Rect(51, -10, 0, 50, 50), // outside cell
+			Rect(52, 0, 0, 50, 50),   // overlap pair
+			Rect(52, 25, 25, 75, 75), //   "
+			Rect(1, 0, 0, 50, 50),    // metal overlap: allowed
+			Rect(1, 25, 25, 75, 75),  //   "
+		},
+	}
+	rules := DefaultDRCRules(200, 200)
+	violations := CheckStructure(s, rules)
+	got := map[string]int{}
+	for _, v := range violations {
+		got[v.Rule]++
+		if v.String() == "" {
+			t.Error("empty violation string")
+		}
+	}
+	if got["min-width"] != 1 {
+		t.Errorf("min-width findings = %d, want 1", got["min-width"])
+	}
+	if got["degenerate-shape"] != 1 {
+		t.Errorf("degenerate findings = %d, want 1", got["degenerate-shape"])
+	}
+	if got["outside-cell"] != 1 {
+		t.Errorf("outside-cell findings = %d, want 1", got["outside-cell"])
+	}
+	if got["same-layer-overlap"] != 1 {
+		t.Errorf("overlap findings = %d, want 1 (metal overlap is legal)", got["same-layer-overlap"])
+	}
+}

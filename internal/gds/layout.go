@@ -1,0 +1,146 @@
+package gds
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ppatc/internal/edram"
+)
+
+// Layer numbering for the M3D stack. Metals M1-M15 occupy layers 1-15;
+// device layers of each BEOL tier sit above 100, matching the cross
+// section of the paper's Fig. 2b.
+const (
+	LayerCNTActive1 = 101 // CNFET tier 1 CNT film
+	LayerCNTGate1   = 102
+	LayerCNTSD1     = 103
+	LayerCNTActive2 = 111 // CNFET tier 2
+	LayerCNTGate2   = 112
+	LayerCNTSD2     = 113
+	LayerIGZOActive = 121 // IGZO tier
+	LayerIGZOGate   = 122
+	LayerIGZOSD     = 123
+	LayerSiActive   = 130 // FEOL Si (periphery under the array)
+	LayerSiGate     = 131
+)
+
+// M3DBitCell builds the 3T bit-cell structure: the IGZO write transistor
+// on its tier, the two CNFET read transistors on tier 1, the storage-node
+// routing on the inter-tier metals, and wordline/bitline stubs. Dimensions
+// come from the eDRAM cell design (nanometre database units).
+func M3DBitCell(d edram.CellDesign) *Structure {
+	w := int32(d.CellWidth.Nanometers())
+	h := int32(d.CellHeight.Nanometers())
+	s := &Structure{Name: "m3d_bitcell"}
+	add := func(b Boundary) { s.Elements = append(s.Elements, b) }
+
+	// CNFET tier 1: storage and select transistors side by side.
+	cnW := int32(d.StorageW * 1e9)
+	add(Rect(LayerCNTActive1, 10, 10, 10+cnW+20, h/2-10))
+	add(Rect(LayerCNTGate1, 10+cnW/2, 5, 10+cnW/2+30, h/2-5)) // gate over the channel
+	add(Rect(LayerCNTSD1, 5, 10, 15, h/2-10))
+	add(Rect(LayerCNTSD1, 15+cnW, 10, 25+cnW, h/2-10))
+	// Select transistor.
+	add(Rect(LayerCNTActive1, w/2, 10, w/2+cnW+20, h/2-10))
+	add(Rect(LayerCNTGate1, w/2+cnW/2, 5, w/2+cnW/2+30, h/2-5))
+
+	// IGZO tier: the write transistor spans the upper half.
+	igW := int32(d.WriteW * 1e9)
+	add(Rect(LayerIGZOActive, 10, h/2+10, 10+igW+20, h-10))
+	add(Rect(LayerIGZOGate, 10+igW/2, h/2+5, 10+igW/2+44, h-5)) // 44 nm gate
+	add(Rect(LayerIGZOSD, 5, h/2+10, 15, h-10))
+	add(Rect(LayerIGZOSD, 15+igW, h/2+10, 25+igW, h-10))
+
+	// Wordlines (M6 for RWL, M9 for the boosted WWL) run the cell width.
+	add(Rect(6, 0, h/2-30, w, h/2-10))
+	add(Rect(9, 0, h-30, w, h-10))
+	// Bitlines (M5 for RBL, M8 for WBL) run the cell height.
+	add(Rect(5, w-30, 0, w-10, h))
+	add(Rect(8, 10, 0, 30, h))
+	// Storage node: a short M7 strap linking the IGZO source to the
+	// CNFET storage gate.
+	add(Rect(7, 10+igW/2, h/4, 30+igW/2, 3*h/4))
+	return s
+}
+
+// M3DSubArray builds the mat structure: rows×cols bit cells placed as an
+// ARef, over a FEOL periphery outline.
+func M3DSubArray(d edram.CellDesign, rows, cols int) (*Library, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("gds: need positive array dims, got %d×%d", rows, cols)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	lib := NewLibrary("PPATC_M3D")
+	cell := M3DBitCell(d)
+	w := int32(d.CellWidth.Nanometers())
+	h := int32(d.CellHeight.Nanometers())
+	mat := &Structure{Name: "m3d_subarray"}
+	// Si periphery outline under the whole mat.
+	mat.Elements = append(mat.Elements,
+		Rect(LayerSiActive, 0, 0, int32(cols)*w, int32(rows)*h),
+	)
+	mat.Elements = append(mat.Elements, ARef{
+		Name: cell.Name,
+		Cols: int16(cols), Rows: int16(rows),
+		Origin: Point{0, 0}, ColStep: w, RowStep: h,
+	})
+	lib.Structures = append(lib.Structures, cell, mat)
+	return lib, nil
+}
+
+// LayerMap writes a GDS3D-style layer map: layer number, display name and
+// z-range in nanometres, so the stream renders as the 3D cross section of
+// Fig. 2b.
+func LayerMap(w io.Writer) error {
+	type entry struct {
+		layer  int
+		name   string
+		z0, dz int
+	}
+	entries := []entry{
+		{int(LayerSiActive), "Si_active", 0, 50},
+		{int(LayerSiGate), "Si_gate", 50, 30},
+	}
+	// Metals M1-M4 below tier 1, M5-M8 between tiers, M9+ above.
+	z := 100
+	for m := 1; m <= 15; m++ {
+		entries = append(entries, entry{m, fmt.Sprintf("M%d", m), z, 40})
+		z += 80
+		switch m {
+		case 4:
+			entries = append(entries,
+				entry{LayerCNTActive1, "CNT_tier1", z, 2},
+				entry{LayerCNTGate1, "CNT_gate1", z + 4, 30},
+				entry{LayerCNTSD1, "CNT_sd1", z + 2, 40},
+			)
+			z += 60
+		case 6:
+			entries = append(entries,
+				entry{LayerCNTActive2, "CNT_tier2", z, 2},
+				entry{LayerCNTGate2, "CNT_gate2", z + 4, 30},
+				entry{LayerCNTSD2, "CNT_sd2", z + 2, 40},
+			)
+			z += 60
+		case 8:
+			entries = append(entries,
+				entry{LayerIGZOActive, "IGZO_tier", z, 10},
+				entry{LayerIGZOGate, "IGZO_gate", z + 12, 30},
+				entry{LayerIGZOSD, "IGZO_sd", z + 10, 40},
+			)
+			z += 60
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].layer < entries[j].layer })
+	if _, err := fmt.Fprintln(w, "# GDS3D layer map: Layer Datatype Name Start Height (nm)"); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if _, err := fmt.Fprintf(w, "%d\t0\t%s\t%d\t%d\n", e.layer, e.name, e.z0, e.dz); err != nil {
+			return err
+		}
+	}
+	return nil
+}

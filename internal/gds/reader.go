@@ -1,0 +1,139 @@
+package gds
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Decode parses a GDSII stream produced by Encode (the subset of records
+// this package writes), primarily for round-trip verification.
+func Decode(r io.Reader) (*Library, error) {
+	lib := &Library{}
+	var cur *Structure
+	var curElem func(rec byte, dt byte, payload []byte) error
+	var pendingBoundary *Boundary
+	var pendingSRef *SRef
+	var pendingARef *ARef
+
+	finishElem := func() {
+		if cur == nil {
+			return
+		}
+		switch {
+		case pendingBoundary != nil:
+			cur.Elements = append(cur.Elements, *pendingBoundary)
+			pendingBoundary = nil
+		case pendingSRef != nil:
+			cur.Elements = append(cur.Elements, *pendingSRef)
+			pendingSRef = nil
+		case pendingARef != nil:
+			cur.Elements = append(cur.Elements, *pendingARef)
+			pendingARef = nil
+		}
+	}
+	_ = curElem
+
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return lib, nil
+			}
+			return nil, err
+		}
+		n := int(binary.BigEndian.Uint16(hdr[:2]))
+		if n < 4 {
+			return nil, fmt.Errorf("gds: record length %d too short", n)
+		}
+		payload := make([]byte, n-4)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, err
+		}
+		rec := hdr[2]
+		switch rec {
+		case recLibName:
+			lib.Name = trimASCII(payload)
+		case recUnits:
+			if len(payload) != 16 {
+				return nil, errors.New("gds: malformed UNITS")
+			}
+			lib.UserUnitsPerDBUnit = parseReal8(payload[:8])
+			lib.MetersPerDBUnit = parseReal8(payload[8:])
+		case recBgnStr:
+			cur = &Structure{}
+		case recStrName:
+			if cur == nil {
+				return nil, errors.New("gds: STRNAME outside structure")
+			}
+			cur.Name = trimASCII(payload)
+		case recEndStr:
+			if cur == nil {
+				return nil, errors.New("gds: ENDSTR outside structure")
+			}
+			lib.Structures = append(lib.Structures, cur)
+			cur = nil
+		case recBoundary:
+			pendingBoundary = &Boundary{}
+		case recSRef:
+			pendingSRef = &SRef{}
+		case recARef:
+			pendingARef = &ARef{}
+		case recLayer:
+			if pendingBoundary != nil {
+				pendingBoundary.Layer = int16(binary.BigEndian.Uint16(payload))
+			}
+		case recDataType:
+			if pendingBoundary != nil {
+				pendingBoundary.DataType = int16(binary.BigEndian.Uint16(payload))
+			}
+		case recSName:
+			name := trimASCII(payload)
+			if pendingSRef != nil {
+				pendingSRef.Name = name
+			}
+			if pendingARef != nil {
+				pendingARef.Name = name
+			}
+		case recColRow:
+			if pendingARef != nil && len(payload) == 4 {
+				pendingARef.Cols = int16(binary.BigEndian.Uint16(payload[:2]))
+				pendingARef.Rows = int16(binary.BigEndian.Uint16(payload[2:]))
+			}
+		case recXY:
+			pts := make([]Point, 0, len(payload)/8)
+			for i := 0; i+8 <= len(payload); i += 8 {
+				pts = append(pts, Point{
+					X: int32(binary.BigEndian.Uint32(payload[i : i+4])),
+					Y: int32(binary.BigEndian.Uint32(payload[i+4 : i+8])),
+				})
+			}
+			switch {
+			case pendingBoundary != nil:
+				pendingBoundary.XY = pts
+			case pendingSRef != nil && len(pts) > 0:
+				pendingSRef.Origin = pts[0]
+			case pendingARef != nil && len(pts) > 0:
+				pendingARef.Origin = pts[0]
+				if len(pts) == 3 && pendingARef.Cols > 0 && pendingARef.Rows > 0 {
+					pendingARef.ColStep = (pts[1].X - pts[0].X) / int32(pendingARef.Cols)
+					pendingARef.RowStep = (pts[2].Y - pts[0].Y) / int32(pendingARef.Rows)
+				}
+			}
+		case recEndEl:
+			finishElem()
+		case recHeader, recBgnLib, recEndLib:
+			// Structural records with no retained payload.
+		default:
+			return nil, fmt.Errorf("gds: unsupported record %#x", rec)
+		}
+	}
+}
+
+func trimASCII(b []byte) string {
+	for len(b) > 0 && b[len(b)-1] == 0 {
+		b = b[:len(b)-1]
+	}
+	return string(b)
+}

@@ -1,0 +1,130 @@
+package power
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"ppatc/internal/units"
+)
+
+// Interval power analysis: the paper's Step 4 derives *application-phase*
+// power by replaying waveform activity against per-event energies. This
+// module reconstructs a power-versus-time trace from a Trace()-produced
+// dump: the cumulative access counters are differenced per sampling
+// interval and weighted by per-access energies.
+
+// AccessEnergies weights each memory-access type.
+type AccessEnergies struct {
+	// ProgramRead, DataRead and DataWrite are joules per access.
+	ProgramRead, DataRead, DataWrite float64
+	// BaselinePower covers leakage/refresh/clock (W).
+	BaselinePower units.Power
+}
+
+// Validate checks the weights.
+func (a AccessEnergies) Validate() error {
+	if a.ProgramRead < 0 || a.DataRead < 0 || a.DataWrite < 0 || a.BaselinePower < 0 {
+		return errors.New("power: access energies must be non-negative")
+	}
+	return nil
+}
+
+// IntervalPower is one sample of the reconstructed power trace.
+type IntervalPower struct {
+	// StartCycle and EndCycle bound the interval.
+	StartCycle, EndCycle uint64
+	// Power is the average power over the interval.
+	Power units.Power
+}
+
+// PowerTrace reconstructs the power profile from a dump produced by Trace,
+// at the given clock frequency.
+func PowerTrace(d *Dump, e AccessEnergies, clk units.Frequency) ([]IntervalPower, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	if clk <= 0 {
+		return nil, errors.New("power: clock must be positive")
+	}
+	prog, err := d.Events("prog_reads")
+	if err != nil {
+		return nil, err
+	}
+	dr, err := d.Events("data_reads")
+	if err != nil {
+		return nil, err
+	}
+	dw, err := d.Events("data_writes")
+	if err != nil {
+		return nil, err
+	}
+	if len(prog) != len(dr) || len(prog) != len(dw) {
+		return nil, errors.New("power: counter traces misaligned")
+	}
+	if len(prog) < 2 {
+		return nil, errors.New("power: need at least two samples")
+	}
+	period := clk.PeriodSeconds()
+	out := make([]IntervalPower, 0, len(prog)-1)
+	for i := 1; i < len(prog); i++ {
+		cycles := prog[i].Time - prog[i-1].Time
+		if cycles == 0 {
+			continue
+		}
+		energy := float64(prog[i].Value-prog[i-1].Value)*e.ProgramRead +
+			float64(dr[i].Value-dr[i-1].Value)*e.DataRead +
+			float64(dw[i].Value-dw[i-1].Value)*e.DataWrite
+		span := float64(cycles) * period
+		out = append(out, IntervalPower{
+			StartCycle: prog[i-1].Time,
+			EndCycle:   prog[i].Time,
+			Power:      e.BaselinePower + units.Power(energy/span),
+		})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("power: no nonzero intervals")
+	}
+	return out, nil
+}
+
+// MeanPower averages a power trace, weighting by interval length.
+func MeanPower(trace []IntervalPower) (units.Power, error) {
+	if len(trace) == 0 {
+		return 0, errors.New("power: empty trace")
+	}
+	var energySum, cycleSum float64
+	for _, iv := range trace {
+		c := float64(iv.EndCycle - iv.StartCycle)
+		energySum += iv.Power.Watts() * c
+		cycleSum += c
+	}
+	return units.Watts(energySum / cycleSum), nil
+}
+
+// FormatPowerTrace renders the trace as a small text chart (one row per
+// interval, bar length proportional to power).
+func FormatPowerTrace(trace []IntervalPower, width int) (string, error) {
+	if len(trace) == 0 {
+		return "", errors.New("power: empty trace")
+	}
+	if width < 10 {
+		width = 10
+	}
+	var peak float64
+	for _, iv := range trace {
+		if iv.Power.Watts() > peak {
+			peak = iv.Power.Watts()
+		}
+	}
+	var sb strings.Builder
+	for _, iv := range trace {
+		n := 0
+		if peak > 0 {
+			n = int(iv.Power.Watts() / peak * float64(width))
+		}
+		fmt.Fprintf(&sb, "%10d..%-10d %8.3f mW |%s\n",
+			iv.StartCycle, iv.EndCycle, iv.Power.Milliwatts(), strings.Repeat("#", n))
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,271 @@
+package power
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"ppatc/internal/embench"
+	"ppatc/internal/thumb"
+	"ppatc/internal/units"
+)
+
+func TestVCDRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "testbench")
+	clk, err := w.Declare("clk", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus, err := w.Declare("bus", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 10; i++ {
+		if err := w.Change(i, clk, i%2); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Change(i, bus, i*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"$timescale 1ns", "$scope module testbench", "$var wire 1", "$var wire 8", "$enddefinitions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+	d, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Signals(); len(got) != 2 || got[0] != "bus" || got[1] != "clk" {
+		t.Fatalf("signals = %v", got)
+	}
+	n, err := d.Toggles("clk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 9 {
+		t.Errorf("clk toggles = %d, want 9", n)
+	}
+	v, err := d.ValueAt("bus", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 12 {
+		t.Errorf("bus at t=4 = %d, want 12", v)
+	}
+	if _, err := d.Toggles("nosuch"); err == nil {
+		t.Error("unknown signal should fail")
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "tb")
+	if _, err := w.Declare("", 1); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := w.Declare("x", 0); err == nil {
+		t.Error("zero width should fail")
+	}
+	id, err := w.Declare("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Change(5, id, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Declare("late", 1); err == nil {
+		t.Error("declaration after first change should fail")
+	}
+	if err := w.Change(3, id, 0); err == nil {
+		t.Error("time going backwards should fail")
+	}
+	if err := w.Change(6, SignalID(99), 0); err == nil {
+		t.Error("unknown id should fail")
+	}
+}
+
+func TestDynamicEnergyCV2(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "tb")
+	clk, _ := w.Declare("clk", 1)
+	for i := uint64(0); i < 101; i++ {
+		if err := w.Change(i, clk, i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 toggles × 1 fF × 0.7² = 49 fJ.
+	e, err := DynamicEnergy(d, SignalEnergy{"clk": 1e-15}, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100 * 1e-15 * 0.49
+	if math.Abs(e.Joules()-want) > 1e-21 {
+		t.Errorf("energy = %v, want %v", e.Joules(), want)
+	}
+	if _, err := DynamicEnergy(d, SignalEnergy{"clk": -1}, 0.7); err == nil {
+		t.Error("negative cap should fail")
+	}
+	if _, err := DynamicEnergy(d, nil, 0); err == nil {
+		t.Error("zero vdd should fail")
+	}
+}
+
+func TestTraceWorkloadAndRecoverCounts(t *testing.T) {
+	// Trace a small workload; the VCD's final counters must equal the
+	// simulator's.
+	w, err := embench.ByName("sieve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := thumb.Assemble(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := thumb.NewMemory()
+	if err := mem.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	cpu := thumb.NewCPU(mem)
+	var buf bytes.Buffer
+	res, err := Trace(cpu, &buf, 1<<32, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.Samples < 3 {
+		t.Fatalf("degenerate trace: %+v", res)
+	}
+	d, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := AccessCountsFromVCD(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != res.Stats {
+		t.Errorf("VCD counters %+v != simulator %+v", st, res.Stats)
+	}
+	// The halted strobe ends high.
+	h, err := d.ValueAt("halted", res.Cycles+1)
+	if err != nil || h != 1 {
+		t.Errorf("halted at end = %d, %v; want 1", h, err)
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	mem := thumb.NewMemory()
+	cpu := thumb.NewCPU(mem)
+	var buf bytes.Buffer
+	if _, err := Trace(cpu, &buf, 100, 0); err == nil {
+		t.Error("zero sample interval should fail")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"$var wire x ! name $end\n$enddefinitions $end\n",
+		"$enddefinitions $end\n#notanumber\n",
+		"$enddefinitions $end\n#1\n1%\n",        // undeclared code
+		"$enddefinitions $end\n#1\nb10\n",       // malformed vector
+		"$enddefinitions $end\n#1\nzz\n",        // unrecognized line
+		"$enddefinitions $end\n#1\nbxx yy zz\n", // malformed vector fields
+	}
+	for i, src := range bad {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected parse error", i)
+		}
+	}
+}
+
+func TestPowerTraceReconstruction(t *testing.T) {
+	w, err := embench.ByName("edn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := thumb.Assemble(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := thumb.NewMemory()
+	if err := mem.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	cpu := thumb.NewCPU(mem)
+	var buf bytes.Buffer
+	res, err := Trace(cpu, &buf, 1<<32, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := AccessEnergies{
+		ProgramRead:   19e-12,
+		DataRead:      19e-12,
+		DataWrite:     18e-12,
+		BaselinePower: units.Microwatts(500),
+	}
+	clk := units.Megahertz(500)
+	trace, err := PowerTrace(d, e, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) < 3 {
+		t.Fatalf("trace has %d intervals", len(trace))
+	}
+	mean, err := MeanPower(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check against direct accounting from the final counters.
+	direct := e.BaselinePower.Watts() +
+		(float64(res.Stats.ProgramReads)*e.ProgramRead+
+			float64(res.Stats.DataReads)*e.DataRead+
+			float64(res.Stats.DataWrites)*e.DataWrite)/
+			(float64(res.Cycles)*clk.PeriodSeconds())
+	if math.Abs(mean.Watts()-direct)/direct > 1e-9 {
+		t.Errorf("mean power %v != direct accounting %v", mean.Watts(), direct)
+	}
+	// Every interval is at least the baseline.
+	for _, iv := range trace {
+		if iv.Power.Watts() < e.BaselinePower.Watts() {
+			t.Fatal("interval power below baseline")
+		}
+	}
+	out, err := FormatPowerTrace(trace, 40)
+	if err != nil || !strings.Contains(out, "mW |") {
+		t.Errorf("format failed: %v", err)
+	}
+}
+
+func TestPowerTraceValidation(t *testing.T) {
+	d := &Dump{signals: map[string][]Event{}}
+	if _, err := PowerTrace(d, AccessEnergies{}, units.Megahertz(500)); err == nil {
+		t.Error("missing signals should fail")
+	}
+	if _, err := PowerTrace(d, AccessEnergies{ProgramRead: -1}, units.Megahertz(500)); err == nil {
+		t.Error("negative energy should fail")
+	}
+	if _, err := MeanPower(nil); err == nil {
+		t.Error("empty trace should fail")
+	}
+	if _, err := FormatPowerTrace(nil, 40); err == nil {
+		t.Error("empty trace format should fail")
+	}
+}

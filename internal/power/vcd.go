@@ -1,0 +1,272 @@
+// Package power implements the activity-based power-analysis path of the
+// paper's design flow (Sec. III-B, Step 4): RTL-style waveforms are
+// captured in the IEEE 1364 value-change-dump (.vcd) format, and switching
+// activity extracted from them converts to dynamic energy via CV². The
+// package provides a VCD writer, a VCD parser, an activity analyzer, and a
+// tracer that records a Cortex-M0 simulation (program counter and memory
+// access strobes) as a VCD — the same artifact the paper extracts from
+// Synopsys VCS.
+package power
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SignalID identifies a declared signal within a Writer.
+type SignalID int
+
+// vcdIDChars generate short printable identifiers.
+const vcdIDChars = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+type signal struct {
+	name  string
+	width int
+	code  string
+}
+
+// Writer emits a VCD file incrementally.
+type Writer struct {
+	w       *bufio.Writer
+	scope   string
+	signals []signal
+	started bool
+	curTime uint64
+	timeSet bool
+}
+
+// NewWriter wraps an io.Writer; the scope names the $scope module.
+func NewWriter(w io.Writer, scope string) *Writer {
+	return &Writer{w: bufio.NewWriter(w), scope: scope}
+}
+
+// Declare registers a signal before the header is written.
+func (w *Writer) Declare(name string, width int) (SignalID, error) {
+	if w.started {
+		return 0, errors.New("power: declare before first Change")
+	}
+	if name == "" || width <= 0 || width > 64 {
+		return 0, errors.New("power: signal needs a name and width 1-64")
+	}
+	id := len(w.signals)
+	code := encodeID(id)
+	w.signals = append(w.signals, signal{name: name, width: width, code: code})
+	return SignalID(id), nil
+}
+
+// encodeID renders a compact VCD identifier.
+func encodeID(id int) string {
+	var sb strings.Builder
+	for {
+		sb.WriteByte(vcdIDChars[id%len(vcdIDChars)])
+		id /= len(vcdIDChars)
+		if id == 0 {
+			break
+		}
+	}
+	return sb.String()
+}
+
+// header writes the declaration section.
+func (w *Writer) header() error {
+	fmt.Fprintf(w.w, "$timescale 1ns $end\n")
+	fmt.Fprintf(w.w, "$scope module %s $end\n", w.scope)
+	for _, s := range w.signals {
+		kind := "wire"
+		fmt.Fprintf(w.w, "$var %s %d %s %s $end\n", kind, s.width, s.code, s.name)
+	}
+	fmt.Fprintf(w.w, "$upscope $end\n$enddefinitions $end\n")
+	w.started = true
+	return nil
+}
+
+// Change records a signal value at a time (nanosecond ticks). Times must
+// be non-decreasing.
+func (w *Writer) Change(t uint64, id SignalID, value uint64) error {
+	if int(id) < 0 || int(id) >= len(w.signals) {
+		return fmt.Errorf("power: unknown signal id %d", id)
+	}
+	if !w.started {
+		if err := w.header(); err != nil {
+			return err
+		}
+	}
+	if w.timeSet && t < w.curTime {
+		return fmt.Errorf("power: time went backwards (%d after %d)", t, w.curTime)
+	}
+	if !w.timeSet || t != w.curTime {
+		fmt.Fprintf(w.w, "#%d\n", t)
+		w.curTime = t
+		w.timeSet = true
+	}
+	s := w.signals[id]
+	if s.width == 1 {
+		fmt.Fprintf(w.w, "%d%s\n", value&1, s.code)
+	} else {
+		fmt.Fprintf(w.w, "b%s %s\n", strconv.FormatUint(value, 2), s.code)
+	}
+	return nil
+}
+
+// Flush finishes the dump.
+func (w *Writer) Flush() error {
+	if !w.started {
+		if err := w.header(); err != nil {
+			return err
+		}
+	}
+	return w.w.Flush()
+}
+
+// Event is one value change of one signal.
+type Event struct {
+	Time  uint64
+	Value uint64
+}
+
+// Dump is a parsed VCD.
+type Dump struct {
+	// Timescale is the declared timescale string ("1ns").
+	Timescale string
+	// signals maps name → event list (time-ordered).
+	signals map[string][]Event
+	widths  map[string]int
+}
+
+// Signals lists the signal names, sorted.
+func (d *Dump) Signals() []string {
+	out := make([]string, 0, len(d.signals))
+	for n := range d.signals {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Events returns a signal's value changes.
+func (d *Dump) Events(name string) ([]Event, error) {
+	ev, ok := d.signals[name]
+	if !ok {
+		return nil, fmt.Errorf("power: unknown signal %q", name)
+	}
+	return ev, nil
+}
+
+// Toggles counts value changes of a signal (excluding its initial value).
+func (d *Dump) Toggles(name string) (int, error) {
+	ev, err := d.Events(name)
+	if err != nil {
+		return 0, err
+	}
+	if len(ev) == 0 {
+		return 0, nil
+	}
+	toggles := 0
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Value != ev[i-1].Value {
+			toggles++
+		}
+	}
+	return toggles, nil
+}
+
+// ValueAt reports a signal's value at a time (last change at or before t).
+func (d *Dump) ValueAt(name string, t uint64) (uint64, error) {
+	ev, err := d.Events(name)
+	if err != nil {
+		return 0, err
+	}
+	var v uint64
+	for _, e := range ev {
+		if e.Time > t {
+			break
+		}
+		v = e.Value
+	}
+	return v, nil
+}
+
+// Parse reads a VCD produced by Writer (a practical subset of IEEE 1364:
+// $timescale/$scope/$var declarations, #time marks, scalar and binary
+// vector changes).
+func Parse(r io.Reader) (*Dump, error) {
+	d := &Dump{signals: map[string][]Event{}, widths: map[string]int{}}
+	codeToName := map[string]string{}
+	sc := bufio.NewScanner(r)
+	var now uint64
+	inDefs := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "$timescale"):
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				d.Timescale = fields[1]
+			}
+		case strings.HasPrefix(line, "$var"):
+			// $var wire W code name $end
+			fields := strings.Fields(line)
+			if len(fields) < 6 {
+				return nil, fmt.Errorf("power: malformed $var: %q", line)
+			}
+			width, err := strconv.Atoi(fields[2])
+			if err != nil || width <= 0 {
+				return nil, fmt.Errorf("power: bad width in %q", line)
+			}
+			code, name := fields[3], fields[4]
+			codeToName[code] = name
+			d.widths[name] = width
+			d.signals[name] = nil
+		case strings.HasPrefix(line, "$enddefinitions"):
+			inDefs = false
+		case strings.HasPrefix(line, "$"):
+			// Other declaration keywords: ignore.
+		case strings.HasPrefix(line, "#"):
+			t, err := strconv.ParseUint(line[1:], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("power: bad time %q", line)
+			}
+			now = t
+		case strings.HasPrefix(line, "b") || strings.HasPrefix(line, "B"):
+			if inDefs {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("power: malformed vector change %q", line)
+			}
+			v, err := strconv.ParseUint(fields[0][1:], 2, 64)
+			if err != nil {
+				return nil, fmt.Errorf("power: bad vector value %q", line)
+			}
+			name, ok := codeToName[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("power: change for undeclared code %q", fields[1])
+			}
+			d.signals[name] = append(d.signals[name], Event{Time: now, Value: v})
+		default:
+			// Scalar change: 0code or 1code.
+			if len(line) < 2 || (line[0] != '0' && line[0] != '1') {
+				return nil, fmt.Errorf("power: unrecognized line %q", line)
+			}
+			name, ok := codeToName[line[1:]]
+			if !ok {
+				return nil, fmt.Errorf("power: change for undeclared code %q", line[1:])
+			}
+			v := uint64(line[0] - '0')
+			d.signals[name] = append(d.signals[name], Event{Time: now, Value: v})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,108 @@
+package process
+
+import (
+	"errors"
+
+	"ppatc/internal/units"
+)
+
+// EnergyTable gives the per-wafer electrical energy of one fabrication step
+// in each process area, in the style of the paper's Fig. 2d: the total
+// energy reported for a process area in a reference metal-layer flow,
+// divided by the number of steps in that area.
+//
+// Lithography is split by patterning method because an EUV exposure draws an
+// order of magnitude more energy than a 193i DUV exposure (the EUV source,
+// vacuum train and resist bake dominate).
+type EnergyTable struct {
+	// PerStep is the energy of one step in each non-lithography area.
+	PerStep map[Area]units.Energy
+	// EUVExposure is the energy of one EUV lithography exposure.
+	EUVExposure units.Energy
+	// DUVExposure is the energy of one 193i DUV lithography exposure.
+	DUVExposure units.Energy
+}
+
+// Validate checks the table covers every non-lithography area with a
+// non-negative energy.
+func (t EnergyTable) Validate() error {
+	if t.PerStep == nil {
+		return errors.New("process: energy table has no per-step energies")
+	}
+	for _, a := range Areas() {
+		if a == Lithography {
+			continue
+		}
+		e, ok := t.PerStep[a]
+		if !ok {
+			return errors.New("process: energy table missing area " + a.String())
+		}
+		if e < 0 {
+			return errors.New("process: negative step energy for area " + a.String())
+		}
+	}
+	if t.EUVExposure < 0 || t.DUVExposure < 0 {
+		return errors.New("process: negative lithography exposure energy")
+	}
+	return nil
+}
+
+// StepEnergy reports the energy of one step under the table.
+func (t EnergyTable) StepEnergy(s Step) units.Energy {
+	if s.Area == Lithography {
+		switch s.Litho {
+		case LithoEUV:
+			return t.EUVExposure
+		case LithoDUV:
+			return t.DUVExposure
+		}
+		return 0
+	}
+	return t.PerStep[s.Area]
+}
+
+// Reference anchors from the paper (Sec. II-C and Fig. 2):
+const (
+	// FEOLEnergyKWh is the front-end + middle-of-line fabrication energy of
+	// the imec iN7 EUV node, applied to the Si FinFET layers of both
+	// processes (kWh per 300 mm wafer).
+	FEOLEnergyKWh = 436
+
+	// IN7ReferenceEPAKWh is the total per-wafer fabrication energy of the
+	// imec iN7 EUV reference node used to scale GPA (Eq. 3). It is derived
+	// from the paper's reported per-wafer carbon totals (837/1100 kgCO2e on
+	// the US grid) together with the stated EPA ratios (0.79× all-Si,
+	// 1.22× M3D), which invert to EPA(all-Si) ≈ 705 and EPA(M3D) ≈
+	// 1088 kWh/wafer.
+	IN7ReferenceEPAKWh = 892
+
+	// IN7GPAGramsPerCm2 is the gas-emission carbon of the iN7 reference on
+	// a 300 mm wafer (0.20 kgCO2e/cm², paper Sec. II-B).
+	IN7GPAGramsPerCm2 = 200
+)
+
+// DefaultEnergyTable returns the calibrated per-step energy table.
+//
+// Calibration: the deposition entry (1.33 kWh/step = 4 kWh over 3 steps for
+// an EUV metal layer) is given verbatim in the paper (Sec. II-C, Fig. 2d).
+// The remaining entries are chosen so that the complete all-Si and M3D
+// flows built in this package reproduce the paper's anchors:
+//
+//	EPA(all-Si)/EPA(iN7) ≈ 0.79   and   EPA(M3D)/EPA(iN7) ≈ 1.22,
+//
+// which in turn yield per-wafer embodied carbon of ≈837 and ≈1100 kgCO2e on
+// the US grid (Fig. 2c). With this table the flows land within 0.5% of both
+// ratios; the calibration test in flows_test.go enforces the tolerance.
+func DefaultEnergyTable() EnergyTable {
+	return EnergyTable{
+		PerStep: map[Area]units.Energy{
+			DryEtch:       units.KilowattHours(1.5),
+			Metallization: units.KilowattHours(2.0),
+			Metrology:     units.KilowattHours(0.5),
+			WetEtch:       units.KilowattHours(1.0),
+			Deposition:    units.KilowattHours(4.0 / 3.0),
+		},
+		EUVExposure: units.KilowattHours(11.9),
+		DUVExposure: units.KilowattHours(1.2),
+	}
+}

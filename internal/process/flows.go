@@ -1,0 +1,99 @@
+package process
+
+import (
+	"fmt"
+
+	"ppatc/internal/units"
+)
+
+// ASAP7 metal-stack pitches (nm) followed by both processes (Sec. II-C):
+// M1-M3 at 36 nm, M4-M5 at 48 nm, M6-M7 at 64 nm, M8-M9 at 80 nm.
+var asap7Pitch = map[int]int{
+	1: 36, 2: 36, 3: 36,
+	4: 48, 5: 48,
+	6: 64, 7: 64,
+	8: 80, 9: 80,
+}
+
+// feolSegment is the Si FinFET front-end + middle-of-line of both processes,
+// equated to the imec iN7 EUV FEOL/MOL energy (436 kWh/wafer, Sec. II-C).
+func feolSegment() Segment {
+	return Segment{
+		Name:        "FEOL+MOL (Si FinFET, iN7 reference)",
+		FixedEnergy: units.KilowattHours(FEOLEnergyKWh),
+	}
+}
+
+// AllSi7nm builds the baseline all-Si 7 nm process (Fig. 2a): the iN7-class
+// FEOL plus a 9-layer ASAP7 BEOL (M1-M9).
+func AllSi7nm() *Flow {
+	f := &Flow{Name: "all-Si 7nm"}
+	f.Segments = append(f.Segments, feolSegment())
+	for m := 1; m <= 9; m++ {
+		seg, err := MetalViaPair(fmt.Sprintf("M%d", m), asap7Pitch[m])
+		if err != nil {
+			// The pitch table is package data; a miss is a programming error.
+			panic(err)
+		}
+		f.Segments = append(f.Segments, seg)
+	}
+	return f
+}
+
+// M3D7nm builds the monolithic-3D IGZO/CNFET/Si process (Fig. 2b):
+//
+//	FEOL (Si CMOS)                      — identical to the all-Si process
+//	M1-M4                               — identical to the all-Si process
+//	CNFET tier 1                        — BEOL CNFETs incl. vias upward
+//	M5, M6 (36 nm)                      — inter-tier routing
+//	CNFET tier 2
+//	M7, M8 (36 nm)
+//	IGZO tier                           — BEOL IGZO FETs
+//	M9, M10 (36 nm)                     — the two 36 nm layers above IGZO
+//	M11-M15                             — top metals at the same dimensions
+//	                                      as M5-M9 of the all-Si process
+//	                                      (48 / 64 / 64 / 80 / 80 nm)
+//
+// The extra standalone vias the paper names between tiers (V5, V6, ...) are
+// folded into the metal/via pair recipes and the tiers' own via steps.
+func M3D7nm() *Flow {
+	f := &Flow{Name: "M3D IGZO/CNFET/Si 7nm"}
+	f.Segments = append(f.Segments, feolSegment())
+
+	mv := func(name string, pitch int) {
+		seg, err := MetalViaPair(name, pitch)
+		if err != nil {
+			panic(err)
+		}
+		f.Segments = append(f.Segments, seg)
+	}
+
+	for m := 1; m <= 4; m++ {
+		mv(fmt.Sprintf("M%d", m), asap7Pitch[m])
+	}
+	f.Segments = append(f.Segments, CNFETTier("CNFET tier 1"))
+	mv("M5", 36)
+	mv("M6", 36)
+	f.Segments = append(f.Segments, CNFETTier("CNFET tier 2"))
+	mv("M7", 36)
+	mv("M8", 36)
+	f.Segments = append(f.Segments, IGZOTier("IGZO tier"))
+	mv("M9", 36)
+	mv("M10", 36)
+	// Top metals mirror M5-M9 of the all-Si stack.
+	top := []int{48, 64, 64, 80, 80}
+	for i, p := range top {
+		mv(fmt.Sprintf("M%d", 11+i), p)
+	}
+	return f
+}
+
+// IN7Reference reports the paper's reference EPA for GPA scaling (Eq. 3).
+func IN7Reference() units.Energy {
+	return units.KilowattHours(IN7ReferenceEPAKWh)
+}
+
+// IN7GPA reports the gas-emission carbon density of the iN7 reference.
+func IN7GPA() units.CarbonPerArea {
+	return units.GramsPerSquareCentimeter(IN7GPAGramsPerCm2)
+}

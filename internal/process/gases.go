@@ -1,0 +1,146 @@
+package process
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ppatc/internal/units"
+)
+
+// Gas-level GPA accounting. The paper computes GPA by scaling the imec
+// iN7 figure with the EPA ratio (Eq. 3), because per-gas abatement data is
+// only published for full reference flows. This module provides the
+// underlying bottom-up view for users who do have fab gas data: an
+// inventory of emitted process gases, each weighted by its 100-year
+// global-warming potential (GWP-100), exactly how the 0.20 kgCO2e/cm²
+// reference number is constructed in the first place ("several gases with
+// high global warming potential (e.g., NH3, CH4, N2O) are necessary
+// inputs for fabrication processes such as etching and deposition").
+
+// Gas identifies a fab process gas.
+type Gas string
+
+// Process gases with published GWP-100 values.
+const (
+	GasNH3  Gas = "NH3"
+	GasCH4  Gas = "CH4"
+	GasN2O  Gas = "N2O"
+	GasSF6  Gas = "SF6"
+	GasNF3  Gas = "NF3"
+	GasCF4  Gas = "CF4"
+	GasC2F6 Gas = "C2F6"
+	GasCHF3 Gas = "CHF3"
+)
+
+// gwp100 holds IPCC AR6 100-year global-warming potentials (kgCO2e per kg
+// of gas emitted). NH3 is an indirect contributor; the small value covers
+// its N2O conversion pathway.
+var gwp100 = map[Gas]float64{
+	GasNH3:  3,
+	GasCH4:  28,
+	GasN2O:  273,
+	GasSF6:  25200,
+	GasNF3:  17400,
+	GasCF4:  7380,
+	GasC2F6: 12400,
+	GasCHF3: 14600,
+}
+
+// GWP100 reports a gas's 100-year warming potential.
+func GWP100(g Gas) (float64, error) {
+	v, ok := gwp100[g]
+	if !ok {
+		return 0, fmt.Errorf("process: no GWP entry for gas %q", g)
+	}
+	return v, nil
+}
+
+// Gases lists the supported gases alphabetically.
+func Gases() []Gas {
+	out := make([]Gas, 0, len(gwp100))
+	for g := range gwp100 {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GasInventory maps gas → grams emitted (post-abatement) per wafer.
+type GasInventory map[Gas]float64
+
+// Carbon reports the inventory's CO2-equivalent per wafer.
+func (inv GasInventory) Carbon() (units.Carbon, error) {
+	if len(inv) == 0 {
+		return 0, errors.New("process: empty gas inventory")
+	}
+	var grams float64
+	for g, mass := range inv {
+		if mass < 0 {
+			return 0, fmt.Errorf("process: negative mass for %q", g)
+		}
+		gwp, err := GWP100(g)
+		if err != nil {
+			return 0, err
+		}
+		grams += mass * gwp
+	}
+	return units.GramsCO2e(grams), nil
+}
+
+// GPA converts the inventory into a carbon-per-area density for Eq. 2.
+func (inv GasInventory) GPA(wafer units.Area) (units.CarbonPerArea, error) {
+	if wafer <= 0 {
+		return 0, errors.New("process: wafer area must be positive")
+	}
+	c, err := inv.Carbon()
+	if err != nil {
+		return 0, err
+	}
+	return units.CarbonPerArea(c.Grams() / wafer.SquareMeters()), nil
+}
+
+// ReferenceIN7Inventory returns a plausible post-abatement gas inventory
+// for the iN7 reference flow, scaled so its GPA reproduces the published
+// 0.20 kgCO2e/cm² on a 300 mm wafer. The split follows typical logic-fab
+// emission inventories: fluorinated etch/clean gases dominate CO2e even
+// at small masses because of their enormous GWPs.
+func ReferenceIN7Inventory() GasInventory {
+	// Target: 200 g/cm² × 706.858 cm² ≈ 141.4 kgCO2e per wafer. Masses
+	// are grams per wafer escaping abatement — single-digit grams of the
+	// fluorinated species carry tens of kgCO2e each.
+	return GasInventory{
+		GasNF3:  3.3, // chamber cleans
+		GasSF6:  1.14,
+		GasCF4:  3.0,
+		GasC2F6: 1.4,
+		GasCHF3: 0.76,
+		GasN2O:  13.3,
+		GasCH4:  8.5,
+		GasNH3:  20.9,
+	}
+}
+
+// FormatInventory renders an inventory with per-gas CO2e contributions.
+func FormatInventory(inv GasInventory) (string, error) {
+	if _, err := inv.Carbon(); err != nil {
+		return "", err
+	}
+	gases := make([]Gas, 0, len(inv))
+	for g := range inv {
+		gases = append(gases, g)
+	}
+	sort.Slice(gases, func(i, j int) bool {
+		return inv[gases[i]]*gwp100[gases[i]] > inv[gases[j]]*gwp100[gases[j]]
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s %12s %10s %14s\n", "gas", "g/wafer", "GWP-100", "kgCO2e/wafer")
+	for _, g := range gases {
+		fmt.Fprintf(&sb, "%-6s %12.0f %10.0f %14.1f\n",
+			g, inv[g], gwp100[g], inv[g]*gwp100[g]/1000)
+	}
+	total, _ := inv.Carbon()
+	fmt.Fprintf(&sb, "%-6s %12s %10s %14.1f\n", "total", "", "", total.Kilograms())
+	return sb.String(), nil
+}

@@ -1,0 +1,101 @@
+package process
+
+import (
+	"fmt"
+	"strings"
+
+	"ppatc/internal/units"
+)
+
+// Eq4Row is one row of the paper's Eq. 4 matrix product: a step category
+// with its per-step energy and its usage count in each flow.
+type Eq4Row struct {
+	// Category names the step bucket ("dry etch", "lithography (EUV)", ...).
+	Category string
+	// PerStep is the fabrication energy of one step in the bucket.
+	PerStep units.Energy
+	// Counts holds the per-flow step counts, indexed like the flows passed
+	// to Eq4Matrix.
+	Counts []int
+}
+
+// Eq4Matrix assembles the Eq. 4 view for a set of flows under a table: the
+// per-category step counts (the N matrix) alongside per-step energies, plus
+// the per-flow fixed FEOL energies. Multiplying and summing reproduces each
+// flow's EPA; the EPA method performs the same computation step-wise.
+func Eq4Matrix(tbl EnergyTable, flows ...*Flow) ([]Eq4Row, []units.Energy, error) {
+	if err := tbl.Validate(); err != nil {
+		return nil, nil, err
+	}
+	counts := make([]StepCounts, len(flows))
+	fixed := make([]units.Energy, len(flows))
+	for i, f := range flows {
+		if err := f.Validate(); err != nil {
+			return nil, nil, err
+		}
+		counts[i] = f.Count()
+		fixed[i] = f.FixedEnergy()
+	}
+	var rows []Eq4Row
+	addRow := func(cat string, perStep units.Energy, get func(StepCounts) int) {
+		r := Eq4Row{Category: cat, PerStep: perStep, Counts: make([]int, len(flows))}
+		for i := range flows {
+			r.Counts[i] = get(counts[i])
+		}
+		rows = append(rows, r)
+	}
+	for _, a := range Areas() {
+		a := a
+		if a == Lithography {
+			addRow("lithography (EUV)", tbl.EUVExposure, func(c StepCounts) int { return c.EUVExposures })
+			addRow("lithography (DUV)", tbl.DUVExposure, func(c StepCounts) int { return c.DUVExposures })
+			continue
+		}
+		addRow(a.String(), tbl.PerStep[a], func(c StepCounts) int { return c.ByArea[a] })
+	}
+	return rows, fixed, nil
+}
+
+// Eq4EPA evaluates the matrix product: per-flow EPA = Σ rows (count ×
+// per-step) + fixed energy. It must agree with Flow.EPA and exists so tests
+// and the CLI can cross-check the two formulations.
+func Eq4EPA(rows []Eq4Row, fixed []units.Energy) []units.Energy {
+	out := make([]units.Energy, len(fixed))
+	copy(out, fixed)
+	for _, r := range rows {
+		for i, n := range r.Counts {
+			out[i] += units.Energy(float64(n) * float64(r.PerStep))
+		}
+	}
+	return out
+}
+
+// FormatEq4 renders the matrix as an aligned text table with one column per
+// flow, for the CLI's fig2d-style output.
+func FormatEq4(rows []Eq4Row, fixed []units.Energy, flows []*Flow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %14s", "step category", "kWh/step")
+	for _, f := range flows {
+		fmt.Fprintf(&b, " %22s", f.Name)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %14.2f", r.Category, r.PerStep.KilowattHours())
+		for _, n := range r.Counts {
+			fmt.Fprintf(&b, " %22d", n)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-22s %14s", "fixed FEOL/MOL (kWh)", "")
+	for _, e := range fixed {
+		fmt.Fprintf(&b, " %22.0f", e.KilowattHours())
+	}
+	b.WriteByte('\n')
+	epas := Eq4EPA(rows, fixed)
+	fmt.Fprintf(&b, "%-22s %14s", "EPA total (kWh/wafer)", "")
+	for _, e := range epas {
+		fmt.Fprintf(&b, " %22.1f", e.KilowattHours())
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,303 @@
+// Package process models semiconductor fabrication flows as sequences of
+// process steps and computes their fabrication energy per wafer (EPA), the
+// quantity at the core of the paper's embodied-carbon model (Sec. II-C).
+//
+// Following reference [4] of the paper (Bardon et al., IEDM 2020), every
+// step is classified into one of six process areas — dry etch, lithography,
+// metallization, metrology, wet etch, deposition — and the energy of a flow
+// is the matrix product of per-area step counts with per-step energies
+// (Eq. 4 of the paper). Lithography energy additionally depends on the
+// patterning method (EUV vs. 193i DUV).
+package process
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ppatc/internal/units"
+)
+
+// Area classifies a fabrication step into one of the six process areas of
+// reference [4].
+type Area int
+
+// The six process areas, in the order the paper's Eq. 4 lists them.
+const (
+	DryEtch Area = iota
+	Lithography
+	Metallization
+	Metrology
+	WetEtch
+	Deposition
+	numAreas
+)
+
+// Areas returns all process areas in canonical order.
+func Areas() []Area {
+	return []Area{DryEtch, Lithography, Metallization, Metrology, WetEtch, Deposition}
+}
+
+// String implements fmt.Stringer.
+func (a Area) String() string {
+	switch a {
+	case DryEtch:
+		return "dry etch"
+	case Lithography:
+		return "lithography"
+	case Metallization:
+		return "metallization"
+	case Metrology:
+		return "metrology"
+	case WetEtch:
+		return "wet etch"
+	case Deposition:
+		return "deposition"
+	default:
+		return fmt.Sprintf("Area(%d)", int(a))
+	}
+}
+
+// Litho identifies the patterning method of a lithography step; it selects
+// the per-exposure energy. Non-lithography steps use LithoNone.
+type Litho int
+
+// Patterning methods.
+const (
+	// LithoNone marks a non-lithography step.
+	LithoNone Litho = iota
+	// LithoEUV is a single extreme-ultraviolet exposure.
+	LithoEUV
+	// LithoDUV is a single 193 nm immersion exposure.
+	LithoDUV
+)
+
+// String implements fmt.Stringer.
+func (l Litho) String() string {
+	switch l {
+	case LithoNone:
+		return "none"
+	case LithoEUV:
+		return "EUV"
+	case LithoDUV:
+		return "DUV-193i"
+	default:
+		return fmt.Sprintf("Litho(%d)", int(l))
+	}
+}
+
+// Step is a single fabrication operation on the wafer.
+type Step struct {
+	// Name describes the operation (e.g. "M1 trench etch").
+	Name string
+	// Area is the process area the step belongs to.
+	Area Area
+	// Litho is the patterning method for Lithography steps; must be
+	// LithoNone for every other area.
+	Litho Litho
+}
+
+// Validate checks the step's area/litho consistency.
+func (s Step) Validate() error {
+	if s.Area < 0 || s.Area >= numAreas {
+		return fmt.Errorf("process: step %q has invalid area %d", s.Name, int(s.Area))
+	}
+	if s.Area == Lithography && s.Litho == LithoNone {
+		return fmt.Errorf("process: lithography step %q must name a patterning method", s.Name)
+	}
+	if s.Area != Lithography && s.Litho != LithoNone {
+		return fmt.Errorf("process: non-lithography step %q must not name a patterning method", s.Name)
+	}
+	return nil
+}
+
+// Segment is a named group of steps within a flow — a metal/via layer, a
+// device tier, or an opaque lump with externally sourced energy (the FEOL,
+// whose 436 kWh/wafer comes directly from reference [4] rather than from
+// step-level accounting).
+type Segment struct {
+	// Name identifies the segment ("M1 (36 nm)", "CNFET tier 1", "FEOL+MOL").
+	Name string
+	// Steps are the constituent operations; empty for fixed-energy lumps.
+	Steps []Step
+	// FixedEnergy, when nonzero, is the segment's per-wafer energy taken
+	// from external data instead of step-level accounting.
+	FixedEnergy units.Energy
+}
+
+// Validate checks segment consistency.
+func (s Segment) Validate() error {
+	if len(s.Steps) > 0 && s.FixedEnergy != 0 {
+		return fmt.Errorf("process: segment %q has both steps and fixed energy", s.Name)
+	}
+	if len(s.Steps) == 0 && s.FixedEnergy == 0 {
+		return fmt.Errorf("process: segment %q is empty", s.Name)
+	}
+	if s.FixedEnergy < 0 {
+		return fmt.Errorf("process: segment %q has negative fixed energy", s.Name)
+	}
+	for _, st := range s.Steps {
+		if err := st.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flow is a complete fabrication process for one wafer, front to back.
+type Flow struct {
+	// Name identifies the process ("all-Si 7nm", "M3D IGZO/CNFET/Si 7nm").
+	Name string
+	// Segments are executed in order.
+	Segments []Segment
+}
+
+// Validate checks the whole flow.
+func (f *Flow) Validate() error {
+	if f.Name == "" {
+		return errors.New("process: flow must be named")
+	}
+	if len(f.Segments) == 0 {
+		return fmt.Errorf("process: flow %q has no segments", f.Name)
+	}
+	for _, seg := range f.Segments {
+		if err := seg.Validate(); err != nil {
+			return fmt.Errorf("flow %q: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+// StepCounts tallies the flow's steps per (area, litho) bucket — one column
+// of the N matrix in Eq. 4. Fixed-energy segments contribute no counts.
+type StepCounts struct {
+	// ByArea counts steps per process area (lithography counted once per
+	// exposure regardless of method).
+	ByArea [numAreas]int
+	// EUVExposures and DUVExposures split the Lithography count by method.
+	EUVExposures int
+	DUVExposures int
+}
+
+// Total reports the total number of counted steps.
+func (c StepCounts) Total() int {
+	var n int
+	for _, v := range c.ByArea {
+		n += v
+	}
+	return n
+}
+
+// Count tallies step counts for the flow.
+func (f *Flow) Count() StepCounts {
+	var c StepCounts
+	for _, seg := range f.Segments {
+		for _, st := range seg.Steps {
+			c.ByArea[st.Area]++
+			switch st.Litho {
+			case LithoEUV:
+				c.EUVExposures++
+			case LithoDUV:
+				c.DUVExposures++
+			}
+		}
+	}
+	return c
+}
+
+// FixedEnergy sums the externally sourced segment energies (the FEOL lump).
+func (f *Flow) FixedEnergy() units.Energy {
+	var e units.Energy
+	for _, seg := range f.Segments {
+		e += seg.FixedEnergy
+	}
+	return e
+}
+
+// EPA computes the flow's fabrication energy per wafer: the Eq. 4 matrix
+// product of step counts with the per-step energy table, plus any
+// fixed-energy segments.
+func (f *Flow) EPA(tbl EnergyTable) (units.Energy, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	if err := tbl.Validate(); err != nil {
+		return 0, err
+	}
+	total := f.FixedEnergy()
+	for _, seg := range f.Segments {
+		for _, st := range seg.Steps {
+			total += tbl.StepEnergy(st)
+		}
+	}
+	return total, nil
+}
+
+// SegmentEnergy reports the per-segment energy breakdown, useful for
+// rendering Fig. 2-style stacked views of where fabrication energy goes.
+func (f *Flow) SegmentEnergy(tbl EnergyTable) ([]SegmentEnergy, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tbl.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]SegmentEnergy, 0, len(f.Segments))
+	for _, seg := range f.Segments {
+		e := seg.FixedEnergy
+		for _, st := range seg.Steps {
+			e += tbl.StepEnergy(st)
+		}
+		out = append(out, SegmentEnergy{Name: seg.Name, Energy: e, Steps: len(seg.Steps)})
+	}
+	return out, nil
+}
+
+// SegmentEnergy is one row of a per-segment energy breakdown.
+type SegmentEnergy struct {
+	Name   string
+	Energy units.Energy
+	Steps  int
+}
+
+// AreaEnergy reports the flow's step energy aggregated per process area —
+// the Fig. 2d view. Fixed-energy segments are reported under the empty key.
+func (f *Flow) AreaEnergy(tbl EnergyTable) (map[string]units.Energy, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tbl.Validate(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]units.Energy)
+	for _, seg := range f.Segments {
+		if seg.FixedEnergy != 0 {
+			out["fixed (FEOL/MOL)"] += seg.FixedEnergy
+		}
+		for _, st := range seg.Steps {
+			out[st.Area.String()] += tbl.StepEnergy(st)
+		}
+	}
+	return out, nil
+}
+
+// SortedAreaNames returns the keys of an AreaEnergy map in canonical order
+// (the six areas first, then any extra keys alphabetically).
+func SortedAreaNames(m map[string]units.Energy) []string {
+	var names []string
+	seen := make(map[string]bool)
+	for _, a := range Areas() {
+		if _, ok := m[a.String()]; ok {
+			names = append(names, a.String())
+			seen[a.String()] = true
+		}
+	}
+	var rest []string
+	for k := range m {
+		if !seen[k] {
+			rest = append(rest, k)
+		}
+	}
+	sort.Strings(rest)
+	return append(names, rest...)
+}

@@ -1,0 +1,611 @@
+package process
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ppatc/internal/units"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestStepValidate(t *testing.T) {
+	good := Step{Name: "ok", Area: DryEtch}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid step rejected: %v", err)
+	}
+	bad := []Step{
+		{Name: "litho without method", Area: Lithography},
+		{Name: "etch with method", Area: DryEtch, Litho: LithoEUV},
+		{Name: "bad area", Area: Area(99)},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("step %q should be invalid", s.Name)
+		}
+	}
+}
+
+func TestSegmentValidate(t *testing.T) {
+	if err := (Segment{Name: "empty"}).Validate(); err == nil {
+		t.Error("empty segment should be invalid")
+	}
+	both := Segment{Name: "both", Steps: []Step{{Name: "s", Area: DryEtch}}, FixedEnergy: 1}
+	if err := both.Validate(); err == nil {
+		t.Error("segment with steps and fixed energy should be invalid")
+	}
+	if err := (Segment{Name: "neg", FixedEnergy: -1}).Validate(); err == nil {
+		t.Error("negative fixed energy should be invalid")
+	}
+}
+
+func TestEnergyTableValidate(t *testing.T) {
+	tbl := DefaultEnergyTable()
+	if err := tbl.Validate(); err != nil {
+		t.Fatalf("default table invalid: %v", err)
+	}
+	missing := EnergyTable{PerStep: map[Area]units.Energy{DryEtch: 1}}
+	if err := missing.Validate(); err == nil {
+		t.Error("incomplete table should be invalid")
+	}
+	if err := (EnergyTable{}).Validate(); err == nil {
+		t.Error("nil per-step map should be invalid")
+	}
+}
+
+func TestDepositionStepEnergyMatchesPaper(t *testing.T) {
+	// The paper gives 4 kWh over 3 deposition steps = 1.33 kWh/step for an
+	// EUV metal layer (Sec. II-C).
+	tbl := DefaultEnergyTable()
+	got := tbl.StepEnergy(Step{Area: Deposition}).KilowattHours()
+	if !almostEqual(got, 4.0/3.0, 1e-9) {
+		t.Errorf("deposition step = %v kWh, want 1.33", got)
+	}
+}
+
+func TestEUVMetalViaPairRecipe(t *testing.T) {
+	seg, err := MetalViaPair("M1", 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 2d structure: the EUV metal layer must have exactly 3 deposition
+	// steps totalling 4 kWh, and 2 EUV exposures.
+	var depo, euv int
+	for _, s := range seg.Steps {
+		if s.Area == Deposition {
+			depo++
+		}
+		if s.Litho == LithoEUV {
+			euv++
+		}
+	}
+	if depo != 3 {
+		t.Errorf("EUV pair has %d deposition steps, want 3 (Fig. 2d)", depo)
+	}
+	if euv != 2 {
+		t.Errorf("EUV pair has %d EUV exposures, want 2 (via + trench)", euv)
+	}
+}
+
+func TestPatterningForPitch(t *testing.T) {
+	cases := map[int]MetalPatterning{36: PatternEUV, 42: PatternSADP, 48: PatternSADP, 64: PatternLELE, 80: PatternSingleDUV}
+	for pitch, want := range cases {
+		got, err := PatterningForPitch(pitch)
+		if err != nil || got != want {
+			t.Errorf("PatterningForPitch(%d) = %v, %v; want %v", pitch, got, err, want)
+		}
+	}
+	if _, err := PatterningForPitch(28); err == nil {
+		t.Error("unknown pitch should fail")
+	}
+}
+
+func TestMetalPairEnergyOrdering(t *testing.T) {
+	// Tighter pitch must cost more energy: EUV(36) > SADP(48) > LELE(64) > DUV(80).
+	tbl := DefaultEnergyTable()
+	energy := func(pitch int) float64 {
+		seg, err := MetalViaPair("M", pitch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e units.Energy
+		for _, s := range seg.Steps {
+			e += tbl.StepEnergy(s)
+		}
+		return e.KilowattHours()
+	}
+	e36, e48, e64, e80 := energy(36), energy(48), energy(64), energy(80)
+	if !(e36 > e48 && e48 > e64 && e64 > e80) {
+		t.Errorf("pair energies not ordered: 36=%v 48=%v 64=%v 80=%v", e36, e48, e64, e80)
+	}
+}
+
+func TestFlowValidation(t *testing.T) {
+	if err := (&Flow{}).Validate(); err == nil {
+		t.Error("unnamed empty flow should be invalid")
+	}
+	if err := (&Flow{Name: "x"}).Validate(); err == nil {
+		t.Error("flow without segments should be invalid")
+	}
+	if err := AllSi7nm().Validate(); err != nil {
+		t.Errorf("all-Si flow invalid: %v", err)
+	}
+	if err := M3D7nm().Validate(); err != nil {
+		t.Errorf("M3D flow invalid: %v", err)
+	}
+}
+
+func TestAllSiFlowStructure(t *testing.T) {
+	f := AllSi7nm()
+	// FEOL + 9 metal layers.
+	if got := len(f.Segments); got != 10 {
+		t.Fatalf("all-Si flow has %d segments, want 10", got)
+	}
+	if f.FixedEnergy().KilowattHours() != FEOLEnergyKWh {
+		t.Errorf("FEOL energy = %v, want %v", f.FixedEnergy().KilowattHours(), FEOLEnergyKWh)
+	}
+}
+
+func TestM3DFlowStructure(t *testing.T) {
+	f := M3D7nm()
+	// FEOL + M1-M4 + tier1 + M5,M6 + tier2 + M7,M8 + IGZO + M9,M10 + M11-M15.
+	if got := len(f.Segments); got != 19 {
+		t.Fatalf("M3D flow has %d segments, want 19", got)
+	}
+	var cn, igzo int
+	for _, seg := range f.Segments {
+		if strings.HasPrefix(seg.Name, "CNFET tier") {
+			cn++
+		}
+		if strings.HasPrefix(seg.Name, "IGZO tier") {
+			igzo++
+		}
+	}
+	if cn != 2 || igzo != 1 {
+		t.Errorf("M3D flow has %d CNFET tiers and %d IGZO tiers, want 2 and 1", cn, igzo)
+	}
+}
+
+// TestEPACalibration is the headline calibration check: the flows'
+// fabrication energies must reproduce the paper's EPA ratios
+// (Sec. II, contribution 2): 0.79× for all-Si and 1.22× for M3D relative
+// to the iN7 reference, within 1%.
+func TestEPACalibration(t *testing.T) {
+	tbl := DefaultEnergyTable()
+	ref := IN7Reference().KilowattHours()
+
+	allSi, err := AllSi7nm().EPA(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3d, err := M3D7nm().EPA(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rAll := allSi.KilowattHours() / ref
+	rM3D := m3d.KilowattHours() / ref
+	if !almostEqual(rAll, 0.79, 0.01) {
+		t.Errorf("EPA(all-Si)/EPA(iN7) = %.4f, want 0.79 ± 1%%", rAll)
+	}
+	if !almostEqual(rM3D, 1.22, 0.01) {
+		t.Errorf("EPA(M3D)/EPA(iN7) = %.4f, want 1.22 ± 1%%", rM3D)
+	}
+	t.Logf("EPA all-Si = %.1f kWh (ratio %.4f), M3D = %.1f kWh (ratio %.4f)",
+		allSi.KilowattHours(), rAll, m3d.KilowattHours(), rM3D)
+}
+
+func TestEq4MatrixAgreesWithStepwiseEPA(t *testing.T) {
+	tbl := DefaultEnergyTable()
+	flows := []*Flow{AllSi7nm(), M3D7nm()}
+	rows, fixed, err := Eq4Matrix(tbl, flows...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epas := Eq4EPA(rows, fixed)
+	for i, f := range flows {
+		direct, err := f.EPA(tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(epas[i].KilowattHours(), direct.KilowattHours(), 1e-9) {
+			t.Errorf("%s: matrix EPA %v != stepwise EPA %v", f.Name, epas[i], direct)
+		}
+	}
+	out := FormatEq4(rows, fixed, flows)
+	for _, want := range []string{"lithography (EUV)", "deposition", "EPA total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted Eq4 output missing %q", want)
+		}
+	}
+}
+
+func TestStepCounts(t *testing.T) {
+	f := AllSi7nm()
+	c := f.Count()
+	// 3 EUV layers × 2 exposures = 6 EUV; 2 SADP × 3 + 2 LELE × 3 + 2 DUV × 2 = 16 DUV.
+	if c.EUVExposures != 6 {
+		t.Errorf("all-Si EUV exposures = %d, want 6", c.EUVExposures)
+	}
+	if c.DUVExposures != 16 {
+		t.Errorf("all-Si DUV exposures = %d, want 16", c.DUVExposures)
+	}
+	if c.ByArea[Lithography] != c.EUVExposures+c.DUVExposures {
+		t.Error("lithography area count must equal EUV+DUV exposures")
+	}
+	if c.Total() <= 0 {
+		t.Error("total steps must be positive")
+	}
+}
+
+func TestSegmentEnergyBreakdown(t *testing.T) {
+	tbl := DefaultEnergyTable()
+	f := M3D7nm()
+	segs, err := f.SegmentEnergy(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum units.Energy
+	for _, s := range segs {
+		sum += s.Energy
+	}
+	direct, _ := f.EPA(tbl)
+	if !almostEqual(sum.KilowattHours(), direct.KilowattHours(), 1e-9) {
+		t.Errorf("segment sum %v != flow EPA %v", sum, direct)
+	}
+	// Device tiers must be among the most expensive BEOL segments (they
+	// carry 2 EUV exposures plus device formation).
+	var tierE, m80E float64
+	for _, s := range segs {
+		if s.Name == "CNFET tier 1" {
+			tierE = s.Energy.KilowattHours()
+		}
+		if strings.HasPrefix(s.Name, "M15") {
+			m80E = s.Energy.KilowattHours()
+		}
+	}
+	if tierE <= m80E {
+		t.Errorf("CNFET tier energy %v should exceed 80 nm metal energy %v", tierE, m80E)
+	}
+}
+
+func TestAreaEnergyView(t *testing.T) {
+	tbl := DefaultEnergyTable()
+	m, err := AllSi7nm().AreaEnergy(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum units.Energy
+	for _, e := range m {
+		sum += e
+	}
+	direct, _ := AllSi7nm().EPA(tbl)
+	if !almostEqual(sum.KilowattHours(), direct.KilowattHours(), 1e-9) {
+		t.Errorf("area sum %v != flow EPA %v", sum, direct)
+	}
+	names := SortedAreaNames(m)
+	if len(names) != len(m) {
+		t.Errorf("sorted names %d entries, map has %d", len(names), len(m))
+	}
+	if names[0] != "dry etch" {
+		t.Errorf("first area = %q, want dry etch", names[0])
+	}
+}
+
+func TestCNTMaterialNegligible(t *testing.T) {
+	wafer := units.SquareCentimeters(math.Pi * 225)
+	mat, err := CNTMaterial(PaperCNTFilm(wafer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := mat.Carbon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The CNT MPA contribution must be negligible vs. the 3.5e5 g wafer
+	// baseline (< 0.1%).
+	if c.Grams() >= 350 {
+		t.Errorf("CNT carbon = %v g, expected ≪ wafer MPA", c.Grams())
+	}
+	if c.Grams() <= 0 {
+		t.Error("CNT carbon should be positive")
+	}
+}
+
+func TestIGZOMaterialNegligible(t *testing.T) {
+	wafer := units.SquareCentimeters(math.Pi * 225)
+	mat, err := IGZOMaterial(PaperIGZOFilm(wafer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := mat.Carbon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Grams() >= 350 || c.Grams() <= 0 {
+		t.Errorf("IGZO carbon = %v g, expected small positive", c.Grams())
+	}
+}
+
+func TestMPAWithFilms(t *testing.T) {
+	wafer := units.SquareCentimeters(math.Pi * 225)
+	cnt, _ := CNTMaterial(PaperCNTFilm(wafer))
+	igzo, _ := IGZOMaterial(PaperIGZOFilm(wafer))
+	mpa, err := MPAWithFilms(wafer, cnt, igzo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := SiWaferMPA().GramsPerSquareCentimeter()
+	got := mpa.GramsPerSquareCentimeter()
+	if got < base || got > base*1.001 {
+		t.Errorf("MPA with films = %v g/cm², want slightly above %v", got, base)
+	}
+	if _, err := MPAWithFilms(0); err == nil {
+		t.Error("zero wafer area should fail")
+	}
+}
+
+func TestFilmSpecValidation(t *testing.T) {
+	wafer := units.SquareCentimeters(100)
+	badCNT := []CNTFilmSpec{
+		{WaferArea: 0, CNTsPerMicron: 200, DiameterNM: 1.5},
+		{WaferArea: wafer, CNTsPerMicron: 0, DiameterNM: 1.5},
+		{WaferArea: wafer, CNTsPerMicron: 200, DiameterNM: 1.5, ActiveFraction: 2},
+		{WaferArea: wafer, CNTsPerMicron: 200, DiameterNM: 1.5, Tiers: -1},
+	}
+	for i, s := range badCNT {
+		if _, err := s.Mass(); err == nil {
+			t.Errorf("CNT spec %d should be invalid", i)
+		}
+	}
+	badIGZO := []IGZOFilmSpec{
+		{WaferArea: 0, ThicknessNM: 10},
+		{WaferArea: wafer, ThicknessNM: 0},
+		{WaferArea: wafer, ThicknessNM: 10, ActiveFraction: -0.1},
+	}
+	for i, s := range badIGZO {
+		if _, err := s.Mass(); err == nil {
+			t.Errorf("IGZO spec %d should be invalid", i)
+		}
+	}
+	if _, err := (FilmMaterial{MassPerWafer: -1}).Carbon(); err == nil {
+		t.Error("negative film mass should fail")
+	}
+}
+
+// Property: EPA is monotone — appending any valid segment never decreases it.
+func TestEPAMonotoneUnderExtension(t *testing.T) {
+	tbl := DefaultEnergyTable()
+	base := AllSi7nm()
+	baseEPA, err := base.EPA(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(pitchIdx uint8) bool {
+		pitches := []int{36, 48, 64, 80}
+		seg, err := MetalViaPair("extra", pitches[int(pitchIdx)%len(pitches)])
+		if err != nil {
+			return false
+		}
+		ext := &Flow{Name: "ext", Segments: append(append([]Segment{}, base.Segments...), seg)}
+		e, err := ext.EPA(tbl)
+		if err != nil {
+			return false
+		}
+		return e >= baseEPA
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flow EPA equals the sum of its segment energies for arbitrary
+// flows assembled from library segments.
+func TestEPAAdditivity(t *testing.T) {
+	tbl := DefaultEnergyTable()
+	f := func(seed uint32) bool {
+		n := int(seed%5) + 1
+		flow := &Flow{Name: "rand"}
+		for i := 0; i < n; i++ {
+			switch (seed >> (2 * i)) % 3 {
+			case 0:
+				seg, _ := MetalViaPair("m", 36)
+				flow.Segments = append(flow.Segments, seg)
+			case 1:
+				flow.Segments = append(flow.Segments, CNFETTier("cn"))
+			default:
+				flow.Segments = append(flow.Segments, IGZOTier("ig"))
+			}
+		}
+		total, err := flow.EPA(tbl)
+		if err != nil {
+			return false
+		}
+		segs, err := flow.SegmentEnergy(tbl)
+		if err != nil {
+			return false
+		}
+		var sum units.Energy
+		for _, s := range segs {
+			sum += s.Energy
+		}
+		return almostEqual(total.KilowattHours(), sum.KilowattHours(), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildM3DPaperConfigMatchesHandBuilt(t *testing.T) {
+	// The parametric generator with the paper's configuration must give
+	// the same EPA as the hand-built M3D7nm flow.
+	generated, err := BuildM3D(PaperM3DConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := DefaultEnergyTable()
+	got, err := generated.EPA(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := M3D7nm().EPA(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got.KilowattHours(), want.KilowattHours(), 1e-9) {
+		t.Errorf("generated EPA %v != hand-built %v", got, want)
+	}
+}
+
+func TestBuildM3DTierScaling(t *testing.T) {
+	// EPA grows monotonically with tier count.
+	tbl := DefaultEnergyTable()
+	var prev float64
+	for tiers := 1; tiers <= 4; tiers++ {
+		cfg := PaperM3DConfig()
+		cfg.CNFETTiers = tiers
+		f, err := BuildM3D(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		epa, err := f.EPA(tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epa.KilowattHours() <= prev {
+			t.Errorf("%d tiers: EPA %v did not grow", tiers, epa)
+		}
+		prev = epa.KilowattHours()
+	}
+}
+
+func TestBuildM3DValidation(t *testing.T) {
+	bad := []M3DConfig{
+		{},
+		{CNFETTiers: -1, IGZOTiers: 1, InterTierMetals: 2, BaseMetals: 4},
+		{CNFETTiers: 1, InterTierMetals: 0, BaseMetals: 4},
+		{CNFETTiers: 1, InterTierMetals: 2, BaseMetals: 0},
+		{CNFETTiers: 1, InterTierMetals: 2, BaseMetals: 4, TopMetals: []int{17}},
+	}
+	for i, c := range bad {
+		if _, err := BuildM3D(c); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestWaterAccounting(t *testing.T) {
+	wt := DefaultWaterTable()
+	if err := wt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	allSi, err := AllSi7nm().Water(wt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3d, err := M3D7nm().Water(wt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-flow ultrapure water lands in the thousands of liters per
+	// wafer, and the M3D process uses more (more steps).
+	if allSi < 1000 || allSi > 20000 {
+		t.Errorf("all-Si water = %.0f L/wafer, want thousands", allSi)
+	}
+	if m3d <= allSi {
+		t.Errorf("M3D water %.0f should exceed all-Si %.0f", m3d, allSi)
+	}
+	// The extra wet processing of the IGZO tier (wet active etch) shows:
+	// the M3D premium exceeds the pure step-count ratio of dry steps.
+	t.Logf("water: all-Si %.0f L, M3D %.0f L (ratio %.3f)", allSi, m3d, m3d/allSi)
+}
+
+func TestWaterTableValidation(t *testing.T) {
+	bad := WaterTable{}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty table should fail")
+	}
+	wt := DefaultWaterTable()
+	wt.PerStep[WetEtch] = -1
+	if err := wt.Validate(); err == nil {
+		t.Error("negative entry should fail")
+	}
+	wt = DefaultWaterTable()
+	wt.PerLithoExposure = -1
+	if err := wt.Validate(); err == nil {
+		t.Error("negative litho water should fail")
+	}
+	delete(wt.PerStep, DryEtch)
+	if err := wt.Validate(); err == nil {
+		t.Error("missing area should fail")
+	}
+}
+
+func TestGasInventoryGWP(t *testing.T) {
+	// SF6 dominates per gram; NH3 is nearly inert in CO2e terms.
+	sf6, err := GWP100(GasSF6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nh3, err := GWP100(GasNH3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf6 < 1000*nh3 {
+		t.Errorf("SF6 GWP %v should dwarf NH3 %v", sf6, nh3)
+	}
+	if _, err := GWP100(Gas("Xe")); err == nil {
+		t.Error("unknown gas should fail")
+	}
+	if got := len(Gases()); got < 8 {
+		t.Errorf("gas table has %d entries", got)
+	}
+}
+
+func TestReferenceInventoryMatchesIN7GPA(t *testing.T) {
+	// The bundled reference inventory must reproduce the paper's
+	// 0.20 kgCO2e/cm² iN7 GPA within 5%.
+	inv := ReferenceIN7Inventory()
+	wafer := units.SquareCentimeters(706.858)
+	gpa, err := inv.GPA(wafer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := gpa.GramsPerSquareCentimeter()
+	if !almostEqual(got, 200, 0.05) {
+		t.Errorf("reference inventory GPA = %.1f g/cm², want 200 ± 5%%", got)
+	}
+	out, err := FormatInventory(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"NF3", "total", "GWP-100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("inventory table missing %q", want)
+		}
+	}
+}
+
+func TestGasInventoryValidation(t *testing.T) {
+	if _, err := (GasInventory{}).Carbon(); err == nil {
+		t.Error("empty inventory should fail")
+	}
+	if _, err := (GasInventory{GasCH4: -1}).Carbon(); err == nil {
+		t.Error("negative mass should fail")
+	}
+	if _, err := (GasInventory{Gas("Xe"): 1}).Carbon(); err == nil {
+		t.Error("unknown gas should fail")
+	}
+	if _, err := (GasInventory{GasCH4: 1}).GPA(0); err == nil {
+		t.Error("zero wafer area should fail")
+	}
+}

@@ -1,0 +1,218 @@
+package process
+
+import "fmt"
+
+// MetalPatterning identifies how a metal/via pair at a given pitch is
+// patterned. Pitch determines patterning per the ASAP7 assumptions the
+// paper follows: 36 nm needs a single EUV exposure per layer, 48 nm is
+// modeled with the 42 nm self-aligned double patterning (SADP) DUV energy,
+// 64 nm uses litho-etch-litho-etch (LELE) DUV, and 80 nm is single DUV.
+type MetalPatterning int
+
+// Patterning schemes for metal/via pairs.
+const (
+	// PatternEUV is single-exposure EUV patterning (36 nm pitch).
+	PatternEUV MetalPatterning = iota
+	// PatternSADP is self-aligned double patterning with DUV (42/48 nm pitch).
+	PatternSADP
+	// PatternLELE is litho-etch-litho-etch double patterning (64 nm pitch).
+	PatternLELE
+	// PatternSingleDUV is single-exposure DUV (80 nm pitch).
+	PatternSingleDUV
+)
+
+// PatterningForPitch maps a metal pitch in nanometers to its patterning
+// scheme, following Sec. II-C: "For layers with 48 nm pitch, we use the
+// fabrication energy of a metal layer with 42 nm pitch."
+func PatterningForPitch(pitchNM int) (MetalPatterning, error) {
+	switch pitchNM {
+	case 36:
+		return PatternEUV, nil
+	case 42, 48:
+		return PatternSADP, nil
+	case 64:
+		return PatternLELE, nil
+	case 80:
+		return PatternSingleDUV, nil
+	default:
+		return 0, fmt.Errorf("process: no patterning data for %d nm pitch", pitchNM)
+	}
+}
+
+// MetalViaPair returns the segment fabricating one metal layer plus its
+// underlying via layer at the given pitch. The step lists follow the
+// dual-damascene sequence: dielectric deposition, via and trench patterning
+// and etch, barrier/seed and fill metallization, CMP, and inline metrology.
+func MetalViaPair(name string, pitchNM int) (Segment, error) {
+	pat, err := PatterningForPitch(pitchNM)
+	if err != nil {
+		return Segment{}, err
+	}
+	label := func(s string) string { return fmt.Sprintf("%s %s", name, s) }
+	var steps []Step
+	add := func(s string, a Area, l Litho) {
+		steps = append(steps, Step{Name: label(s), Area: a, Litho: l})
+	}
+	switch pat {
+	case PatternEUV:
+		// 2 EUV exposures (via + trench); 4 kWh of deposition over 3 steps
+		// is the paper's worked example for this recipe (Fig. 2d).
+		add("ILD deposition", Deposition, LithoNone)
+		add("etch-stop deposition", Deposition, LithoNone)
+		add("via litho", Lithography, LithoEUV)
+		add("via etch", DryEtch, LithoNone)
+		add("trench litho", Lithography, LithoEUV)
+		add("trench etch", DryEtch, LithoNone)
+		add("barrier open etch", DryEtch, LithoNone)
+		add("descum", DryEtch, LithoNone)
+		add("post-etch clean", WetEtch, LithoNone)
+		add("barrier/seed", Metallization, LithoNone)
+		add("Cu fill", Metallization, LithoNone)
+		add("CMP", WetEtch, LithoNone)
+		add("cap deposition", Deposition, LithoNone)
+		add("overlay metrology", Metrology, LithoNone)
+		add("CD metrology", Metrology, LithoNone)
+		add("defect inspection", Metrology, LithoNone)
+		add("film metrology", Metrology, LithoNone)
+	case PatternSADP:
+		// Mandrel + spacer + block + via: 3 DUV exposures, extra spacer
+		// deposition/etch and mandrel pull.
+		add("ILD deposition", Deposition, LithoNone)
+		add("etch-stop deposition", Deposition, LithoNone)
+		add("mandrel film deposition", Deposition, LithoNone)
+		add("mandrel litho", Lithography, LithoDUV)
+		add("mandrel etch", DryEtch, LithoNone)
+		add("spacer deposition", Deposition, LithoNone)
+		add("spacer etch", DryEtch, LithoNone)
+		add("mandrel pull", WetEtch, LithoNone)
+		add("block litho", Lithography, LithoDUV)
+		add("block etch", DryEtch, LithoNone)
+		add("via litho", Lithography, LithoDUV)
+		add("via etch", DryEtch, LithoNone)
+		add("trench etch", DryEtch, LithoNone)
+		add("descum", DryEtch, LithoNone)
+		add("post-etch clean", WetEtch, LithoNone)
+		add("barrier/seed", Metallization, LithoNone)
+		add("Cu fill", Metallization, LithoNone)
+		add("CMP", WetEtch, LithoNone)
+		add("cap deposition", Deposition, LithoNone)
+		add("overlay metrology", Metrology, LithoNone)
+		add("CD metrology", Metrology, LithoNone)
+		add("defect inspection", Metrology, LithoNone)
+		add("film metrology", Metrology, LithoNone)
+		add("spacer metrology", Metrology, LithoNone)
+	case PatternLELE:
+		// Two interleaved litho/etch passes plus the via.
+		add("ILD deposition", Deposition, LithoNone)
+		add("etch-stop deposition", Deposition, LithoNone)
+		add("LE1 litho", Lithography, LithoDUV)
+		add("LE1 etch", DryEtch, LithoNone)
+		add("LE2 litho", Lithography, LithoDUV)
+		add("LE2 etch", DryEtch, LithoNone)
+		add("via litho", Lithography, LithoDUV)
+		add("via etch", DryEtch, LithoNone)
+		add("trench etch", DryEtch, LithoNone)
+		add("descum", DryEtch, LithoNone)
+		add("post-etch clean", WetEtch, LithoNone)
+		add("barrier/seed", Metallization, LithoNone)
+		add("Cu fill", Metallization, LithoNone)
+		add("CMP", WetEtch, LithoNone)
+		add("cap deposition", Deposition, LithoNone)
+		add("overlay metrology", Metrology, LithoNone)
+		add("CD metrology", Metrology, LithoNone)
+		add("defect inspection", Metrology, LithoNone)
+		add("film metrology", Metrology, LithoNone)
+	case PatternSingleDUV:
+		add("ILD deposition", Deposition, LithoNone)
+		add("etch-stop deposition", Deposition, LithoNone)
+		add("via litho", Lithography, LithoDUV)
+		add("via etch", DryEtch, LithoNone)
+		add("trench litho", Lithography, LithoDUV)
+		add("trench etch", DryEtch, LithoNone)
+		add("descum", DryEtch, LithoNone)
+		add("post-etch clean", WetEtch, LithoNone)
+		add("barrier/seed", Metallization, LithoNone)
+		add("Cu fill", Metallization, LithoNone)
+		add("CMP", WetEtch, LithoNone)
+		add("cap deposition", Deposition, LithoNone)
+		add("overlay metrology", Metrology, LithoNone)
+		add("CD metrology", Metrology, LithoNone)
+		add("defect inspection", Metrology, LithoNone)
+	}
+	return Segment{Name: fmt.Sprintf("%s (%d nm pitch)", name, pitchNM), Steps: steps}, nil
+}
+
+// CNFETTier returns the segment fabricating one tier of carbon-nanotube
+// FETs in the BEOL, following the paper's flow (Sec. II-C): oxide
+// deposition; CNT deposition by wet-processing incubation (~2 nm film);
+// active-region patterning and O2-plasma dry etch; source/drain electrode
+// patterning and deposition (40 nm); high-k dielectric (2 nm); gate metal
+// patterning and deposition (30 nm gate length); wet etch to expose
+// source/drain; and vias to the metal layer above. Gate and via levels are
+// 7 nm-node critical dimensions requiring EUV; active and S/D levels relax
+// to DUV.
+func CNFETTier(name string) Segment {
+	label := func(s string) string { return fmt.Sprintf("%s %s", name, s) }
+	mk := func(s string, a Area, l Litho) Step {
+		return Step{Name: label(s), Area: a, Litho: l}
+	}
+	return Segment{
+		Name: name,
+		Steps: []Step{
+			mk("isolation oxide deposition", Deposition, LithoNone),
+			mk("CNT incubation deposition", Deposition, LithoNone),
+			mk("active litho", Lithography, LithoDUV),
+			mk("active O2 plasma etch", DryEtch, LithoNone),
+			mk("S/D litho", Lithography, LithoDUV),
+			mk("S/D electrode deposition", Metallization, LithoNone),
+			mk("high-k dielectric deposition", Deposition, LithoNone),
+			mk("gate litho", Lithography, LithoEUV),
+			mk("gate etch", DryEtch, LithoNone),
+			mk("gate metal deposition", Metallization, LithoNone),
+			mk("S/D exposure wet etch", WetEtch, LithoNone),
+			mk("post-process clean", WetEtch, LithoNone),
+			mk("via litho", Lithography, LithoEUV),
+			mk("via etch", DryEtch, LithoNone),
+			mk("via fill", Metallization, LithoNone),
+			mk("overlay metrology", Metrology, LithoNone),
+			mk("CD metrology", Metrology, LithoNone),
+			mk("defect inspection", Metrology, LithoNone),
+			mk("film metrology", Metrology, LithoNone),
+		},
+	}
+}
+
+// IGZOTier returns the segment fabricating one tier of IGZO FETs in the
+// BEOL. It mirrors the CNFET tier with two differences from the paper:
+// IGZO deposition uses RF sputtering (10 nm film), and the active region is
+// patterned with a wet etch instead of an O2 plasma.
+func IGZOTier(name string) Segment {
+	label := func(s string) string { return fmt.Sprintf("%s %s", name, s) }
+	mk := func(s string, a Area, l Litho) Step {
+		return Step{Name: label(s), Area: a, Litho: l}
+	}
+	return Segment{
+		Name: name,
+		Steps: []Step{
+			mk("isolation oxide deposition", Deposition, LithoNone),
+			mk("IGZO RF sputter deposition", Deposition, LithoNone),
+			mk("active litho", Lithography, LithoDUV),
+			mk("active wet etch", WetEtch, LithoNone),
+			mk("S/D litho", Lithography, LithoDUV),
+			mk("S/D electrode deposition", Metallization, LithoNone),
+			mk("high-k dielectric deposition", Deposition, LithoNone),
+			mk("gate litho", Lithography, LithoEUV),
+			mk("gate etch", DryEtch, LithoNone),
+			mk("gate metal deposition", Metallization, LithoNone),
+			mk("S/D exposure wet etch", WetEtch, LithoNone),
+			mk("post-process clean", WetEtch, LithoNone),
+			mk("via litho", Lithography, LithoEUV),
+			mk("via etch", DryEtch, LithoNone),
+			mk("via fill", Metallization, LithoNone),
+			mk("overlay metrology", Metrology, LithoNone),
+			mk("CD metrology", Metrology, LithoNone),
+			mk("defect inspection", Metrology, LithoNone),
+			mk("film metrology", Metrology, LithoNone),
+		},
+	}
+}

@@ -1,0 +1,113 @@
+package process
+
+import (
+	"errors"
+	"fmt"
+
+	"ppatc/internal/units"
+)
+
+// M3DConfig parameterizes a generalized monolithic-3D flow, for exploring
+// how embodied carbon scales with the number of stacked device tiers —
+// the "which technology directions to pursue" question the paper poses.
+type M3DConfig struct {
+	// CNFETTiers and IGZOTiers count the stacked BEOL device tiers.
+	CNFETTiers, IGZOTiers int
+	// InterTierMetals is the number of 36 nm metal/via pairs between
+	// consecutive tiers (2 in the paper's flow).
+	InterTierMetals int
+	// BaseMetals is the number of ASAP7 base metal layers before the
+	// first tier (4 in the paper's flow).
+	BaseMetals int
+	// TopMetals lists the pitches (nm) of the metal layers above the
+	// last tier's local interconnect.
+	TopMetals []int
+}
+
+// PaperM3DConfig reproduces the paper's stack: 2 CNFET tiers + 1 IGZO
+// tier over M1-M4, two 36 nm layers between tiers and above the IGZO, and
+// M11-M15 on top.
+func PaperM3DConfig() M3DConfig {
+	return M3DConfig{
+		CNFETTiers:      2,
+		IGZOTiers:       1,
+		InterTierMetals: 2,
+		BaseMetals:      4,
+		TopMetals:       []int{48, 64, 64, 80, 80},
+	}
+}
+
+// Validate checks the configuration.
+func (c M3DConfig) Validate() error {
+	switch {
+	case c.CNFETTiers < 0 || c.IGZOTiers < 0:
+		return errors.New("process: tier counts must be non-negative")
+	case c.CNFETTiers+c.IGZOTiers == 0:
+		return errors.New("process: an M3D flow needs at least one device tier")
+	case c.InterTierMetals < 1:
+		return errors.New("process: need at least one metal layer per tier")
+	case c.BaseMetals < 1 || c.BaseMetals > 9:
+		return errors.New("process: base metals must be 1-9")
+	}
+	for _, p := range c.TopMetals {
+		if _, err := PatterningForPitch(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildM3D assembles the generalized M3D flow: FEOL, base metals, CNFET
+// tiers (each followed by its inter-tier metals), IGZO tiers, then the top
+// metals.
+func BuildM3D(c M3DConfig) (*Flow, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Flow{Name: fmt.Sprintf("M3D %dxCNFET+%dxIGZO 7nm", c.CNFETTiers, c.IGZOTiers)}
+	f.Segments = append(f.Segments, Segment{
+		Name:        "FEOL+MOL (Si FinFET, iN7 reference)",
+		FixedEnergy: units.KilowattHours(FEOLEnergyKWh),
+	})
+	metal := 0
+	mv := func(pitch int) error {
+		metal++
+		seg, err := MetalViaPair(fmt.Sprintf("M%d", metal), pitch)
+		if err != nil {
+			return err
+		}
+		f.Segments = append(f.Segments, seg)
+		return nil
+	}
+	for m := 1; m <= c.BaseMetals; m++ {
+		if err := mv(asap7Pitch[m]); err != nil {
+			return nil, err
+		}
+	}
+	addTierMetals := func() error {
+		for i := 0; i < c.InterTierMetals; i++ {
+			if err := mv(36); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for t := 1; t <= c.CNFETTiers; t++ {
+		f.Segments = append(f.Segments, CNFETTier(fmt.Sprintf("CNFET tier %d", t)))
+		if err := addTierMetals(); err != nil {
+			return nil, err
+		}
+	}
+	for t := 1; t <= c.IGZOTiers; t++ {
+		f.Segments = append(f.Segments, IGZOTier(fmt.Sprintf("IGZO tier %d", t)))
+		if err := addTierMetals(); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range c.TopMetals {
+		if err := mv(p); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,86 @@
+package process
+
+import "errors"
+
+// Water accounting — the first extension the paper's conclusion lists
+// ("cost, new materials and processes, alternative memory cell topologies,
+// water consumption, and more"). Fab ultrapure-water usage is tracked the
+// same way as fabrication energy: liters per step per process area, summed
+// over a flow. Wet processing dominates (etch baths, post-etch rinses,
+// CMP slurry rinse); lithography develop/rinse and deposition chamber
+// cleans follow.
+
+// WaterTable gives liters of ultrapure water per step in each process
+// area, plus a fixed charge for the FEOL lump.
+type WaterTable struct {
+	// PerStep is liters per step per area.
+	PerStep map[Area]float64
+	// PerLithoExposure is liters per exposure (develop + rinse).
+	PerLithoExposure float64
+	// FEOLLiters is the water charge of the fixed FEOL/MOL segment.
+	FEOLLiters float64
+}
+
+// DefaultWaterTable returns per-step water figures consistent with
+// published fab-level intensities (ultrapure water on the order of a few
+// thousand liters per wafer for a full logic flow).
+func DefaultWaterTable() WaterTable {
+	return WaterTable{
+		PerStep: map[Area]float64{
+			DryEtch:       8,  // chamber clean + post-etch rinse
+			Metallization: 12, // plating bath + rinse
+			Metrology:     1,
+			WetEtch:       40, // bath + cascade rinse (dominant)
+			Deposition:    6,
+		},
+		PerLithoExposure: 15, // develop + rinse
+		FEOLLiters:       1800,
+	}
+}
+
+// Validate checks the table covers every area non-negatively.
+func (t WaterTable) Validate() error {
+	if t.PerStep == nil {
+		return errors.New("process: water table has no per-step entries")
+	}
+	for _, a := range Areas() {
+		if a == Lithography {
+			continue
+		}
+		v, ok := t.PerStep[a]
+		if !ok {
+			return errors.New("process: water table missing area " + a.String())
+		}
+		if v < 0 {
+			return errors.New("process: negative water for area " + a.String())
+		}
+	}
+	if t.PerLithoExposure < 0 || t.FEOLLiters < 0 {
+		return errors.New("process: water charges must be non-negative")
+	}
+	return nil
+}
+
+// Water reports the flow's ultrapure-water usage in liters per wafer.
+func (f *Flow) Water(t WaterTable) (float64, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, seg := range f.Segments {
+		if seg.FixedEnergy != 0 {
+			total += t.FEOLLiters
+		}
+		for _, st := range seg.Steps {
+			if st.Area == Lithography {
+				total += t.PerLithoExposure
+				continue
+			}
+			total += t.PerStep[st.Area]
+		}
+	}
+	return total, nil
+}

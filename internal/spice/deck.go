@@ -1,0 +1,254 @@
+package spice
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ppatc/internal/device"
+)
+
+// ParseDeck builds a circuit and an analysis request from a SPICE-style
+// netlist deck. The supported dialect covers what the eDRAM work needs:
+//
+//   - title line (first line, ignored)
+//     R<name> n1 n2 <value>                resistor (ohms)
+//     C<name> n1 n2 <value>                capacitor (farads)
+//     V<name> n+ n- <value>                DC voltage source
+//     V<name> n+ n- PULSE(v1 v2 td tr tf pw [per])
+//     V<name> n+ n- PWL(t1 v1 t2 v2 ...)
+//     I<name> n+ n- <value>                DC current source
+//     M<name> d g s <model> W=<meters>     FET (models below)
+//     .model names: sinmos_hvt|rvt|lvt|slvt, sipmos_<vt>, cnfet, cnfet_p, igzo
+//     .tran <dt> <tstop>                   transient request
+//     .end                                 optional terminator
+//
+// Values accept engineering suffixes (f, p, n, u, m, k, meg, g, t).
+// Comment lines start with '*'; '$' starts an inline comment.
+func ParseDeck(src string) (*Circuit, *TranRequest, error) {
+	ck := NewCircuit()
+	var req *TranRequest
+	lines := strings.Split(src, "\n")
+	for i, raw := range lines {
+		line := raw
+		if j := strings.Index(line, "$"); j >= 0 {
+			line = line[:j]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "*") || i == 0 {
+			continue // blank, comment, or title line
+		}
+		fields := strings.Fields(line)
+		head := strings.ToLower(fields[0])
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("spice: deck line %d: "+format, append([]any{i + 1}, args...)...)
+		}
+		switch {
+		case head == ".end":
+			// done; ignore the rest
+		case head == ".tran":
+			if len(fields) != 3 {
+				return nil, nil, fail(".tran needs <dt> <tstop>")
+			}
+			dt, err := parseEng(fields[1])
+			if err != nil {
+				return nil, nil, fail("%v", err)
+			}
+			tstop, err := parseEng(fields[2])
+			if err != nil {
+				return nil, nil, fail("%v", err)
+			}
+			req = &TranRequest{Step: dt, Stop: tstop}
+		case strings.HasPrefix(head, "r"):
+			if len(fields) != 4 {
+				return nil, nil, fail("resistor needs 2 nodes and a value")
+			}
+			v, err := parseEng(fields[3])
+			if err != nil {
+				return nil, nil, fail("%v", err)
+			}
+			if err := ck.AddR(fields[0], fields[1], fields[2], v); err != nil {
+				return nil, nil, fail("%v", err)
+			}
+		case strings.HasPrefix(head, "c"):
+			if len(fields) != 4 {
+				return nil, nil, fail("capacitor needs 2 nodes and a value")
+			}
+			v, err := parseEng(fields[3])
+			if err != nil {
+				return nil, nil, fail("%v", err)
+			}
+			if err := ck.AddC(fields[0], fields[1], fields[2], v); err != nil {
+				return nil, nil, fail("%v", err)
+			}
+		case strings.HasPrefix(head, "v"), strings.HasPrefix(head, "i"):
+			if len(fields) < 4 {
+				return nil, nil, fail("source needs 2 nodes and a value")
+			}
+			spec := strings.Join(fields[3:], " ")
+			w, err := parseWaveform(spec)
+			if err != nil {
+				return nil, nil, fail("%v", err)
+			}
+			if strings.HasPrefix(head, "v") {
+				err = ck.AddV(fields[0], fields[1], fields[2], w)
+			} else {
+				err = ck.AddI(fields[0], fields[1], fields[2], w)
+			}
+			if err != nil {
+				return nil, nil, fail("%v", err)
+			}
+		case strings.HasPrefix(head, "m"):
+			if len(fields) != 6 {
+				return nil, nil, fail("FET needs d g s <model> W=<w>")
+			}
+			params, err := modelByName(fields[4])
+			if err != nil {
+				return nil, nil, fail("%v", err)
+			}
+			wSpec := strings.ToLower(fields[5])
+			if !strings.HasPrefix(wSpec, "w=") {
+				return nil, nil, fail("FET width must be W=<meters>")
+			}
+			w, err := parseEng(wSpec[2:])
+			if err != nil {
+				return nil, nil, fail("%v", err)
+			}
+			if err := ck.AddFET(fields[0], fields[1], fields[2], fields[3], params, w); err != nil {
+				return nil, nil, fail("%v", err)
+			}
+		default:
+			return nil, nil, fail("unrecognized element %q", fields[0])
+		}
+	}
+	return ck, req, nil
+}
+
+// TranRequest is the .tran card of a deck.
+type TranRequest struct {
+	// Step and Stop are the transient step and end time (seconds).
+	Step, Stop float64
+}
+
+// modelByName resolves the deck's FET model names.
+func modelByName(name string) (device.Params, error) {
+	flavors := map[string]device.VTFlavor{
+		"hvt": device.HVT, "rvt": device.RVT, "lvt": device.LVT, "slvt": device.SLVT,
+	}
+	n := strings.ToLower(name)
+	switch {
+	case strings.HasPrefix(n, "sinmos_"):
+		f, ok := flavors[strings.TrimPrefix(n, "sinmos_")]
+		if !ok {
+			return device.Params{}, fmt.Errorf("unknown Si NMOS flavour %q", name)
+		}
+		return device.SiNFET(f), nil
+	case strings.HasPrefix(n, "sipmos_"):
+		f, ok := flavors[strings.TrimPrefix(n, "sipmos_")]
+		if !ok {
+			return device.Params{}, fmt.Errorf("unknown Si PMOS flavour %q", name)
+		}
+		return device.SiPFET(f), nil
+	case n == "cnfet":
+		return device.CNFET(), nil
+	case n == "cnfet_p":
+		return device.CNFETPMOS(), nil
+	case n == "igzo":
+		return device.IGZO(), nil
+	default:
+		return device.Params{}, fmt.Errorf("unknown model %q", name)
+	}
+}
+
+// parseWaveform parses a DC value, PULSE(...) or PWL(...).
+func parseWaveform(spec string) (Waveform, error) {
+	s := strings.TrimSpace(spec)
+	upper := strings.ToUpper(s)
+	switch {
+	case strings.HasPrefix(upper, "PULSE"):
+		args, err := parseArgs(s)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) < 6 || len(args) > 7 {
+			return nil, fmt.Errorf("PULSE needs 6-7 arguments, got %d", len(args))
+		}
+		p := Pulse{V1: args[0], V2: args[1], Delay: args[2], Rise: args[3], Fall: args[4], Width: args[5]}
+		if len(args) == 7 {
+			p.Period = args[6]
+		}
+		return p, nil
+	case strings.HasPrefix(upper, "PWL"):
+		args, err := parseArgs(s)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) == 0 || len(args)%2 != 0 {
+			return nil, fmt.Errorf("PWL needs time/value pairs")
+		}
+		pts := make([][2]float64, 0, len(args)/2)
+		for i := 0; i < len(args); i += 2 {
+			pts = append(pts, [2]float64{args[i], args[i+1]})
+		}
+		return NewPWL(pts...)
+	default:
+		v, err := parseEng(strings.TrimPrefix(strings.TrimPrefix(s, "DC "), "dc "))
+		if err != nil {
+			return nil, err
+		}
+		return DC(v), nil
+	}
+}
+
+// parseArgs extracts the numbers from "NAME(a b c)" or "NAME(a, b, c)".
+func parseArgs(s string) ([]float64, error) {
+	open := strings.Index(s, "(")
+	close := strings.LastIndex(s, ")")
+	if open < 0 || close < open {
+		return nil, fmt.Errorf("malformed function %q", s)
+	}
+	body := strings.ReplaceAll(s[open+1:close], ",", " ")
+	var out []float64
+	for _, f := range strings.Fields(body) {
+		v, err := parseEng(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseEng parses a number with an optional SPICE engineering suffix.
+func parseEng(s string) (float64, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" {
+		return 0, fmt.Errorf("empty value")
+	}
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "meg"):
+		mult, s = 1e6, s[:len(s)-3]
+	case strings.HasSuffix(s, "f"):
+		mult, s = 1e-15, s[:len(s)-1]
+	case strings.HasSuffix(s, "p"):
+		mult, s = 1e-12, s[:len(s)-1]
+	case strings.HasSuffix(s, "n"):
+		mult, s = 1e-9, s[:len(s)-1]
+	case strings.HasSuffix(s, "u"):
+		mult, s = 1e-6, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1e-3, s[:len(s)-1]
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1e3, s[:len(s)-1]
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1e9, s[:len(s)-1]
+	case strings.HasSuffix(s, "t"):
+		mult, s = 1e12, s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v * mult, nil
+}

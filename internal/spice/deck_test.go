@@ -1,0 +1,252 @@
+package spice
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseEngSuffixes(t *testing.T) {
+	cases := map[string]float64{
+		"1k": 1e3, "2.5meg": 2.5e6, "3g": 3e9, "1t": 1e12,
+		"10m": 10e-3, "5u": 5e-6, "7n": 7e-9, "15p": 15e-12, "0.3f": 0.3e-15,
+		"42": 42, "-1.5": -1.5, "1e-9": 1e-9,
+	}
+	for in, want := range cases {
+		got, err := parseEng(in)
+		if err != nil {
+			t.Errorf("parseEng(%q): %v", in, err)
+			continue
+		}
+		if math.Abs(got-want) > 1e-12*math.Abs(want) {
+			t.Errorf("parseEng(%q) = %v, want %v", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "1x2"} {
+		if _, err := parseEng(bad); err == nil {
+			t.Errorf("parseEng(%q) should fail", bad)
+		}
+	}
+}
+
+func TestDeckRCDivider(t *testing.T) {
+	deck := `* divider test deck
+V1 in 0 1.0
+R1 in mid 1k
+R2 mid 0 3k
+.end
+`
+	ck, req, err := ParseDeck(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req != nil {
+		t.Error("no .tran requested")
+	}
+	op, err := ck.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := op.Voltage("mid")
+	if math.Abs(v-0.75) > 1e-6 {
+		t.Errorf("divider mid = %v, want 0.75", v)
+	}
+}
+
+func TestDeckInverterTransient(t *testing.T) {
+	deck := `* CMOS inverter, deck-driven
+VDD vdd 0 0.7
+VIN in 0 PULSE(0 0.7 0.2n 10p 10p 5n)
+MP out in vdd sipmos_rvt W=54n
+MN out in 0 sinmos_rvt W=36n
+CL out 0 1f
+.tran 1p 3n
+.end
+`
+	ck, req, err := ParseDeck(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req == nil || req.Step != 1e-12 || math.Abs(req.Stop-3e-9) > 1e-18 {
+		t.Fatalf("tran request = %+v", req)
+	}
+	tr, err := ck.Transient(req.Stop, req.Step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := tr.CrossingTime("out", 0.35, false, 0.2e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc <= 0.2e-9 || tc > 1e-9 {
+		t.Errorf("deck inverter switched at %v", tc)
+	}
+}
+
+func TestDeckBitcellModels(t *testing.T) {
+	// Every model name resolves, including the beyond-Si devices.
+	deck := `* model zoo
+V1 d 0 0.7
+V2 g 0 1.3
+M1 d g 0 igzo W=80n
+M2 d g 0 cnfet W=30n
+M3 d g 0 cnfet_p W=30n
+M4 d g 0 sinmos_hvt W=20n
+M5 d g 0 sipmos_slvt W=20n
+.end
+`
+	ck, _, err := ParseDeck(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ck.OP(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeckPWLSource(t *testing.T) {
+	deck := `* pwl
+V1 a 0 PWL(0 0 1n 0.7 2n 0.35)
+R1 a 0 1k
+.tran 0.05n 2n
+`
+	ck, req, err := ParseDeck(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ck.Transient(req.Stop, req.Step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := tr.At("a", 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-0.7) > 0.01 {
+		t.Errorf("pwl at 1 ns = %v, want 0.7", v)
+	}
+}
+
+func TestDeckErrors(t *testing.T) {
+	bad := []string{
+		"* t\nR1 a b\n",                   // missing value
+		"* t\nR1 a b 1x\n",                // bad number
+		"* t\nQ1 a b c\n",                 // unknown element
+		"* t\nM1 d g s nosuch W=30n\n",    // unknown model
+		"* t\nM1 d g s cnfet L=30n\n",     // missing W=
+		"* t\nV1 a 0 PULSE(1 2 3)\n",      // short pulse
+		"* t\nV1 a 0 PWL(1 2 3)\n",        // odd PWL args
+		"* t\nV1 a 0 PULSE 1 2 3 4 5 6\n", // missing parens
+		"* t\n.tran 1p\n",                 // short .tran
+		"* t\nC1 a 0 -1p\n",               // negative capacitance
+	}
+	for i, deck := range bad {
+		if _, _, err := ParseDeck(deck); err == nil {
+			t.Errorf("deck %d should fail to parse", i)
+		}
+	}
+}
+
+func TestDeckCommentsAndTitle(t *testing.T) {
+	deck := "this title line mentions R1 but is ignored\n" +
+		"* a comment\n" +
+		"V1 a 0 1.0 $ inline comment\n" +
+		"R1 a 0 2k\n"
+	ck, _, err := ParseDeck(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := ck.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := op.SourceCurrent("V1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(i+0.5e-3) > 1e-9 {
+		t.Errorf("source current = %v, want -0.5 mA", i)
+	}
+}
+
+// TestEnergyConservationRC verifies the simulator's books balance: in a
+// driven RC, the source's delivered energy equals the capacitor's stored
+// energy plus the resistor's dissipation (computed independently from the
+// waveforms).
+func TestEnergyConservationRC(t *testing.T) {
+	c := NewCircuit()
+	if err := c.AddV("vs", "in", Ground, Pulse{V1: 0, V2: 1, Rise: 1e-12, Width: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddR("r", "in", "out", 2000); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddC("c", "out", Ground, 2e-9); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.Transient(40e-6, 4e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered, err := tr.SourceEnergy("vs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vin, err := tr.Voltage("in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vout, err := tr.Voltage("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dissipation: ∫ (vin−vout)²/R dt (trapezoidal).
+	var dissipated float64
+	for i := 1; i < len(tr.Times); i++ {
+		dt := tr.Times[i] - tr.Times[i-1]
+		p0 := (vin[i-1] - vout[i-1]) * (vin[i-1] - vout[i-1]) / 2000
+		p1 := (vin[i] - vout[i]) * (vin[i] - vout[i]) / 2000
+		dissipated += dt * (p0 + p1) / 2
+	}
+	stored := 0.5 * 2e-9 * vout[len(vout)-1] * vout[len(vout)-1]
+	balance := (stored + dissipated) / delivered
+	if balance < 0.98 || balance > 1.02 {
+		t.Errorf("energy books off: delivered %.4g, stored %.4g + dissipated %.4g (ratio %.4f)",
+			delivered, stored, dissipated, balance)
+	}
+}
+
+// TestKCLAtOperatingPoint verifies Kirchhoff's current law holds at a
+// solved DC node: the three resistor currents into a star node sum to
+// (numerically) zero.
+func TestKCLAtOperatingPoint(t *testing.T) {
+	c := NewCircuit()
+	if err := c.AddV("v1", "a", Ground, DC(1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddV("v2", "b", Ground, DC(-0.5)); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []struct {
+		id, n1, n2 string
+		ohms       float64
+	}{
+		{"ra", "a", "star", 1000},
+		{"rb", "b", "star", 2200},
+		{"rc", "star", Ground, 4700},
+	} {
+		if err := c.AddR(r.id, r.n1, r.n2, r.ohms); err != nil {
+			t.Fatal(err)
+		}
+	}
+	op, err := c.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, _ := op.Voltage("a")
+	vb, _ := op.Voltage("b")
+	vs, _ := op.Voltage("star")
+	sum := (va-vs)/1000 + (vb-vs)/2200 + (0-vs)/4700
+	if sum > 1e-9 || sum < -1e-9 {
+		t.Errorf("KCL violated at star node: residual %.3g A", sum)
+	}
+}

@@ -1,0 +1,171 @@
+package spice
+
+import (
+	"testing"
+
+	"ppatc/internal/device"
+)
+
+func vtcSweep(t *testing.T) *Sweep {
+	t.Helper()
+	c := buildInverter(t, DC(0), 0)
+	var values []float64
+	for v := 0.0; v <= device.VDD+1e-9; v += 0.01 {
+		values = append(values, v)
+	}
+	sw, err := c.DCSweep("vin", values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+func TestInverterVTC(t *testing.T) {
+	sw := vtcSweep(t)
+	out, err := sw.Voltage("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rails: high output at low input, low output at high input.
+	if out[0] < device.VDD-0.02 {
+		t.Errorf("VTC left rail = %v, want ≈ VDD", out[0])
+	}
+	if out[len(out)-1] > 0.02 {
+		t.Errorf("VTC right rail = %v, want ≈ 0", out[len(out)-1])
+	}
+	// Monotone non-increasing.
+	for i := 1; i < len(out); i++ {
+		if out[i] > out[i-1]+1e-6 {
+			t.Fatalf("VTC not monotone at point %d", i)
+		}
+	}
+	// Switching threshold near midrail (PMOS weaker → slightly below).
+	vm, err := sw.SwitchingThreshold("out", device.VDD/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm < 0.2 || vm > 0.5 {
+		t.Errorf("switching threshold = %v, want 0.2-0.5 V", vm)
+	}
+	// Restoring logic: gain above 1 (comfortably, for a static inverter).
+	g, err := sw.MaxAbsGain("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 2 {
+		t.Errorf("VTC gain = %v, want > 2", g)
+	}
+}
+
+func TestSweepValidationAndAccessors(t *testing.T) {
+	c := buildInverter(t, DC(0), 0)
+	if _, err := c.DCSweep("vin", nil); err == nil {
+		t.Error("empty sweep should fail")
+	}
+	if _, err := c.DCSweep("nosuch", []float64{0}); err == nil {
+		t.Error("unknown source should fail")
+	}
+	sw, err := c.DCSweep("vin", []float64{0, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Voltage("nosuch"); err == nil {
+		t.Error("unknown node should fail")
+	}
+	g, err := sw.Voltage(Ground)
+	if err != nil || g[0] != 0 || g[1] != 0 {
+		t.Error("ground trace must be zero")
+	}
+	if _, err := sw.SwitchingThreshold("out", -5); err == nil {
+		t.Error("impossible threshold should fail")
+	}
+	// The source waveform must be restored after the sweep.
+	op, err := c.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := op.Voltage("in")
+	if v > 0.01 {
+		t.Errorf("source not restored after sweep: in = %v", v)
+	}
+}
+
+func TestSweepMatchesIndividualOPs(t *testing.T) {
+	// The warm-started sweep must agree with independent operating points.
+	for _, vin := range []float64{0.1, 0.35, 0.6} {
+		c1 := buildInverter(t, DC(vin), 0)
+		op, err := c1.OP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, _ := op.Voltage("out")
+
+		c2 := buildInverter(t, DC(0), 0)
+		sw, err := c2.DCSweep("vin", []float64{0, vin})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace, _ := sw.Voltage("out")
+		if diff := abs(direct - trace[1]); diff > 1e-6 {
+			t.Errorf("vin=%v: sweep %v vs direct %v", vin, trace[1], direct)
+		}
+	}
+}
+
+// TestRingOscillator closes the loop: a 5-stage inverter ring must
+// oscillate with a period of ≈2·N stage delays — the canonical transient
+// self-test of a circuit simulator (feedback, no driving source).
+func TestRingOscillator(t *testing.T) {
+	c := NewCircuit()
+	mustNoErr(t, c.AddV("vdd", "vdd", Ground, DC(device.VDD)))
+	const stages = 5
+	for i := 0; i < stages; i++ {
+		in := nodeName("n", i)
+		out := nodeName("n", (i+1)%stages)
+		mustNoErr(t, c.AddFET(nodeName("mp", i), out, in, "vdd", device.SiPFET(device.SLVT), 54e-9))
+		mustNoErr(t, c.AddFET(nodeName("mn", i), out, in, Ground, device.SiNFET(device.SLVT), 36e-9))
+		mustNoErr(t, c.AddC(nodeName("c", i), out, Ground, 0.5e-15))
+	}
+	// Kick the ring out of its metastable DC point.
+	mustNoErr(t, c.AddI("kick", Ground, "n0", Pulse{V1: 0, V2: 20e-6, Delay: 1e-12, Rise: 1e-12, Width: 30e-12, Fall: 1e-12}))
+	tr, err := c.Transient(3e-9, 0.5e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count rising crossings of VDD/2 on one node in the second half
+	// (after start-up).
+	w, err := tr.Voltage("n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crossings []float64
+	for i := 1; i < len(tr.Times); i++ {
+		if tr.Times[i] < 1e-9 {
+			continue
+		}
+		if w[i-1] < device.VDD/2 && w[i] >= device.VDD/2 {
+			crossings = append(crossings, tr.Times[i])
+		}
+	}
+	if len(crossings) < 3 {
+		t.Fatalf("ring did not oscillate: %d rising crossings", len(crossings))
+	}
+	period := (crossings[len(crossings)-1] - crossings[0]) / float64(len(crossings)-1)
+	// Period ≈ 2 × stages × stage delay; with ~0.5 fF loads at SLVT the
+	// stage delay is a few ps, so expect tens of ps overall.
+	if period < 10e-12 || period > 500e-12 {
+		t.Errorf("oscillation period = %.3g s, want 10-500 ps", period)
+	}
+	// Periods are stable: max deviation between consecutive periods < 20%.
+	for i := 2; i < len(crossings); i++ {
+		p1 := crossings[i-1] - crossings[i-2]
+		p2 := crossings[i] - crossings[i-1]
+		if p2 > 1.2*p1 || p2 < 0.8*p1 {
+			t.Errorf("unstable period: %.3g then %.3g", p1, p2)
+		}
+	}
+}
+
+func nodeName(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}

@@ -1,0 +1,100 @@
+package spice
+
+import "fmt"
+
+// Waveform is a time-dependent source value (volts for voltage sources,
+// amperes for current sources).
+type Waveform interface {
+	// V reports the source value at time t (seconds).
+	V(t float64) float64
+}
+
+// DC is a constant source.
+type DC float64
+
+// V implements Waveform.
+func (d DC) V(float64) float64 { return float64(d) }
+
+// Pulse is a periodic trapezoidal pulse in the style of SPICE's PULSE():
+// it idles at V1, transitions to V2 after Delay over Rise, holds for
+// Width, returns over Fall, and repeats with the given Period (Period = 0
+// means a single pulse).
+type Pulse struct {
+	V1, V2                   float64
+	Delay, Rise, Width, Fall float64
+	Period                   float64
+}
+
+// V implements Waveform.
+func (p Pulse) V(t float64) float64 {
+	t -= p.Delay
+	if t < 0 {
+		return p.V1
+	}
+	if p.Period > 0 {
+		n := int(t / p.Period)
+		t -= float64(n) * p.Period
+	}
+	switch {
+	case t < p.Rise:
+		if p.Rise == 0 {
+			return p.V2
+		}
+		return p.V1 + (p.V2-p.V1)*t/p.Rise
+	case t < p.Rise+p.Width:
+		return p.V2
+	case t < p.Rise+p.Width+p.Fall:
+		if p.Fall == 0 {
+			return p.V1
+		}
+		return p.V2 + (p.V1-p.V2)*(t-p.Rise-p.Width)/p.Fall
+	default:
+		return p.V1
+	}
+}
+
+// PWL is a piecewise-linear waveform through the given (time, value)
+// points; it holds the first value before the first point and the last
+// value after the last point.
+type PWL struct {
+	Times  []float64
+	Values []float64
+}
+
+// NewPWL builds a PWL waveform, validating monotone times.
+func NewPWL(points ...[2]float64) (PWL, error) {
+	if len(points) == 0 {
+		return PWL{}, fmt.Errorf("spice: PWL needs at least one point")
+	}
+	w := PWL{}
+	for i, pt := range points {
+		if i > 0 && pt[0] <= w.Times[i-1] {
+			return PWL{}, fmt.Errorf("spice: PWL times must increase (point %d)", i)
+		}
+		w.Times = append(w.Times, pt[0])
+		w.Values = append(w.Values, pt[1])
+	}
+	return w, nil
+}
+
+// V implements Waveform.
+func (w PWL) V(t float64) float64 {
+	n := len(w.Times)
+	if n == 0 {
+		return 0
+	}
+	if t <= w.Times[0] {
+		return w.Values[0]
+	}
+	if t >= w.Times[n-1] {
+		return w.Values[n-1]
+	}
+	// Linear search is fine: waveforms here have a handful of points.
+	for i := 1; i < n; i++ {
+		if t <= w.Times[i] {
+			f := (t - w.Times[i-1]) / (w.Times[i] - w.Times[i-1])
+			return w.Values[i-1] + f*(w.Values[i]-w.Values[i-1])
+		}
+	}
+	return w.Values[n-1]
+}

@@ -1,0 +1,117 @@
+// Package stdcell models an ASAP7-class 7 nm standard-cell library in the
+// four threshold flavours (HVT/RVT/LVT/SLVT) the paper sweeps. It derives
+// each flavour's speed and leakage from the internal/device compact models,
+// so the library is consistent with the transistors used in the eDRAM
+// simulations, and exposes the quantities logic synthesis needs: FO4 delay,
+// switched capacitance per gate, and leakage per gate.
+package stdcell
+
+import (
+	"errors"
+	"fmt"
+
+	"ppatc/internal/device"
+)
+
+// Library is one VT corner of the cell library.
+type Library struct {
+	// Flavor is the threshold flavour.
+	Flavor device.VTFlavor
+	// VDD is the library's nominal supply.
+	VDD float64
+	// FO4 is the fanout-of-4 inverter delay in seconds, the canonical
+	// speed unit of logical-effort timing.
+	FO4 float64
+	// SwitchedCapPerGate is the average capacitance switched by one
+	// NAND2-equivalent gate including local wiring, in farads.
+	SwitchedCapPerGate float64
+	// LeakagePerGate is the average static leakage current of one
+	// NAND2-equivalent gate, in amperes.
+	LeakagePerGate float64
+	// NMOS and PMOS are the underlying device parameter sets.
+	NMOS, PMOS device.Params
+}
+
+// Gate geometry assumptions for the NAND2-equivalent average cell.
+const (
+	// unitNMOSWidth is the unit-drive NMOS *effective* width (meters):
+	// a 3-fin FinFET device contributes ≈2·H_fin + W_fin of channel per
+	// fin, so the electrical width is several times the drawn footprint.
+	unitNMOSWidth = 81e-9
+	// pnRatio is the PMOS/NMOS width ratio.
+	pnRatio = 1.5
+	// wireCapFraction scales gate capacitance to include local wiring.
+	wireCapFraction = 0.8
+	// leakingWidthPerGate is the effective total leaking transistor width
+	// per gate (meters): roughly one off NMOS plus one off PMOS path at
+	// the 3-fin effective width.
+	leakingWidthPerGate = 300e-9
+	// fo4Calibration converts effective drive (A/m) to FO4 delay such
+	// that the RVT corner lands at ≈13 ps, the ASAP7 envelope.
+	fo4Calibration = 4.0e-9
+)
+
+// New builds the library corner for a flavour at the ASAP7 nominal supply.
+func New(f device.VTFlavor) Library {
+	n := device.SiNFET(f)
+	p := device.SiPFET(f)
+	vdd := device.VDD
+	// Speed: the drive-limited FO4 delay tracks 1/IEFF of the weaker
+	// device (PMOS pull-up sets the worst edge after P/N sizing).
+	ieffN := n.IEFF(vdd)
+	ieffP := p.IEFF(vdd) * pnRatio // PMOS widened by the P/N ratio
+	ieff := ieffN
+	if ieffP < ieff {
+		ieff = ieffP
+	}
+	// Capacitance of the NAND2-equivalent: two N + two P gates.
+	cg := 2*n.CgPerWidth*unitNMOSWidth + 2*p.CgPerWidth*unitNMOSWidth*pnRatio
+	// Leakage: averaged off-state paths at VDD.
+	leak := (n.IOFF(vdd) + p.IOFF(vdd)) / 2 * leakingWidthPerGate
+	return Library{
+		Flavor:             f,
+		VDD:                vdd,
+		FO4:                fo4Calibration / ieff,
+		SwitchedCapPerGate: cg * (1 + wireCapFraction),
+		LeakagePerGate:     leak,
+		NMOS:               n,
+		PMOS:               p,
+	}
+}
+
+// All returns the four corners in canonical order.
+func All() []Library {
+	out := make([]Library, 0, 4)
+	for _, f := range device.VTFlavors() {
+		out = append(out, New(f))
+	}
+	return out
+}
+
+// Validate checks the library corner.
+func (l Library) Validate() error {
+	switch {
+	case l.VDD <= 0:
+		return fmt.Errorf("stdcell %s: VDD must be positive", l.Flavor)
+	case l.FO4 <= 0:
+		return fmt.Errorf("stdcell %s: FO4 must be positive", l.Flavor)
+	case l.SwitchedCapPerGate <= 0:
+		return fmt.Errorf("stdcell %s: switched capacitance must be positive", l.Flavor)
+	case l.LeakagePerGate < 0:
+		return fmt.Errorf("stdcell %s: leakage must be non-negative", l.Flavor)
+	}
+	return nil
+}
+
+// DynamicEnergyPerSwitch reports the CV² energy of one gate transition.
+func (l Library) DynamicEnergyPerSwitch() float64 {
+	return l.SwitchedCapPerGate * l.VDD * l.VDD
+}
+
+// LeakagePower reports the static power of n gates at this corner.
+func (l Library) LeakagePower(gates int) (float64, error) {
+	if gates < 0 {
+		return 0, errors.New("stdcell: gate count must be non-negative")
+	}
+	return float64(gates) * l.LeakagePerGate * l.VDD, nil
+}

@@ -1,0 +1,101 @@
+package stdcell
+
+import (
+	"math"
+	"testing"
+
+	"ppatc/internal/device"
+)
+
+func TestCornersOrdered(t *testing.T) {
+	libs := All()
+	if len(libs) != 4 {
+		t.Fatalf("corners = %d, want 4", len(libs))
+	}
+	for i := 1; i < len(libs); i++ {
+		if libs[i].FO4 >= libs[i-1].FO4 {
+			t.Errorf("%s FO4 %.3g should beat %s %.3g",
+				libs[i].Flavor, libs[i].FO4, libs[i-1].Flavor, libs[i-1].FO4)
+		}
+		if libs[i].LeakagePerGate <= libs[i-1].LeakagePerGate {
+			t.Errorf("%s leakage should exceed %s", libs[i].Flavor, libs[i-1].Flavor)
+		}
+	}
+}
+
+func TestSwitchedCapFlavorIndependent(t *testing.T) {
+	// VT implants change threshold, not geometry: capacitance is shared.
+	base := New(device.HVT).SwitchedCapPerGate
+	for _, f := range device.VTFlavors() {
+		if got := New(f).SwitchedCapPerGate; got != base {
+			t.Errorf("%s switched cap %v differs from HVT %v", f, got, base)
+		}
+	}
+}
+
+func TestDynamicEnergyPerSwitch(t *testing.T) {
+	lib := New(device.RVT)
+	want := lib.SwitchedCapPerGate * lib.VDD * lib.VDD
+	if got := lib.DynamicEnergyPerSwitch(); math.Abs(got-want) > 1e-24 {
+		t.Errorf("CV² = %v, want %v", got, want)
+	}
+	// Per-gate switching energy at 7 nm lands in the 0.1-1 fJ decade.
+	if got := lib.DynamicEnergyPerSwitch(); got < 1e-16 || got > 1e-14 {
+		t.Errorf("per-switch energy = %v J, want 0.1-10 fJ", got)
+	}
+}
+
+func TestLeakagePowerScaling(t *testing.T) {
+	lib := New(device.SLVT)
+	p1, err := lib.LeakagePower(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := lib.LeakagePower(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p2-2*p1) > 1e-18 {
+		t.Errorf("leakage not linear in gates: %v vs 2×%v", p2, p1)
+	}
+	if _, err := lib.LeakagePower(-5); err == nil {
+		t.Error("negative gates should fail")
+	}
+	z, err := lib.LeakagePower(0)
+	if err != nil || z != 0 {
+		t.Errorf("zero gates = %v, %v", z, err)
+	}
+}
+
+func TestValidateCatchesCorruptCorners(t *testing.T) {
+	good := New(device.RVT)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range []func(*Library){
+		func(l *Library) { l.VDD = 0 },
+		func(l *Library) { l.FO4 = 0 },
+		func(l *Library) { l.SwitchedCapPerGate = -1 },
+		func(l *Library) { l.LeakagePerGate = -1 },
+	} {
+		l := New(device.RVT)
+		mutate(&l)
+		if err := l.Validate(); err == nil {
+			t.Error("corrupt corner should fail validation")
+		}
+	}
+}
+
+func TestFO4TracksDeviceIEFF(t *testing.T) {
+	// The library's speed must come from the device model: FO4 × min
+	// effective drive is the calibration constant for every corner.
+	for _, f := range device.VTFlavors() {
+		lib := New(f)
+		n := device.SiNFET(f)
+		p := device.SiPFET(f)
+		ieff := math.Min(n.IEFF(device.VDD), p.IEFF(device.VDD)*1.5)
+		if got := lib.FO4 * ieff; math.Abs(got-4.0e-9) > 1e-12 {
+			t.Errorf("%s: FO4×IEFF = %v, want the 4e-9 calibration constant", f, got)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package synth models the logic-synthesis and timing-closure step of the
+// paper's design flow (Sec. III-B, Step 3): "We perform logic synthesis &
+// place-and-route ... over a range of design parameters ... we sweep the
+// target clock frequency from 100 MHz to 1 GHz (in steps of 100 MHz), and
+// sweep VT of the FETs over all options offered in the ASAP7 standard cell
+// library."
+//
+// The model captures what that sweep measures: for each (f_CLK, VT) point,
+// the tool upsizes and buffers critical paths until timing closes, which
+// trades energy for speed. Energy per cycle is activity-weighted CV² of
+// the (sized) gates plus clock-tree energy plus leakage integrated over the
+// cycle — the quantities behind Fig. 4 and the 1.42 pJ/cycle anchor of
+// Table II.
+package synth
+
+import (
+	"errors"
+	"fmt"
+
+	"ppatc/internal/device"
+	"ppatc/internal/stdcell"
+	"ppatc/internal/units"
+)
+
+// Design describes the digital block being synthesized.
+type Design struct {
+	// Name identifies the block ("Cortex-M0").
+	Name string
+	// Gates is the NAND2-equivalent gate count.
+	Gates int
+	// Flops is the sequential element count (drives clock-tree energy).
+	Flops int
+	// LogicDepth is the critical-path depth in FO4 units at unit sizing.
+	LogicDepth float64
+	// Activity is the average switching activity factor per cycle.
+	Activity float64
+	// ClockOverhead is the sequencing overhead per cycle (clk-to-Q plus
+	// setup), in seconds.
+	ClockOverhead float64
+	// MaxSpeedup is the largest critical-path speedup achievable through
+	// upsizing and buffering before timing closure fails.
+	MaxSpeedup float64
+	// SizingCapFraction is the fraction of total capacitance that scales
+	// when critical paths are upsized.
+	SizingCapFraction float64
+	// AreaPerGate is the placed area of one NAND2-equivalent (m²).
+	AreaPerGate units.Area
+}
+
+// CortexM0 returns the design parameters of the ARM Cortex-M0 used in the
+// paper's embedded system: a ~12 k-gate, 3-stage-pipeline core with the
+// long single-cycle ALU/shifter paths typical of the M0 (deep FO4 depth).
+// Activity is calibrated so the RVT corner at 500 MHz lands at the paper's
+// 1.42 pJ/cycle for matmul-int (Table II).
+func CortexM0() Design {
+	return Design{
+		Name:              "Cortex-M0",
+		Gates:             12000,
+		Flops:             900,
+		LogicDepth:        80,
+		Activity:          0.145,
+		ClockOverhead:     60e-12,
+		MaxSpeedup:        1.8,
+		SizingCapFraction: 0.25,
+		AreaPerGate:       units.SquareMicrometers(0.25),
+	}
+}
+
+// Validate checks the design parameters.
+func (d Design) Validate() error {
+	switch {
+	case d.Gates <= 0 || d.Flops < 0:
+		return errors.New("synth: gate and flop counts must be positive")
+	case d.LogicDepth <= 0 || d.Activity <= 0 || d.Activity > 1:
+		return errors.New("synth: depth and activity must be positive (activity ≤ 1)")
+	case d.ClockOverhead < 0:
+		return errors.New("synth: clock overhead must be non-negative")
+	case d.MaxSpeedup < 1:
+		return errors.New("synth: max speedup must be ≥ 1")
+	case d.SizingCapFraction < 0 || d.SizingCapFraction > 1:
+		return errors.New("synth: sizing cap fraction must be in [0, 1]")
+	case d.AreaPerGate <= 0:
+		return errors.New("synth: area per gate must be positive")
+	}
+	return nil
+}
+
+// Area reports the placed area of the design (cell area plus 30% routing
+// overhead, the usual post-P&R utilization).
+func (d Design) Area() units.Area {
+	return units.Area(float64(d.AreaPerGate) * float64(d.Gates) * 1.3)
+}
+
+// Result is one closed implementation point of the (f_CLK, VT) sweep.
+type Result struct {
+	// Flavor and TargetClock echo the sweep point.
+	Flavor      device.VTFlavor
+	TargetClock units.Frequency
+	// Closed reports whether timing closure succeeded.
+	Closed bool
+	// Sizing is the critical-path upsizing factor applied (1 = none).
+	Sizing float64
+	// CriticalPath is the achieved critical-path delay (seconds).
+	CriticalPath float64
+	// DynamicEnergy is the switching energy per cycle (J), including the
+	// clock tree.
+	DynamicEnergy units.Energy
+	// LeakageEnergy is the leakage integrated over one cycle (J).
+	LeakageEnergy units.Energy
+	// LeakagePower is the static power (W).
+	LeakagePower units.Power
+}
+
+// EnergyPerCycle reports the total energy per cycle of the point.
+func (r Result) EnergyPerCycle() units.Energy {
+	return r.DynamicEnergy + r.LeakageEnergy
+}
+
+// Close attempts timing closure of the design at a target clock in the
+// given library corner.
+func Close(d Design, lib stdcell.Library, clk units.Frequency) (Result, error) {
+	if err := d.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := lib.Validate(); err != nil {
+		return Result{}, err
+	}
+	if clk <= 0 {
+		return Result{}, errors.New("synth: clock frequency must be positive")
+	}
+	period := clk.PeriodSeconds()
+	res := Result{Flavor: lib.Flavor, TargetClock: clk}
+
+	logicDelay := d.LogicDepth * lib.FO4
+	available := period - d.ClockOverhead
+	if available <= 0 {
+		return res, nil // not closable at any sizing
+	}
+	// Required speedup; sizing beyond MaxSpeedup fails closure.
+	s := 1.0
+	if logicDelay > available {
+		s = logicDelay / available
+		if s > d.MaxSpeedup {
+			return res, nil
+		}
+	}
+	res.Closed = true
+	res.Sizing = s
+	res.CriticalPath = d.ClockOverhead + logicDelay/s
+
+	// Capacitance grows on the sized critical-path fraction.
+	capScale := 1 + d.SizingCapFraction*(s-1)
+	gateCap := float64(d.Gates) * lib.SwitchedCapPerGate * capScale
+	eLogic := d.Activity * gateCap * lib.VDD * lib.VDD
+	// Clock tree: every flop's clock pin plus distribution toggles twice
+	// per cycle regardless of data activity.
+	eClock := float64(d.Flops) * 2.5 * lib.SwitchedCapPerGate * lib.VDD * lib.VDD
+	res.DynamicEnergy = units.Joules(eLogic + eClock)
+
+	leakW, err := lib.LeakagePower(d.Gates)
+	if err != nil {
+		return Result{}, err
+	}
+	leakW *= capScale // upsized gates leak proportionally more
+	res.LeakagePower = units.Watts(leakW)
+	res.LeakageEnergy = units.Joules(leakW * period)
+	return res, nil
+}
+
+// Sweep reproduces the paper's synthesis sweep: every VT flavour at clock
+// targets from fMin to fMax in the given step. Points that fail closure
+// are reported with Closed = false (Fig. 4's curves simply end there).
+func Sweep(d Design, fMin, fMax, step units.Frequency) ([]Result, error) {
+	if fMin <= 0 || fMax < fMin || step <= 0 {
+		return nil, errors.New("synth: need 0 < fMin ≤ fMax and positive step")
+	}
+	var out []Result
+	for _, lib := range stdcell.All() {
+		for f := fMin; f <= fMax+step/1e6; f += step {
+			r, err := Close(d, lib, f)
+			if err != nil {
+				return nil, fmt.Errorf("synth: %s at %v: %w", lib.Flavor, f, err)
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// PaperSweep runs the paper's exact sweep: 100 MHz to 1 GHz in 100 MHz
+// steps (Sec. III-B, Step 3).
+func PaperSweep(d Design) ([]Result, error) {
+	return Sweep(d, units.Megahertz(100), units.Megahertz(1000), units.Megahertz(100))
+}

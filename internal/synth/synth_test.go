@@ -1,0 +1,239 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"ppatc/internal/device"
+	"ppatc/internal/stdcell"
+	"ppatc/internal/units"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestDesignValidate(t *testing.T) {
+	if err := CortexM0().Validate(); err != nil {
+		t.Fatalf("M0 design invalid: %v", err)
+	}
+	bad := CortexM0()
+	bad.Gates = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero gates should fail")
+	}
+	bad = CortexM0()
+	bad.Activity = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("activity > 1 should fail")
+	}
+	bad = CortexM0()
+	bad.MaxSpeedup = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Error("speedup < 1 should fail")
+	}
+}
+
+func TestM0AreaMatchesTableII(t *testing.T) {
+	// Table II implies M0 area ≈ total − 2×memory: 0.139 − 2×0.068 =
+	// 0.003 mm² for the all-Si design (and the same core in the M3D one).
+	got := CortexM0().Area().SquareMillimeters()
+	if !almostEqual(got, 0.0039, 0.35) {
+		t.Errorf("M0 area = %v mm², want ≈0.003-0.005", got)
+	}
+}
+
+func TestRVT500MHzAnchor(t *testing.T) {
+	// Table II: M0 dynamic energy per cycle = 1.42 pJ at 500 MHz. The RVT
+	// corner at the paper's operating point must land within 3%.
+	r, err := Close(CortexM0(), stdcell.New(device.RVT), units.Megahertz(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Closed {
+		t.Fatal("RVT must close at 500 MHz")
+	}
+	if got := r.DynamicEnergy.Picojoules(); !almostEqual(got, 1.42, 0.03) {
+		t.Errorf("RVT dynamic energy at 500 MHz = %v pJ, want 1.42 ± 3%%", got)
+	}
+	if r.Sizing != 1 {
+		t.Errorf("RVT at 500 MHz should need no upsizing, got %v", r.Sizing)
+	}
+	if r.CriticalPath >= 2e-9 {
+		t.Errorf("critical path %v must fit the 2 ns period", r.CriticalPath)
+	}
+}
+
+func TestClosureFrequencyLimits(t *testing.T) {
+	d := CortexM0()
+	// Every flavour closes at 100 MHz.
+	for _, lib := range stdcell.All() {
+		r, err := Close(d, lib, units.Megahertz(100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Closed {
+			t.Errorf("%s must close at 100 MHz", lib.Flavor)
+		}
+	}
+	// HVT fails before SLVT as frequency rises.
+	fmax := func(f device.VTFlavor) units.Frequency {
+		lib := stdcell.New(f)
+		var last units.Frequency
+		for mhz := 100.0; mhz <= 3000; mhz += 50 {
+			r, err := Close(d, lib, units.Megahertz(mhz))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Closed {
+				last = units.Megahertz(mhz)
+			}
+		}
+		return last
+	}
+	fHVT, fSLVT := fmax(device.HVT), fmax(device.SLVT)
+	if fHVT >= fSLVT {
+		t.Errorf("HVT fmax %v should be below SLVT fmax %v", fHVT, fSLVT)
+	}
+	// Absurd target fails closure rather than erroring.
+	r, err := Close(d, stdcell.New(device.SLVT), units.Gigahertz(50))
+	if err != nil || r.Closed {
+		t.Errorf("50 GHz should fail closure cleanly, got closed=%v err=%v", r.Closed, err)
+	}
+}
+
+func TestEnergyRisesWithUpsizing(t *testing.T) {
+	d := CortexM0()
+	lib := stdcell.New(device.RVT)
+	relaxed, err := Close(d, lib, units.Megahertz(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a frequency that needs sizing for RVT.
+	var tight Result
+	for mhz := 400.0; mhz <= 2000; mhz += 50 {
+		r, err := Close(d, lib, units.Megahertz(mhz))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Closed && r.Sizing > 1.05 {
+			tight = r
+			break
+		}
+	}
+	if !tight.Closed {
+		t.Fatal("no sized RVT point found")
+	}
+	if tight.DynamicEnergy <= relaxed.DynamicEnergy {
+		t.Errorf("upsized point %v should burn more dynamic energy than relaxed %v",
+			tight.DynamicEnergy, relaxed.DynamicEnergy)
+	}
+}
+
+func TestLeakageOrderingAcrossFlavors(t *testing.T) {
+	d := CortexM0()
+	clk := units.Megahertz(500)
+	var prev units.Power
+	for i, lib := range stdcell.All() {
+		r, err := Close(d, lib, clk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && r.LeakagePower <= prev {
+			t.Errorf("%s leakage %v should exceed previous flavour %v",
+				lib.Flavor, r.LeakagePower, prev)
+		}
+		prev = r.LeakagePower
+	}
+}
+
+func TestLeakagePerCycleFallsWithFrequency(t *testing.T) {
+	// Leakage energy per cycle = P_leak·T shrinks as T shrinks — the
+	// low-frequency uptick of Fig. 4's SLVT curve.
+	d := CortexM0()
+	lib := stdcell.New(device.SLVT)
+	slow, err := Close(d, lib, units.Megahertz(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Close(d, lib, units.Megahertz(800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.LeakageEnergy <= fast.LeakageEnergy {
+		t.Errorf("leakage per cycle at 100 MHz (%v) should exceed 800 MHz (%v)",
+			slow.LeakageEnergy, fast.LeakageEnergy)
+	}
+}
+
+func TestPaperSweepShape(t *testing.T) {
+	rs, err := PaperSweep(CortexM0())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 flavours × 10 frequencies.
+	if len(rs) != 40 {
+		t.Fatalf("sweep has %d points, want 40", len(rs))
+	}
+	closed := 0
+	for _, r := range rs {
+		if r.Closed {
+			closed++
+			if r.EnergyPerCycle() <= 0 {
+				t.Errorf("%s@%v: non-positive energy", r.Flavor, r.TargetClock)
+			}
+			if r.CriticalPath > r.TargetClock.PeriodSeconds() {
+				t.Errorf("%s@%v: critical path %v exceeds period", r.Flavor, r.TargetClock, r.CriticalPath)
+			}
+		}
+	}
+	if closed < 30 {
+		t.Errorf("only %d/40 points closed; expect most of the sweep to close", closed)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	if _, err := Sweep(CortexM0(), 0, units.Megahertz(100), units.Megahertz(100)); err == nil {
+		t.Error("zero fMin should fail")
+	}
+	if _, err := Sweep(CortexM0(), units.Megahertz(200), units.Megahertz(100), units.Megahertz(100)); err == nil {
+		t.Error("fMax < fMin should fail")
+	}
+	if _, err := Close(CortexM0(), stdcell.Library{}, units.Megahertz(100)); err == nil {
+		t.Error("invalid library should fail")
+	}
+	if _, err := Close(CortexM0(), stdcell.New(device.RVT), 0); err == nil {
+		t.Error("zero clock should fail")
+	}
+}
+
+func TestStdcellLibraryProperties(t *testing.T) {
+	libs := stdcell.All()
+	if len(libs) != 4 {
+		t.Fatalf("expected 4 corners, got %d", len(libs))
+	}
+	for i, lib := range libs {
+		if err := lib.Validate(); err != nil {
+			t.Errorf("%s: %v", lib.Flavor, err)
+		}
+		if i > 0 && lib.FO4 >= libs[i-1].FO4 {
+			t.Errorf("%s FO4 %v should be faster than %s %v",
+				lib.Flavor, lib.FO4, libs[i-1].Flavor, libs[i-1].FO4)
+		}
+	}
+	// RVT FO4 in the ASAP7 envelope (≈10-16 ps).
+	rvt := stdcell.New(device.RVT)
+	if rvt.FO4 < 8e-12 || rvt.FO4 > 20e-12 {
+		t.Errorf("RVT FO4 = %v s, want 8-20 ps", rvt.FO4)
+	}
+	if _, err := rvt.LeakagePower(-1); err == nil {
+		t.Error("negative gate count should fail")
+	}
+	p, err := rvt.LeakagePower(1000)
+	if err != nil || p <= 0 {
+		t.Errorf("leakage power = %v, %v", p, err)
+	}
+}

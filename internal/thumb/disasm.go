@@ -1,0 +1,183 @@
+package thumb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders an instruction stream as one mnemonic per halfword
+// (BL pairs consume two). Offsets in branches are rendered as absolute
+// byte targets, so a listing can be cross-checked against the assembler's
+// label table.
+func Disassemble(halfwords []uint16) []string {
+	var out []string
+	for i := 0; i < len(halfwords); i++ {
+		pc := uint32(2 * i)
+		instr := halfwords[i]
+		if instr>>11 == 0b11110 && i+1 < len(halfwords) && halfwords[i+1]>>11 == 0b11111 {
+			lo := halfwords[i+1]
+			hi := int32(instr&0x7FF) << 21 >> 21
+			off := hi<<12 | int32(lo&0x7FF)<<1
+			out = append(out, fmt.Sprintf("bl 0x%x", int32(pc+4)+off))
+			out = append(out, "; (bl suffix)")
+			i++
+			continue
+		}
+		out = append(out, disasmOne(pc, instr))
+	}
+	return out
+}
+
+// DisassembleOne renders a single halfword at a program counter.
+func DisassembleOne(pc uint32, instr uint16) string { return disasmOne(pc, instr) }
+
+var aluNames = [16]string{
+	"ands", "eors", "lsls", "lsrs", "asrs", "adcs", "sbcs", "rors",
+	"tst", "negs", "cmp", "cmn", "orrs", "muls", "bics", "mvns",
+}
+
+var condNames = [14]string{
+	"beq", "bne", "bcs", "bcc", "bmi", "bpl", "bvs", "bvc",
+	"bhi", "bls", "bge", "blt", "bgt", "ble",
+}
+
+func disasmOne(pc uint32, instr uint16) string {
+	r := func(n uint16) string { return fmt.Sprintf("r%d", n) }
+	switch {
+	case instr == 0xBF00:
+		return "nop"
+	case instr>>8 == 0xBE:
+		return fmt.Sprintf("bkpt #%d", instr&0xFF)
+	case instr>>13 == 0b000 && instr>>11 != 0b00011:
+		op := []string{"lsls", "lsrs", "asrs"}[instr>>11&3]
+		imm := instr >> 6 & 31
+		if instr>>11&3 == 0 && imm == 0 {
+			return fmt.Sprintf("movs %s, %s", r(instr&7), r(instr>>3&7))
+		}
+		return fmt.Sprintf("%s %s, %s, #%d", op, r(instr&7), r(instr>>3&7), imm)
+	case instr>>11 == 0b00011:
+		op := "adds"
+		if instr&0x0200 != 0 {
+			op = "subs"
+		}
+		if instr&0x0400 == 0 {
+			return fmt.Sprintf("%s %s, %s, %s", op, r(instr&7), r(instr>>3&7), r(instr>>6&7))
+		}
+		return fmt.Sprintf("%s %s, %s, #%d", op, r(instr&7), r(instr>>3&7), instr>>6&7)
+	case instr>>13 == 0b001:
+		op := []string{"movs", "cmp", "adds", "subs"}[instr>>11&3]
+		return fmt.Sprintf("%s %s, #%d", op, r(instr>>8&7), instr&0xFF)
+	case instr>>10 == 0b010000:
+		name := aluNames[instr>>6&0xF]
+		return fmt.Sprintf("%s %s, %s", name, r(instr&7), r(instr>>3&7))
+	case instr>>10 == 0b010001:
+		rd := instr&7 | instr>>4&8
+		rm := instr >> 3 & 0xF
+		switch instr >> 8 & 3 {
+		case 0:
+			return fmt.Sprintf("add %s, %s", r(rd), r(rm))
+		case 1:
+			return fmt.Sprintf("cmp %s, %s", r(rd), r(rm))
+		case 2:
+			return fmt.Sprintf("mov %s, %s", r(rd), r(rm))
+		default:
+			if instr&0x80 != 0 {
+				return fmt.Sprintf("blx %s", r(rm))
+			}
+			return fmt.Sprintf("bx %s", r(rm))
+		}
+	case instr>>11 == 0b01001:
+		return fmt.Sprintf("ldr %s, [pc, #%d]", r(instr>>8&7), uint32(instr&0xFF)*4)
+	case instr>>12 == 0b0101:
+		ops := [8]string{"str", "strh", "strb", "ldrsb", "ldr", "ldrh", "ldrb", "ldrsh"}
+		return fmt.Sprintf("%s %s, [%s, %s]", ops[instr>>9&7], r(instr&7), r(instr>>3&7), r(instr>>6&7))
+	case instr>>13 == 0b011:
+		imm := uint32(instr >> 6 & 31)
+		switch instr >> 11 & 3 {
+		case 0:
+			return fmt.Sprintf("str %s, [%s, #%d]", r(instr&7), r(instr>>3&7), imm*4)
+		case 1:
+			return fmt.Sprintf("ldr %s, [%s, #%d]", r(instr&7), r(instr>>3&7), imm*4)
+		case 2:
+			return fmt.Sprintf("strb %s, [%s, #%d]", r(instr&7), r(instr>>3&7), imm)
+		default:
+			return fmt.Sprintf("ldrb %s, [%s, #%d]", r(instr&7), r(instr>>3&7), imm)
+		}
+	case instr>>12 == 0b1000:
+		op := "strh"
+		if instr&0x0800 != 0 {
+			op = "ldrh"
+		}
+		return fmt.Sprintf("%s %s, [%s, #%d]", op, r(instr&7), r(instr>>3&7), uint32(instr>>6&31)*2)
+	case instr>>12 == 0b1001:
+		op := "str"
+		if instr&0x0800 != 0 {
+			op = "ldr"
+		}
+		return fmt.Sprintf("%s %s, [sp, #%d]", op, r(instr>>8&7), uint32(instr&0xFF)*4)
+	case instr>>12 == 0b1010:
+		if instr&0x0800 == 0 {
+			return fmt.Sprintf("adr r%d, 0x%x", instr>>8&7, ((pc+4)&^3)+uint32(instr&0xFF)*4)
+		}
+		return fmt.Sprintf("add %s, sp, #%d", r(instr>>8&7), uint32(instr&0xFF)*4)
+	case instr>>8 == 0b10110000:
+		if instr&0x80 == 0 {
+			return fmt.Sprintf("add sp, #%d", uint32(instr&0x7F)*4)
+		}
+		return fmt.Sprintf("sub sp, #%d", uint32(instr&0x7F)*4)
+	case instr>>6 == 0b1011001000:
+		return fmt.Sprintf("sxth %s, %s", r(instr&7), r(instr>>3&7))
+	case instr>>6 == 0b1011001001:
+		return fmt.Sprintf("sxtb %s, %s", r(instr&7), r(instr>>3&7))
+	case instr>>6 == 0b1011001010:
+		return fmt.Sprintf("uxth %s, %s", r(instr&7), r(instr>>3&7))
+	case instr>>6 == 0b1011001011:
+		return fmt.Sprintf("uxtb %s, %s", r(instr&7), r(instr>>3&7))
+	case instr>>6 == 0b1011101000:
+		return fmt.Sprintf("rev %s, %s", r(instr&7), r(instr>>3&7))
+	case instr>>6 == 0b1011101001:
+		return fmt.Sprintf("rev16 %s, %s", r(instr&7), r(instr>>3&7))
+	case instr>>6 == 0b1011101011:
+		return fmt.Sprintf("revsh %s, %s", r(instr&7), r(instr>>3&7))
+	case instr>>9 == 0b1011010:
+		return fmt.Sprintf("push %s", regListString(instr&0xFF, instr&0x100 != 0, "lr"))
+	case instr>>9 == 0b1011110:
+		return fmt.Sprintf("pop %s", regListString(instr&0xFF, instr&0x100 != 0, "pc"))
+	case instr>>11 == 0b11000:
+		return fmt.Sprintf("stmia %s!, %s", r(instr>>8&7), regListString(instr&0xFF, false, ""))
+	case instr>>11 == 0b11001:
+		return fmt.Sprintf("ldmia %s!, %s", r(instr>>8&7), regListString(instr&0xFF, false, ""))
+	case instr>>12 == 0b1101 && instr>>8&0xF < 14:
+		off := int32(int8(instr&0xFF)) * 2
+		return fmt.Sprintf("%s 0x%x", condNames[instr>>8&0xF], int32(pc+4)+off)
+	case instr>>11 == 0b11100:
+		off := int32(instr&0x7FF) << 21 >> 21 * 2
+		return fmt.Sprintf("b 0x%x", int32(pc+4)+off)
+	default:
+		return fmt.Sprintf(".hword 0x%04x ; ???", instr)
+	}
+}
+
+// regListString renders {r0, r2-r4, lr}.
+func regListString(list uint16, special bool, specialName string) string {
+	var parts []string
+	for r := 0; r < 8; r++ {
+		if list&(1<<r) == 0 {
+			continue
+		}
+		hi := r
+		for hi+1 < 8 && list&(1<<(hi+1)) != 0 {
+			hi++
+		}
+		if hi > r+1 {
+			parts = append(parts, fmt.Sprintf("r%d-r%d", r, hi))
+			r = hi
+		} else {
+			parts = append(parts, fmt.Sprintf("r%d", r))
+		}
+	}
+	if special {
+		parts = append(parts, specialName)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,345 @@
+package thumb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestExtendAndReverseOps(t *testing.T) {
+	cpu := run(t, `
+		li r0, 0x1234f689
+		sxth r1, r0       ; 0xfffff689
+		sxtb r2, r0       ; 0xffffff89
+		uxth r3, r0       ; 0x0000f689
+		uxtb r4, r0       ; 0x00000089
+		rev r5, r0        ; 0x89f63412
+		rev16 r6, r0      ; 0x341289f6
+		revsh r7, r0      ; 0xffff89f6
+		bkpt #0
+	`)
+	want := map[int]uint32{
+		1: 0xFFFFF689, 2: 0xFFFFFF89, 3: 0x0000F689, 4: 0x00000089,
+		5: 0x89F63412, 6: 0x341289F6, 7: 0xFFFF89F6,
+	}
+	for r, w := range want {
+		if cpu.R[r] != w {
+			t.Errorf("r%d = %#x, want %#x", r, cpu.R[r], w)
+		}
+	}
+}
+
+func TestLoadStoreMultiple(t *testing.T) {
+	cpu := run(t, `
+		li r0, 0x20000000
+		movs r1, #11
+		movs r2, #22
+		movs r3, #33
+		stmia r0!, {r1-r3}
+		li r0, 0x20000000
+		ldmia r0!, {r4-r6}
+		bkpt #0
+	`)
+	if cpu.R[4] != 11 || cpu.R[5] != 22 || cpu.R[6] != 33 {
+		t.Errorf("ldmia restored %d %d %d", cpu.R[4], cpu.R[5], cpu.R[6])
+	}
+	// Writeback: base advanced by 12.
+	if cpu.R[0] != 0x2000000C {
+		t.Errorf("base after ldmia = %#x, want 0x2000000c", cpu.R[0])
+	}
+	// LDM/STM cycle cost is 1+N: verify via total data accesses.
+	if cpu.Mem.Stats.DataWrites != 3 || cpu.Mem.Stats.DataReads != 3 {
+		t.Errorf("multiple transfer counts wrong: %+v", cpu.Mem.Stats)
+	}
+}
+
+func TestLDMBaseInListNoWriteback(t *testing.T) {
+	cpu := run(t, `
+		li r0, 0x20000000
+		movs r1, #99
+		str r1, [r0]
+		li r2, 0x20000100
+		str r2, [r0, #4]
+		ldmia r0!, {r1}    ; base not in list: writeback
+		li r0, 0x20000000
+		ldmia r0!, {r0}    ; base in list: r0 takes the loaded value
+		bkpt #0
+	`)
+	if cpu.R[0] != 99 {
+		t.Errorf("ldm with base in list: r0 = %d, want loaded 99", cpu.R[0])
+	}
+	if cpu.R[1] != 99 {
+		t.Errorf("ldm writeback form: r1 = %d, want 99", cpu.R[1])
+	}
+}
+
+func TestDisassembleWorkloadsClean(t *testing.T) {
+	// Every assembled workload instruction must disassemble (no ??? holes).
+	for _, src := range []string{
+		"movs r0, #1\nadds r0, #2\nbkpt #0",
+	} {
+		prog, err := Assemble(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range Disassemble(prog.Halfwords) {
+			if strings.Contains(line, "???") {
+				t.Errorf("undisassemblable instruction: %s", line)
+			}
+		}
+	}
+}
+
+func TestDisassembleSpecificEncodings(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"movs r1, #42", "movs r1, #42"},
+		{"adds r2, r3, r4", "adds r2, r3, r4"},
+		{"adds r2, r3, #5", "adds r2, r3, #5"},
+		{"lsls r1, r2, #7", "lsls r1, r2, #7"},
+		{"movs r1, r2", "movs r1, r2"},
+		{"muls r3, r4", "muls r3, r4"},
+		{"cmp r1, r2", "cmp r1, r2"},
+		{"mov r8, r1", "mov r8, r1"},
+		{"bx lr", "bx r14"},
+		{"ldr r1, [r2, #8]", "ldr r1, [r2, #8]"},
+		{"strb r1, [r2, #3]", "strb r1, [r2, #3]"},
+		{"ldrh r1, [r2, r3]", "ldrh r1, [r2, r3]"},
+		{"str r1, [sp, #16]", "str r1, [sp, #16]"},
+		{"add sp, #24", "add sp, #24"},
+		{"sub sp, #16", "sub sp, #16"},
+		{"push {r4-r6, lr}", "push {r4-r6, lr}"},
+		{"pop {r0, r2}", "pop {r0, r2}"},
+		{"stmia r1!, {r2, r3}", "stmia r1!, {r2, r3}"},
+		{"sxth r1, r2", "sxth r1, r2"},
+		{"rev r1, r2", "rev r1, r2"},
+		{"nop", "nop"},
+		{"bkpt #3", "bkpt #3"},
+	}
+	for _, tc := range cases {
+		prog, err := Assemble(tc.src)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.src, err)
+		}
+		got := DisassembleOne(0, prog.Halfwords[0])
+		if got != tc.want {
+			t.Errorf("%q disassembled to %q, want %q", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestDisassembleBranchTargets(t *testing.T) {
+	prog, err := Assemble(`
+		b skip
+		nop
+	skip:
+		beq skip
+		bl skip
+		bkpt #0
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := Disassemble(prog.Halfwords)
+	if lines[0] != "b 0x4" {
+		t.Errorf("b target = %q, want b 0x4", lines[0])
+	}
+	if lines[2] != "beq 0x4" {
+		t.Errorf("beq target = %q, want beq 0x4", lines[2])
+	}
+	if lines[3] != "bl 0x4" {
+		t.Errorf("bl target = %q, want bl 0x4", lines[3])
+	}
+}
+
+func TestDisassembleRegListRanges(t *testing.T) {
+	if got := regListString(0b01011101, true, "lr"); got != "{r0, r2-r4, r6, lr}" {
+		t.Errorf("reg list = %q", got)
+	}
+	if got := regListString(0, true, "pc"); got != "{pc}" {
+		t.Errorf("pc-only list = %q", got)
+	}
+}
+
+func TestStmLdmAssemblerErrors(t *testing.T) {
+	bad := []string{
+		"stmia r9!, {r1}",
+		"ldmia r0!, {lr}",
+		"stmia r0!",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func Test64BitArithmeticCarryChain(t *testing.T) {
+	// 64-bit add via adds/adcs: 0xFFFFFFFF_00000001 + 0x00000001_FFFFFFFF
+	// = 0x1_00000001_00000000 (truncated to 64 bits: 0x00000001_00000000).
+	cpu := run(t, `
+		li r0, 0x00000001  ; a.lo
+		li r1, 0xffffffff  ; a.hi
+		li r2, 0xffffffff  ; b.lo
+		li r3, 0x00000001  ; b.hi
+		adds r0, r0, r2    ; lo sum, sets carry
+		adcs r1, r3        ; hi sum + carry
+		bkpt #0
+	`)
+	if cpu.R[0] != 0x00000000 {
+		t.Errorf("low word = %#x, want 0", cpu.R[0])
+	}
+	if cpu.R[1] != 0x00000001 {
+		t.Errorf("high word = %#x, want 1", cpu.R[1])
+	}
+	// 64-bit subtract via subs/sbcs: 0x1_00000000 − 1 = 0x0_FFFFFFFF.
+	cpu = run(t, `
+		movs r0, #0        ; a.lo
+		movs r1, #1        ; a.hi
+		movs r2, #1        ; b.lo
+		movs r3, #0        ; b.hi
+		subs r0, r0, r2
+		sbcs r1, r3
+		bkpt #0
+	`)
+	if cpu.R[0] != 0xFFFFFFFF || cpu.R[1] != 0 {
+		t.Errorf("64-bit sub = %#x_%08x, want 0_ffffffff", cpu.R[1], cpu.R[0])
+	}
+}
+
+func TestOverflowFlagSemantics(t *testing.T) {
+	// 0x7FFFFFFF + 1 overflows signed (V set, bvs taken) but not unsigned.
+	cpu := run(t, `
+		li r0, 0x7fffffff
+		movs r1, #1
+		adds r0, r0, r1
+		bvs v_set
+		movs r2, #0
+		b check_c
+	v_set:
+		movs r2, #1
+	check_c:
+		bcs c_set
+		movs r3, #0
+		b done
+	c_set:
+		movs r3, #1
+	done:
+		bkpt #0
+	`)
+	if cpu.R[2] != 1 {
+		t.Error("signed overflow should set V")
+	}
+	if cpu.R[3] != 0 {
+		t.Error("no unsigned carry expected")
+	}
+}
+
+// Property: for branch-free instructions, disassembly is valid assembler
+// input that re-encodes to the identical halfword (a full round trip).
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	rnd := func(seed *uint32) uint32 {
+		*seed = *seed*1664525 + 1013904223
+		return *seed
+	}
+	templates := []func(r uint32) string{
+		func(r uint32) string { return fmt.Sprintf("movs r%d, #%d", r%8, r>>3%256) },
+		func(r uint32) string { return fmt.Sprintf("adds r%d, r%d, r%d", r%8, r>>3%8, r>>6%8) },
+		func(r uint32) string { return fmt.Sprintf("subs r%d, r%d, #%d", r%8, r>>3%8, r>>6%8) },
+		func(r uint32) string { return fmt.Sprintf("lsls r%d, r%d, #%d", r%8, r>>3%8, 1+r>>6%31) },
+		func(r uint32) string { return fmt.Sprintf("ands r%d, r%d", r%8, r>>3%8) },
+		func(r uint32) string { return fmt.Sprintf("muls r%d, r%d", r%8, r>>3%8) },
+		func(r uint32) string { return fmt.Sprintf("cmp r%d, #%d", r%8, r>>3%256) },
+		func(r uint32) string { return fmt.Sprintf("ldr r%d, [r%d, #%d]", r%8, r>>3%8, 4*(r>>6%32)) },
+		func(r uint32) string { return fmt.Sprintf("strb r%d, [r%d, #%d]", r%8, r>>3%8, r>>6%32) },
+		func(r uint32) string { return fmt.Sprintf("ldrh r%d, [r%d, r%d]", r%8, r>>3%8, r>>6%8) },
+		func(r uint32) string { return fmt.Sprintf("str r%d, [sp, #%d]", r%8, 4*(r>>3%256)) },
+		func(r uint32) string { return fmt.Sprintf("add sp, #%d", 4*(r%128)) },
+		func(r uint32) string { return fmt.Sprintf("sxtb r%d, r%d", r%8, r>>3%8) },
+		func(r uint32) string { return fmt.Sprintf("rev r%d, r%d", r%8, r>>3%8) },
+	}
+	seed := uint32(12345)
+	for i := 0; i < 400; i++ {
+		src := templates[int(rnd(&seed))%len(templates)](rnd(&seed))
+		prog1, err := Assemble(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		dis := DisassembleOne(0, prog1.Halfwords[0])
+		prog2, err := Assemble(dis)
+		if err != nil {
+			t.Fatalf("disassembly %q of %q does not re-assemble: %v", dis, src, err)
+		}
+		if prog2.Halfwords[0] != prog1.Halfwords[0] {
+			t.Fatalf("round trip %q → %#04x → %q → %#04x", src, prog1.Halfwords[0], dis, prog2.Halfwords[0])
+		}
+	}
+}
+
+func TestProfiledRunMatchesPlainRun(t *testing.T) {
+	src := `
+		movs r0, #0
+		movs r1, #50
+	loop:
+		adds r0, r0, r1
+		subs r1, #1
+		bne loop
+		bkpt #0
+	`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemory()
+	if err := mem.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	cpu := NewCPU(mem)
+	p, err := RunProfiled(cpu, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalCycles != cpu.Cycles {
+		t.Errorf("profile total %d != cpu cycles %d", p.TotalCycles, cpu.Cycles)
+	}
+	// The loop body dominates: the bne at offset 8 (3 instrs before it at
+	// 0,2 then loop at 4,6,8) runs 50 times.
+	top := p.Top(3)
+	if len(top) == 0 {
+		t.Fatal("empty profile")
+	}
+	// The hottest instruction is the taken branch (3 cycles × 49 + 1).
+	if top[0].PC != 8 {
+		t.Errorf("hottest pc = %#x, want the bne at 0x8", top[0].PC)
+	}
+	if top[0].Executions != 50 {
+		t.Errorf("bne ran %d times, want 50", top[0].Executions)
+	}
+	// Coverage: 6 distinct instructions.
+	if p.CoveragePC() != 6 {
+		t.Errorf("coverage = %d PCs, want 6", p.CoveragePC())
+	}
+	out, err := p.FormatHotSpots(prog, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "bne") && !strings.Contains(out, "subs") {
+		t.Errorf("hotspot report lacks disassembly:\n%s", out)
+	}
+	// Sum of all fractions ≈ 1.
+	var frac float64
+	for _, h := range p.Top(0) {
+		frac += h.Fraction
+	}
+	if frac < 0.999 || frac > 1.001 {
+		t.Errorf("fractions sum to %v", frac)
+	}
+	if _, err := p.FormatHotSpots(nil, 3); err == nil {
+		t.Error("nil program should fail")
+	}
+	if _, err := NewProfile().FormatHotSpots(prog, 3); err == nil {
+		t.Error("empty profile should fail")
+	}
+}

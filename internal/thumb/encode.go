@@ -1,0 +1,661 @@
+package thumb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// encoder performs pass 2: emitting halfwords for each statement.
+type encoder struct {
+	out    []uint16
+	labels map[string]uint32
+	equs   map[string]int64
+}
+
+func (e *encoder) offset() uint32 { return 2 * uint32(len(e.out)) }
+
+func (e *encoder) emit(h uint16) { e.out = append(e.out, h) }
+
+// aluOpcodes are the 010000-format register ALU operations.
+var aluOpcodes = map[string]uint16{
+	"ands": 0x0, "eors": 0x1, "adcs": 0x5, "sbcs": 0x6,
+	"rors": 0x7, "tst": 0x8, "negs": 0x9, "rsbs": 0x9, "cmn": 0xB,
+	"orrs": 0xC, "muls": 0xD, "bics": 0xE, "mvns": 0xF,
+}
+
+// condCodes are the conditional-branch condition encodings.
+var condCodes = map[string]uint16{
+	"eq": 0x0, "ne": 0x1, "cs": 0x2, "hs": 0x2, "cc": 0x3, "lo": 0x3,
+	"mi": 0x4, "pl": 0x5, "vs": 0x6, "vc": 0x7,
+	"hi": 0x8, "ls": 0x9, "ge": 0xA, "lt": 0xB, "gt": 0xC, "le": 0xD,
+}
+
+// encode emits one statement. size is the byte size fixed in pass 1 and is
+// used to cross-check the emission.
+func (e *encoder) encode(it item, size uint32) error {
+	start := len(e.out)
+	err := e.encodeInner(it)
+	if err != nil {
+		return err
+	}
+	if got := uint32(2 * (len(e.out) - start)); got != size {
+		return &asmError{it.line, fmt.Sprintf("internal: statement size %d != planned %d", got, size)}
+	}
+	return nil
+}
+
+func (e *encoder) encodeInner(it item) error {
+	ops := it.operands
+	fail := func(format string, args ...any) error {
+		return &asmError{it.line, fmt.Sprintf(format, args...)}
+	}
+	reg := func(s string) (int, error) { return parseRegister(s) }
+	imm := func(s string) (int64, error) { return parseImmediate(s, e.equs) }
+
+	switch m := it.mnemonic; m {
+	case ".word":
+		if len(ops) != 1 {
+			return fail(".word needs one value")
+		}
+		if e.offset()%4 != 0 {
+			return fail(".word must be 4-byte aligned; pad with nop")
+		}
+		v, err := imm(ops[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		e.emit(uint16(uint32(v)))
+		e.emit(uint16(uint32(v) >> 16))
+		return nil
+
+	case "nop":
+		e.emit(0xBF00)
+		return nil
+
+	case "bkpt":
+		v := int64(0)
+		if len(ops) == 1 {
+			var err error
+			if v, err = imm(ops[0]); err != nil {
+				return fail("%v", err)
+			}
+		}
+		e.emit(0xBE00 | uint16(v&0xFF))
+		return nil
+
+	case "li":
+		rd, err := reg(ops[0])
+		if err != nil || rd > 7 {
+			return fail("li needs a low register")
+		}
+		v, err := imm(ops[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		e.emitLI(rd, uint32(v))
+		return nil
+
+	case "movs":
+		if len(ops) != 2 {
+			return fail("movs needs 2 operands")
+		}
+		rd, err := reg(ops[0])
+		if err != nil || rd > 7 {
+			return fail("movs needs a low destination")
+		}
+		if rm, err := reg(ops[1]); err == nil {
+			if rm > 7 {
+				return fail("movs rm must be low")
+			}
+			e.emit(uint16(rm)<<3 | uint16(rd)) // LSLS rd, rm, #0
+			return nil
+		}
+		v, err := imm(ops[1])
+		if err != nil || v < 0 || v > 255 {
+			return fail("movs immediate must be 0-255")
+		}
+		e.emit(0x2000 | uint16(rd)<<8 | uint16(v))
+		return nil
+
+	case "mov":
+		if len(ops) != 2 {
+			return fail("mov needs 2 operands")
+		}
+		rd, err1 := reg(ops[0])
+		rm, err2 := reg(ops[1])
+		if err1 != nil || err2 != nil {
+			return fail("mov needs registers")
+		}
+		d := uint16(0)
+		if rd > 7 {
+			d = 1
+		}
+		e.emit(0x4600 | d<<7 | uint16(rm)<<3 | uint16(rd&7))
+		return nil
+
+	case "adds", "subs":
+		return e.encodeAddSub(it, m == "subs")
+
+	case "add":
+		return e.encodeAddHi(it)
+
+	case "sub":
+		// SUB SP, #imm only.
+		if len(ops) == 2 && strings.EqualFold(strings.TrimSpace(ops[0]), "sp") {
+			v, err := imm(ops[1])
+			if err != nil || v < 0 || v > 508 || v%4 != 0 {
+				return fail("sub sp immediate must be 0-508, multiple of 4")
+			}
+			e.emit(0xB080 | uint16(v/4))
+			return nil
+		}
+		return fail("sub supports only sub sp, #imm (use subs)")
+
+	case "cmp":
+		if len(ops) != 2 {
+			return fail("cmp needs 2 operands")
+		}
+		rn, err := reg(ops[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		if rm, err := reg(ops[1]); err == nil {
+			if rn <= 7 && rm <= 7 {
+				e.emit(0x4280 | uint16(rm)<<3 | uint16(rn))
+			} else {
+				n := uint16(0)
+				if rn > 7 {
+					n = 1
+				}
+				e.emit(0x4500 | n<<7 | uint16(rm)<<3 | uint16(rn&7))
+			}
+			return nil
+		}
+		v, err := imm(ops[1])
+		if err != nil || v < 0 || v > 255 || rn > 7 {
+			return fail("cmp immediate must be 0-255 with a low register")
+		}
+		e.emit(0x2800 | uint16(rn)<<8 | uint16(v))
+		return nil
+
+	case "lsls", "lsrs", "asrs":
+		return e.encodeShift(it)
+
+	case "ands", "eors", "orrs", "bics", "adcs", "sbcs", "rors", "muls", "tst", "cmn", "mvns", "negs", "rsbs":
+		if len(ops) < 2 {
+			return fail("%s needs 2 operands", m)
+		}
+		rd, err1 := reg(ops[0])
+		rm, err2 := reg(ops[len(ops)-1])
+		if err1 != nil || err2 != nil || rd > 7 || rm > 7 {
+			return fail("%s needs low registers", m)
+		}
+		e.emit(0x4000 | aluOpcodes[m]<<6 | uint16(rm)<<3 | uint16(rd))
+		return nil
+
+	case "ldr", "str", "ldrb", "strb", "ldrh", "strh", "ldrsb", "ldrsh":
+		return e.encodeMem(it)
+
+	case "adr":
+		if len(ops) != 2 {
+			return fail("adr needs rd, label")
+		}
+		rd, err := reg(ops[0])
+		if err != nil || rd > 7 {
+			return fail("adr needs a low register")
+		}
+		target, ok := e.labels[ops[1]]
+		if !ok {
+			return fail("unknown label %q", ops[1])
+		}
+		base := (e.offset() + 4) &^ 3
+		if target < base || (target-base) > 1020 || (target-base)%4 != 0 {
+			return fail("adr target out of range")
+		}
+		e.emit(0xA000 | uint16(rd)<<8 | uint16((target-base)/4))
+		return nil
+
+	case "push", "pop":
+		if len(ops) == 0 {
+			return fail("%s needs a register list", m)
+		}
+		list, special, err := parseRegList(strings.Join(ops, ","), m)
+		if err != nil {
+			return fail("%v", err)
+		}
+		op := uint16(0xB400)
+		if m == "pop" {
+			op = 0xBC00
+		}
+		e.emit(op | special<<8 | list)
+		return nil
+
+	case "sxth", "sxtb", "uxth", "uxtb", "rev", "rev16", "revsh":
+		if len(ops) != 2 {
+			return fail("%s needs rd, rm", m)
+		}
+		rd, err1 := reg(ops[0])
+		rm, err2 := reg(ops[1])
+		if err1 != nil || err2 != nil || rd > 7 || rm > 7 {
+			return fail("%s needs low registers", m)
+		}
+		base := map[string]uint16{
+			"sxth": 0xB200, "sxtb": 0xB240, "uxth": 0xB280, "uxtb": 0xB2C0,
+			"rev": 0xBA00, "rev16": 0xBA40, "revsh": 0xBAC0,
+		}[m]
+		e.emit(base | uint16(rm)<<3 | uint16(rd))
+		return nil
+
+	case "stmia", "ldmia", "stm", "ldm":
+		if len(ops) < 2 {
+			return fail("%s needs rn!, {list}", m)
+		}
+		baseOp := strings.TrimSpace(ops[0])
+		baseOp = strings.TrimSuffix(baseOp, "!")
+		rn, err := reg(baseOp)
+		if err != nil || rn > 7 {
+			return fail("%s base must be a low register", m)
+		}
+		list, special, err := parseRegList(strings.Join(ops[1:], ","), m)
+		if err != nil || special != 0 {
+			return fail("bad register list for %s", m)
+		}
+		op := uint16(0xC000)
+		if m == "ldmia" || m == "ldm" {
+			op = 0xC800
+		}
+		e.emit(op | uint16(rn)<<8 | list)
+		return nil
+
+	case "b":
+		return e.encodeBranch(it, "", ops)
+
+	case "bl":
+		if len(ops) != 1 {
+			return fail("bl needs a target")
+		}
+		target, ok := e.labels[ops[0]]
+		if !ok {
+			return fail("unknown label %q", ops[0])
+		}
+		off := int32(target) - int32(e.offset()+4)
+		hi := uint16((off >> 12) & 0x7FF)
+		lo := uint16((off >> 1) & 0x7FF)
+		e.emit(0xF000 | hi)
+		e.emit(0xF800 | lo)
+		return nil
+
+	case "bx":
+		if len(ops) != 1 {
+			return fail("bx needs a register")
+		}
+		rm, err := reg(ops[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		e.emit(0x4700 | uint16(rm)<<3)
+		return nil
+
+	default:
+		if strings.HasPrefix(m, "b") {
+			if _, ok := condCodes[m[1:]]; ok {
+				return e.encodeBranch(it, m[1:], ops)
+			}
+		}
+		return fail("unknown mnemonic %q", m)
+	}
+}
+
+// emitLI expands li rd, imm32 into movs/lsls/adds.
+func (e *encoder) emitLI(rd int, v uint32) {
+	bytes := []uint32{v >> 24 & 0xFF, v >> 16 & 0xFF, v >> 8 & 0xFF, v & 0xFF}
+	first := 0
+	for first < 3 && bytes[first] == 0 {
+		first++
+	}
+	e.emit(0x2000 | uint16(rd)<<8 | uint16(bytes[first])) // movs rd, #top
+	for i := first + 1; i < 4; i++ {
+		e.emit(0x0000 | uint16(8)<<6 | uint16(rd)<<3 | uint16(rd)) // lsls rd, rd, #8
+		if bytes[i] != 0 {
+			e.emit(0x3000 | uint16(rd)<<8 | uint16(bytes[i])) // adds rd, #byte
+		}
+	}
+}
+
+func (e *encoder) encodeAddSub(it item, sub bool) error {
+	ops := it.operands
+	fail := func(format string, args ...any) error {
+		return &asmError{it.line, fmt.Sprintf(format, args...)}
+	}
+	switch len(ops) {
+	case 3:
+		rd, err1 := parseRegister(ops[0])
+		rn, err2 := parseRegister(ops[1])
+		if err1 != nil || err2 != nil || rd > 7 || rn > 7 {
+			return fail("adds/subs need low registers")
+		}
+		if rm, err := parseRegister(ops[2]); err == nil {
+			if rm > 7 {
+				return fail("adds/subs rm must be low")
+			}
+			op := uint16(0x1800)
+			if sub {
+				op = 0x1A00
+			}
+			e.emit(op | uint16(rm)<<6 | uint16(rn)<<3 | uint16(rd))
+			return nil
+		}
+		v, err := parseImmediate(ops[2], e.equs)
+		if err != nil || v < 0 || v > 7 {
+			return fail("3-operand immediate must be 0-7")
+		}
+		op := uint16(0x1C00)
+		if sub {
+			op = 0x1E00
+		}
+		e.emit(op | uint16(v)<<6 | uint16(rn)<<3 | uint16(rd))
+		return nil
+	case 2:
+		rd, err := parseRegister(ops[0])
+		if err != nil || rd > 7 {
+			return fail("adds/subs need a low destination")
+		}
+		if rm, err := parseRegister(ops[1]); err == nil {
+			if rm > 7 {
+				return fail("rm must be low")
+			}
+			op := uint16(0x1800)
+			if sub {
+				op = 0x1A00
+			}
+			e.emit(op | uint16(rm)<<6 | uint16(rd)<<3 | uint16(rd))
+			return nil
+		}
+		v, err := parseImmediate(ops[1], e.equs)
+		if err != nil || v < 0 || v > 255 {
+			return fail("2-operand immediate must be 0-255")
+		}
+		op := uint16(0x3000)
+		if sub {
+			op = 0x3800
+		}
+		e.emit(op | uint16(rd)<<8 | uint16(v))
+		return nil
+	}
+	return fail("adds/subs need 2 or 3 operands")
+}
+
+func (e *encoder) encodeAddHi(it item) error {
+	ops := it.operands
+	fail := func(format string, args ...any) error {
+		return &asmError{it.line, fmt.Sprintf(format, args...)}
+	}
+	if len(ops) == 2 && strings.EqualFold(strings.TrimSpace(ops[0]), "sp") {
+		v, err := parseImmediate(ops[1], e.equs)
+		if err != nil || v < 0 || v > 508 || v%4 != 0 {
+			return fail("add sp immediate must be 0-508, multiple of 4")
+		}
+		e.emit(0xB000 | uint16(v/4))
+		return nil
+	}
+	if len(ops) == 3 && strings.EqualFold(strings.TrimSpace(ops[1]), "sp") {
+		rd, err := parseRegister(ops[0])
+		if err != nil || rd > 7 {
+			return fail("add rd, sp, #imm needs a low rd")
+		}
+		v, err := parseImmediate(ops[2], e.equs)
+		if err != nil || v < 0 || v > 1020 || v%4 != 0 {
+			return fail("add rd, sp immediate must be 0-1020, multiple of 4")
+		}
+		e.emit(0xA800 | uint16(rd)<<8 | uint16(v/4))
+		return nil
+	}
+	if len(ops) == 2 {
+		rd, err1 := parseRegister(ops[0])
+		rm, err2 := parseRegister(ops[1])
+		if err1 != nil || err2 != nil {
+			return fail("add needs registers")
+		}
+		d := uint16(0)
+		if rd > 7 {
+			d = 1
+		}
+		e.emit(0x4400 | d<<7 | uint16(rm)<<3 | uint16(rd&7))
+		return nil
+	}
+	return fail("unsupported add form")
+}
+
+func (e *encoder) encodeShift(it item) error {
+	ops := it.operands
+	fail := func(format string, args ...any) error {
+		return &asmError{it.line, fmt.Sprintf(format, args...)}
+	}
+	ops3 := len(ops) == 3
+	rd, err1 := parseRegister(ops[0])
+	rm, err2 := parseRegister(ops[1])
+	if err1 != nil || err2 != nil || rd > 7 || rm > 7 {
+		return fail("shifts need low registers")
+	}
+	kinds := map[string]uint16{"lsls": 0, "lsrs": 1, "asrs": 2}
+	aluKinds := map[string]uint16{"lsls": 0x2, "lsrs": 0x3, "asrs": 0x4}
+	k := it.mnemonic
+	if ops3 {
+		if rs, err := parseRegister(ops[2]); err == nil {
+			// Register shift only exists as rd = rd shift rs.
+			if rd != rm {
+				return fail("register shift requires rd == rn")
+			}
+			e.emit(0x4000 | aluKinds[k]<<6 | uint16(rs)<<3 | uint16(rd))
+			return nil
+		}
+		v, err := parseImmediate(ops[2], e.equs)
+		if err != nil || v < 0 || v > 31 {
+			return fail("shift immediate must be 0-31")
+		}
+		e.emit(kinds[k]<<11 | uint16(v)<<6 | uint16(rm)<<3 | uint16(rd))
+		return nil
+	}
+	if len(ops) == 2 {
+		// lsls rd, rs (register form).
+		e.emit(0x4000 | aluKinds[k]<<6 | uint16(rm)<<3 | uint16(rd))
+		return nil
+	}
+	return fail("shift needs 2 or 3 operands")
+}
+
+// encodeMem handles all load/store forms.
+func (e *encoder) encodeMem(it item) error {
+	ops := it.operands
+	fail := func(format string, args ...any) error {
+		return &asmError{it.line, fmt.Sprintf(format, args...)}
+	}
+	if len(ops) != 2 {
+		return fail("%s needs rd, [base, offset]", it.mnemonic)
+	}
+	rd, err := parseRegister(ops[0])
+	if err != nil || rd > 7 {
+		return fail("%s needs a low data register", it.mnemonic)
+	}
+	addr := strings.TrimSpace(ops[1])
+	if !strings.HasPrefix(addr, "[") || !strings.HasSuffix(addr, "]") {
+		return fail("address must be bracketed")
+	}
+	parts := strings.Split(addr[1:len(addr)-1], ",")
+	base := strings.ToLower(strings.TrimSpace(parts[0]))
+	var off string
+	if len(parts) == 2 {
+		off = strings.TrimSpace(parts[1])
+	} else if len(parts) > 2 {
+		return fail("too many address components")
+	}
+
+	m := it.mnemonic
+	// SP- and PC-relative word accesses.
+	if base == "sp" && (m == "ldr" || m == "str") {
+		v := int64(0)
+		if off != "" {
+			if v, err = parseImmediate(off, e.equs); err != nil {
+				return fail("%v", err)
+			}
+		}
+		if v < 0 || v > 1020 || v%4 != 0 {
+			return fail("sp offset must be 0-1020, multiple of 4")
+		}
+		op := uint16(0x9000)
+		if m == "ldr" {
+			op = 0x9800
+		}
+		e.emit(op | uint16(rd)<<8 | uint16(v/4))
+		return nil
+	}
+	if base == "pc" && m == "ldr" {
+		v := int64(0)
+		if off != "" {
+			if v, err = parseImmediate(off, e.equs); err != nil {
+				return fail("%v", err)
+			}
+		}
+		if v < 0 || v > 1020 || v%4 != 0 {
+			return fail("pc offset must be 0-1020, multiple of 4")
+		}
+		e.emit(0x4800 | uint16(rd)<<8 | uint16(v/4))
+		return nil
+	}
+
+	rn, err := parseRegister(base)
+	if err != nil || rn > 7 {
+		return fail("base must be a low register")
+	}
+	// Register-offset forms.
+	if off != "" {
+		if rm, err := parseRegister(off); err == nil {
+			if rm > 7 {
+				return fail("offset register must be low")
+			}
+			opB := map[string]uint16{
+				"str": 0, "strh": 1, "strb": 2, "ldrsb": 3,
+				"ldr": 4, "ldrh": 5, "ldrb": 6, "ldrsh": 7,
+			}
+			b, ok := opB[m]
+			if !ok {
+				return fail("unsupported register-offset op %s", m)
+			}
+			e.emit(0x5000 | b<<9 | uint16(rm)<<6 | uint16(rn)<<3 | uint16(rd))
+			return nil
+		}
+	}
+	// Immediate-offset forms.
+	v := int64(0)
+	if off != "" {
+		if v, err = parseImmediate(off, e.equs); err != nil {
+			return fail("%v", err)
+		}
+	}
+	switch m {
+	case "ldr", "str":
+		if v < 0 || v > 124 || v%4 != 0 {
+			return fail("word offset must be 0-124, multiple of 4")
+		}
+		op := uint16(0x6000)
+		if m == "ldr" {
+			op = 0x6800
+		}
+		e.emit(op | uint16(v/4)<<6 | uint16(rn)<<3 | uint16(rd))
+	case "ldrb", "strb":
+		if v < 0 || v > 31 {
+			return fail("byte offset must be 0-31")
+		}
+		op := uint16(0x7000)
+		if m == "ldrb" {
+			op = 0x7800
+		}
+		e.emit(op | uint16(v)<<6 | uint16(rn)<<3 | uint16(rd))
+	case "ldrh", "strh":
+		if v < 0 || v > 62 || v%2 != 0 {
+			return fail("halfword offset must be 0-62, even")
+		}
+		op := uint16(0x8000)
+		if m == "ldrh" {
+			op = 0x8800
+		}
+		e.emit(op | uint16(v/2)<<6 | uint16(rn)<<3 | uint16(rd))
+	default:
+		return fail("%s requires a register offset", m)
+	}
+	return nil
+}
+
+func (e *encoder) encodeBranch(it item, cond string, ops []string) error {
+	fail := func(format string, args ...any) error {
+		return &asmError{it.line, fmt.Sprintf(format, args...)}
+	}
+	if len(ops) != 1 {
+		return fail("branch needs a target label")
+	}
+	target, ok := e.labels[ops[0]]
+	if !ok {
+		return fail("unknown label %q", ops[0])
+	}
+	off := (int32(target) - int32(e.offset()+4)) / 2
+	if cond == "" {
+		if off < -1024 || off > 1023 {
+			return fail("branch out of range")
+		}
+		e.emit(0xE000 | uint16(off&0x7FF))
+		return nil
+	}
+	if off < -128 || off > 127 {
+		return fail("conditional branch out of range")
+	}
+	e.emit(0xD000 | condCodes[cond]<<8 | uint16(off&0xFF))
+	return nil
+}
+
+// parseRegList parses "{r0, r2-r4, lr}" returning the low-register bitmask
+// and the special bit (LR for push, PC for pop).
+func parseRegList(s, mnemonic string) (list uint16, special uint16, err error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
+		return 0, 0, fmt.Errorf("register list must be braced")
+	}
+	for _, part := range strings.Split(s[1:len(s)-1], ",") {
+		part = strings.ToLower(strings.TrimSpace(part))
+		if part == "" {
+			continue
+		}
+		if i := strings.Index(part, "-"); i >= 0 {
+			lo, err1 := parseRegister(part[:i])
+			hi, err2 := parseRegister(part[i+1:])
+			if err1 != nil || err2 != nil || lo > hi || hi > 7 {
+				return 0, 0, fmt.Errorf("bad register range %q", part)
+			}
+			for r := lo; r <= hi; r++ {
+				list |= 1 << r
+			}
+			continue
+		}
+		switch part {
+		case "lr":
+			if mnemonic != "push" {
+				return 0, 0, fmt.Errorf("lr only valid in push")
+			}
+			special = 1
+		case "pc":
+			if mnemonic != "pop" {
+				return 0, 0, fmt.Errorf("pc only valid in pop")
+			}
+			special = 1
+		default:
+			r, err := parseRegister(part)
+			if err != nil || r > 7 {
+				return 0, 0, fmt.Errorf("bad list register %q", part)
+			}
+			list |= 1 << r
+		}
+	}
+	if list == 0 && special == 0 {
+		return 0, 0, fmt.Errorf("empty register list")
+	}
+	return list, special, nil
+}

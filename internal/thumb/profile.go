@@ -1,0 +1,106 @@
+package thumb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Execution profiling: a per-PC cycle histogram collected while running,
+// with hotspot reporting against the disassembly. This is the
+// profile-guided view behind workload calibration — it shows exactly
+// where matmult-int's 20M cycles go.
+
+// Profile accumulates per-address execution statistics.
+type Profile struct {
+	// cycles[pc] is the total cycles attributed to the instruction at pc.
+	cycles map[uint32]uint64
+	// executions[pc] counts how many times the instruction ran.
+	executions map[uint32]uint64
+	// TotalCycles mirrors the CPU cycle counter over the profiled run.
+	TotalCycles uint64
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{cycles: map[uint32]uint64{}, executions: map[uint32]uint64{}}
+}
+
+// RunProfiled executes the CPU until halt (or budget), attributing every
+// cycle to the instruction address that consumed it.
+func RunProfiled(cpu *CPU, maxCycles uint64) (*Profile, error) {
+	p := NewProfile()
+	for !cpu.Halted {
+		if cpu.Cycles >= maxCycles {
+			return p, ErrCycleBudget
+		}
+		pc := cpu.R[15]
+		before := cpu.Cycles
+		if err := cpu.Step(); err != nil {
+			return p, err
+		}
+		spent := cpu.Cycles - before
+		p.cycles[pc] += spent
+		p.executions[pc]++
+		p.TotalCycles += spent
+	}
+	return p, nil
+}
+
+// HotSpot is one ranked profile entry.
+type HotSpot struct {
+	// PC is the instruction address.
+	PC uint32
+	// Cycles and Executions are the accumulated counts.
+	Cycles, Executions uint64
+	// Fraction is Cycles / TotalCycles.
+	Fraction float64
+}
+
+// Top returns the n hottest instructions by cycle count.
+func (p *Profile) Top(n int) []HotSpot {
+	out := make([]HotSpot, 0, len(p.cycles))
+	for pc, c := range p.cycles {
+		out = append(out, HotSpot{
+			PC: pc, Cycles: c, Executions: p.executions[pc],
+			Fraction: float64(c) / float64(p.TotalCycles),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].PC < out[j].PC
+	})
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// CoveragePC reports how many distinct instruction addresses executed.
+func (p *Profile) CoveragePC() int { return len(p.executions) }
+
+// FormatHotSpots renders the top-n entries annotated with disassembly from
+// the program image.
+func (p *Profile) FormatHotSpots(prog *Program, n int) (string, error) {
+	if prog == nil {
+		return "", errors.New("thumb: need the program for disassembly")
+	}
+	if p.TotalCycles == 0 {
+		return "", errors.New("thumb: empty profile")
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%10s %12s %12s %7s  %s\n", "pc", "cycles", "execs", "%", "instruction")
+	for _, h := range p.Top(n) {
+		idx := int(h.PC / 2)
+		dis := "(outside program)"
+		if idx >= 0 && idx < len(prog.Halfwords) {
+			dis = DisassembleOne(h.PC, prog.Halfwords[idx])
+		}
+		fmt.Fprintf(&sb, "%#10x %12d %12d %6.2f%%  %s\n",
+			h.PC, h.Cycles, h.Executions, 100*h.Fraction, dis)
+	}
+	return sb.String(), nil
+}

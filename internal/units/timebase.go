@@ -1,0 +1,27 @@
+package units
+
+import "time"
+
+// Calendar conventions used by the lifetime math. The paper expresses system
+// lifetime in months of wall-clock time with a duty-cycled usage window
+// (e.g. 2 hours per day over 24 months). We adopt the mean Gregorian month
+// so that 12 months equals exactly one 365.2425-day year.
+const (
+	HoursPerDay   = 24.0
+	DaysPerMonth  = 365.2425 / 12.0
+	HoursPerMonth = HoursPerDay * DaysPerMonth
+)
+
+// Months is a span of calendar time measured in mean Gregorian months.
+type Months float64
+
+// Hours reports the total wall-clock hours in the span.
+func (m Months) Hours() float64 { return float64(m) * HoursPerMonth }
+
+// Duration converts the span to a time.Duration.
+func (m Months) Duration() time.Duration {
+	return time.Duration(m.Hours() * float64(time.Hour))
+}
+
+// MonthsFromHours converts wall-clock hours into months.
+func MonthsFromHours(h float64) Months { return Months(h / HoursPerMonth) }

@@ -1,0 +1,253 @@
+// Package units defines the physical quantities used throughout the PPAtC
+// framework: energy, power, carbon mass, carbon intensity, length, area and
+// time spans. Each quantity is a defined float64 type carried in a single SI
+// base unit, with constructors and accessors for the unit scales that appear
+// in the paper (pJ, kWh, gCO2e, gCO2e/kWh, nm, mm², months, ...).
+//
+// Using defined types instead of bare float64 makes unit errors a compile
+// failure: an Energy cannot be passed where a Power is expected, and the
+// conversion points (Energy.Per, Power.Times, CarbonIntensity.Apply) are the
+// only places where dimensions combine.
+package units
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Energy is an amount of energy, stored in joules.
+type Energy float64
+
+// Energy constructors.
+func Joules(j float64) Energy          { return Energy(j) }
+func Picojoules(pj float64) Energy     { return Energy(pj * 1e-12) }
+func Nanojoules(nj float64) Energy     { return Energy(nj * 1e-9) }
+func Microjoules(uj float64) Energy    { return Energy(uj * 1e-6) }
+func Millijoules(mj float64) Energy    { return Energy(mj * 1e-3) }
+func WattHours(wh float64) Energy      { return Energy(wh * 3600) }
+func KilowattHours(kwh float64) Energy { return Energy(kwh * 3.6e6) }
+
+// Accessors in common scales.
+func (e Energy) Joules() float64        { return float64(e) }
+func (e Energy) Picojoules() float64    { return float64(e) * 1e12 }
+func (e Energy) Nanojoules() float64    { return float64(e) * 1e9 }
+func (e Energy) WattHours() float64     { return float64(e) / 3600 }
+func (e Energy) KilowattHours() float64 { return float64(e) / 3.6e6 }
+
+// Per returns the average power of spending e over span d.
+func (e Energy) Per(d time.Duration) Power {
+	return Power(float64(e) / d.Seconds())
+}
+
+// String renders the energy with an auto-selected SI prefix.
+func (e Energy) String() string { return siString(float64(e), "J") }
+
+// Power is an energy rate, stored in watts.
+type Power float64
+
+// Power constructors.
+func Watts(w float64) Power       { return Power(w) }
+func Milliwatts(mw float64) Power { return Power(mw * 1e-3) }
+func Microwatts(uw float64) Power { return Power(uw * 1e-6) }
+func Nanowatts(nw float64) Power  { return Power(nw * 1e-9) }
+
+// Accessors in common scales.
+func (p Power) Watts() float64      { return float64(p) }
+func (p Power) Milliwatts() float64 { return float64(p) * 1e3 }
+func (p Power) Microwatts() float64 { return float64(p) * 1e6 }
+
+// Times returns the energy consumed by running at power p for span d.
+func (p Power) Times(d time.Duration) Energy {
+	return Energy(float64(p) * d.Seconds())
+}
+
+// String renders the power with an auto-selected SI prefix.
+func (p Power) String() string { return siString(float64(p), "W") }
+
+// Carbon is a mass of CO2-equivalent emissions, stored in grams CO2e.
+type Carbon float64
+
+// Carbon constructors.
+func GramsCO2e(g float64) Carbon      { return Carbon(g) }
+func KilogramsCO2e(kg float64) Carbon { return Carbon(kg * 1e3) }
+func TonnesCO2e(t float64) Carbon     { return Carbon(t * 1e6) }
+
+// Accessors in common scales.
+func (c Carbon) Grams() float64     { return float64(c) }
+func (c Carbon) Kilograms() float64 { return float64(c) / 1e3 }
+func (c Carbon) Tonnes() float64    { return float64(c) / 1e6 }
+
+// String renders the carbon mass in grams or kilograms CO2e.
+func (c Carbon) String() string {
+	g := float64(c)
+	switch {
+	case math.Abs(g) >= 1e6:
+		return fmt.Sprintf("%.4g tCO2e", g/1e6)
+	case math.Abs(g) >= 1e3:
+		return fmt.Sprintf("%.4g kgCO2e", g/1e3)
+	default:
+		return fmt.Sprintf("%.4g gCO2e", g)
+	}
+}
+
+// CarbonIntensity is carbon emitted per unit of electrical energy, stored in
+// grams CO2e per joule. The paper quotes intensities in gCO2e/kWh.
+type CarbonIntensity float64
+
+// GramsPerKilowattHour constructs a carbon intensity from the paper's unit.
+func GramsPerKilowattHour(g float64) CarbonIntensity {
+	return CarbonIntensity(g / 3.6e6)
+}
+
+// GramsPerKilowattHour reports the intensity in gCO2e/kWh.
+func (ci CarbonIntensity) GramsPerKilowattHour() float64 {
+	return float64(ci) * 3.6e6
+}
+
+// Apply converts an energy consumption into emitted carbon.
+func (ci CarbonIntensity) Apply(e Energy) Carbon {
+	return Carbon(float64(ci) * float64(e))
+}
+
+// String renders the intensity in gCO2e/kWh.
+func (ci CarbonIntensity) String() string {
+	return fmt.Sprintf("%.4g gCO2e/kWh", ci.GramsPerKilowattHour())
+}
+
+// Length is a physical length, stored in meters.
+type Length float64
+
+// Length constructors.
+func Meters(m float64) Length       { return Length(m) }
+func Millimeters(mm float64) Length { return Length(mm * 1e-3) }
+func Micrometers(um float64) Length { return Length(um * 1e-6) }
+func Nanometers(nm float64) Length  { return Length(nm * 1e-9) }
+
+// Accessors in common scales.
+func (l Length) Meters() float64      { return float64(l) }
+func (l Length) Millimeters() float64 { return float64(l) * 1e3 }
+func (l Length) Micrometers() float64 { return float64(l) * 1e6 }
+func (l Length) Nanometers() float64  { return float64(l) * 1e9 }
+
+// TimesLength returns the rectangular area l × w.
+func (l Length) TimesLength(w Length) Area {
+	return Area(float64(l) * float64(w))
+}
+
+// String renders the length with an auto-selected SI prefix.
+func (l Length) String() string { return siString(float64(l), "m") }
+
+// Area is a physical area, stored in square meters.
+type Area float64
+
+// Area constructors.
+func SquareMeters(m2 float64) Area       { return Area(m2) }
+func SquareCentimeters(cm2 float64) Area { return Area(cm2 * 1e-4) }
+func SquareMillimeters(mm2 float64) Area { return Area(mm2 * 1e-6) }
+func SquareMicrometers(um2 float64) Area { return Area(um2 * 1e-12) }
+
+// Accessors in common scales.
+func (a Area) SquareMeters() float64      { return float64(a) }
+func (a Area) SquareCentimeters() float64 { return float64(a) * 1e4 }
+func (a Area) SquareMillimeters() float64 { return float64(a) * 1e6 }
+func (a Area) SquareMicrometers() float64 { return float64(a) * 1e12 }
+
+// String renders the area in mm² or cm², matching the paper's tables.
+func (a Area) String() string {
+	mm2 := a.SquareMillimeters()
+	if math.Abs(mm2) >= 100 {
+		return fmt.Sprintf("%.4g cm²", a.SquareCentimeters())
+	}
+	return fmt.Sprintf("%.4g mm²", mm2)
+}
+
+// CarbonPerArea is an areal carbon density (MPA, GPA), stored in gCO2e/m².
+type CarbonPerArea float64
+
+// GramsPerSquareCentimeter constructs an areal density from the paper's unit.
+func GramsPerSquareCentimeter(g float64) CarbonPerArea {
+	return CarbonPerArea(g * 1e4)
+}
+
+// GramsPerSquareCentimeter reports the density in gCO2e/cm².
+func (d CarbonPerArea) GramsPerSquareCentimeter() float64 {
+	return float64(d) / 1e4
+}
+
+// Over converts the areal density into total carbon for area a.
+func (d CarbonPerArea) Over(a Area) Carbon {
+	return Carbon(float64(d) * float64(a))
+}
+
+// String renders the density in gCO2e/cm².
+func (d CarbonPerArea) String() string {
+	return fmt.Sprintf("%.4g gCO2e/cm²", d.GramsPerSquareCentimeter())
+}
+
+// EnergyPerArea is an areal energy density (EPA), stored in J/m².
+type EnergyPerArea float64
+
+// KilowattHoursPerSquareCentimeter constructs an EPA from kWh/cm².
+func KilowattHoursPerSquareCentimeter(kwh float64) EnergyPerArea {
+	return EnergyPerArea(kwh * 3.6e6 * 1e4)
+}
+
+// Over converts the areal density into total energy for area a.
+func (d EnergyPerArea) Over(a Area) Energy {
+	return Energy(float64(d) * float64(a))
+}
+
+// Frequency is a rate of events, stored in hertz.
+type Frequency float64
+
+// Frequency constructors.
+func Hertz(hz float64) Frequency      { return Frequency(hz) }
+func Megahertz(mhz float64) Frequency { return Frequency(mhz * 1e6) }
+func Gigahertz(ghz float64) Frequency { return Frequency(ghz * 1e9) }
+
+// Accessors in common scales.
+func (f Frequency) Hertz() float64     { return float64(f) }
+func (f Frequency) Megahertz() float64 { return float64(f) / 1e6 }
+
+// Period returns the duration of a single cycle at frequency f.
+func (f Frequency) Period() time.Duration {
+	if f == 0 {
+		return 0
+	}
+	return time.Duration(float64(time.Second) / float64(f))
+}
+
+// PeriodSeconds returns the cycle period in seconds without the precision
+// limits of time.Duration (which bottoms out at 1 ns).
+func (f Frequency) PeriodSeconds() float64 {
+	if f == 0 {
+		return 0
+	}
+	return 1 / float64(f)
+}
+
+// String renders the frequency with an auto-selected SI prefix.
+func (f Frequency) String() string { return siString(float64(f), "Hz") }
+
+// siString formats v with an SI prefix chosen from its magnitude.
+func siString(v float64, unit string) string {
+	abs := math.Abs(v)
+	type scale struct {
+		factor float64
+		prefix string
+	}
+	scales := []scale{
+		{1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+		{1, ""}, {1e-3, "m"}, {1e-6, "µ"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+	}
+	if v == 0 {
+		return "0 " + unit
+	}
+	for _, s := range scales {
+		if abs >= s.factor {
+			return fmt.Sprintf("%.4g %s%s", v/s.factor, s.prefix, unit)
+		}
+	}
+	return fmt.Sprintf("%.4g %s", v, unit)
+}

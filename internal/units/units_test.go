@@ -1,0 +1,233 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestEnergyConversionsRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		make func(float64) Energy
+		get  func(Energy) float64
+	}{
+		{"picojoules", Picojoules, Energy.Picojoules},
+		{"nanojoules", Nanojoules, Energy.Nanojoules},
+		{"watthours", WattHours, Energy.WattHours},
+		{"kilowatthours", KilowattHours, Energy.KilowattHours},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, v := range []float64{0, 1, 1.42, 436, 1e6, 1e-6} {
+				if got := tc.get(tc.make(v)); !almostEqual(got, v, 1e-12) {
+					t.Errorf("%s round trip: put %v got %v", tc.name, v, got)
+				}
+			}
+		})
+	}
+}
+
+func TestKilowattHourDefinition(t *testing.T) {
+	// 1 kWh = 3.6e6 J exactly.
+	if got := KilowattHours(1).Joules(); got != 3.6e6 {
+		t.Fatalf("1 kWh = %v J, want 3.6e6", got)
+	}
+}
+
+func TestPowerEnergyDuality(t *testing.T) {
+	p := Milliwatts(9.71)
+	e := p.Times(2 * time.Hour)
+	if want := 9.71e-3 * 7200; !almostEqual(e.Joules(), want, 1e-12) {
+		t.Fatalf("9.71 mW over 2h = %v J, want %v", e.Joules(), want)
+	}
+	back := e.Per(2 * time.Hour)
+	if !almostEqual(back.Watts(), p.Watts(), 1e-12) {
+		t.Fatalf("round trip power: got %v want %v", back, p)
+	}
+}
+
+func TestCarbonIntensityApply(t *testing.T) {
+	// US grid: 380 gCO2e/kWh applied to 1 kWh must give 380 g.
+	us := GramsPerKilowattHour(380)
+	c := us.Apply(KilowattHours(1))
+	if !almostEqual(c.Grams(), 380, 1e-12) {
+		t.Fatalf("380 g/kWh × 1 kWh = %v g, want 380", c.Grams())
+	}
+	if !almostEqual(us.GramsPerKilowattHour(), 380, 1e-12) {
+		t.Fatalf("round trip intensity: %v", us.GramsPerKilowattHour())
+	}
+}
+
+func TestCarbonScales(t *testing.T) {
+	c := KilogramsCO2e(837)
+	if !almostEqual(c.Grams(), 837000, 1e-12) {
+		t.Fatalf("837 kg = %v g", c.Grams())
+	}
+	if !almostEqual(c.Tonnes(), 0.837, 1e-12) {
+		t.Fatalf("837 kg = %v t", c.Tonnes())
+	}
+	if s := c.String(); !strings.Contains(s, "kgCO2e") {
+		t.Fatalf("String() = %q, want kgCO2e scale", s)
+	}
+}
+
+func TestAreaConversions(t *testing.T) {
+	// A 300 mm wafer: π × (150 mm)² ≈ 706.86 cm².
+	r := Millimeters(150)
+	a := Area(math.Pi * r.Meters() * r.Meters())
+	if !almostEqual(a.SquareCentimeters(), 706.858, 1e-4) {
+		t.Fatalf("wafer area = %v cm², want ≈706.86", a.SquareCentimeters())
+	}
+	d := Micrometers(270).TimesLength(Micrometers(515))
+	if !almostEqual(d.SquareMillimeters(), 0.139, 0.01) {
+		t.Fatalf("die area = %v mm², want ≈0.139", d.SquareMillimeters())
+	}
+}
+
+func TestCarbonPerAreaOver(t *testing.T) {
+	// MPA = 500 gCO2e/cm² over a 300 mm wafer ≈ 3.5e5 gCO2e (paper, Sec II-B).
+	mpa := GramsPerSquareCentimeter(500)
+	wafer := SquareCentimeters(706.858)
+	got := mpa.Over(wafer).Grams()
+	if !almostEqual(got, 353429, 1e-3) {
+		t.Fatalf("MPA over wafer = %v g, want ≈3.53e5", got)
+	}
+}
+
+func TestFrequencyPeriod(t *testing.T) {
+	f := Megahertz(500)
+	if got := f.PeriodSeconds(); !almostEqual(got, 2e-9, 1e-12) {
+		t.Fatalf("500 MHz period = %v s, want 2e-9", got)
+	}
+	if got := f.Period(); got != 2*time.Nanosecond {
+		t.Fatalf("500 MHz period = %v, want 2ns", got)
+	}
+	if Frequency(0).Period() != 0 || Frequency(0).PeriodSeconds() != 0 {
+		t.Fatal("zero frequency must yield zero period")
+	}
+}
+
+func TestMonths(t *testing.T) {
+	if got := Months(12).Hours(); !almostEqual(got, 365.2425*24, 1e-12) {
+		t.Fatalf("12 months = %v h, want one Gregorian year", got)
+	}
+	if got := MonthsFromHours(Months(24).Hours()); !almostEqual(float64(got), 24, 1e-12) {
+		t.Fatalf("months round trip: %v", got)
+	}
+}
+
+func TestSIStringSelection(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Picojoules(1.42).String(), "1.42 pJ"},
+		{Milliwatts(9.71).String(), "9.71 mW"},
+		{Megahertz(500).String(), "500 MHz"},
+		{KilowattHours(436).String(), "1.57 GJ"},
+		{Energy(0).String(), "0 J"},
+	}
+	for _, tc := range cases {
+		if tc.got != tc.want {
+			t.Errorf("String() = %q, want %q", tc.got, tc.want)
+		}
+	}
+}
+
+// Property: intensity application is linear in energy.
+func TestCarbonIntensityLinearity(t *testing.T) {
+	f := func(gPerKWh, kwh1, kwh2 float64) bool {
+		gPerKWh = math.Mod(math.Abs(gPerKWh), 2000)
+		kwh1 = math.Mod(math.Abs(kwh1), 1e6)
+		kwh2 = math.Mod(math.Abs(kwh2), 1e6)
+		ci := GramsPerKilowattHour(gPerKWh)
+		sum := ci.Apply(KilowattHours(kwh1 + kwh2)).Grams()
+		parts := ci.Apply(KilowattHours(kwh1)).Grams() + ci.Apply(KilowattHours(kwh2)).Grams()
+		return almostEqual(sum, parts, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Power.Times and Energy.Per are inverse for positive durations.
+func TestPowerEnergyInverseProperty(t *testing.T) {
+	f := func(mw float64, seconds uint16) bool {
+		if seconds == 0 {
+			return true
+		}
+		mw = math.Mod(math.Abs(mw), 1e6)
+		d := time.Duration(seconds) * time.Second
+		p := Milliwatts(mw)
+		return almostEqual(p.Times(d).Per(d).Watts(), p.Watts(), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemainingConstructorsAndStrings(t *testing.T) {
+	if Joules(2).Joules() != 2 {
+		t.Error("Joules")
+	}
+	if !almostEqual(Microjoules(3).Joules(), 3e-6, 1e-12) {
+		t.Error("Microjoules")
+	}
+	if Millijoules(4).Joules() != 4e-3 {
+		t.Error("Millijoules")
+	}
+	if Watts(5).Watts() != 5 {
+		t.Error("Watts")
+	}
+	if !almostEqual(Microwatts(6).Watts(), 6e-6, 1e-12) || !almostEqual(Nanowatts(7).Watts(), 7e-9, 1e-12) {
+		t.Error("small powers")
+	}
+	if Milliwatts(8).Milliwatts() != 8 || Microwatts(9).Microwatts() != 9 {
+		t.Error("power accessors")
+	}
+	if GramsCO2e(10).Grams() != 10 || TonnesCO2e(1).Grams() != 1e6 {
+		t.Error("carbon constructors")
+	}
+	if KilogramsCO2e(2).Kilograms() != 2 {
+		t.Error("Kilograms accessor")
+	}
+	if Meters(1).Meters() != 1 || !almostEqual(Nanometers(2).Meters(), 2e-9, 1e-12) {
+		t.Error("lengths")
+	}
+	l := Millimeters(1)
+	if l.Millimeters() != 1 || Micrometers(3).Micrometers() != 3 || Nanometers(4).Nanometers() != 4 {
+		t.Error("length accessors")
+	}
+	if got := Micrometers(270).String(); got != "270 µm" {
+		t.Errorf("length string = %q", got)
+	}
+	if got := GramsPerKilowattHour(380).String(); !strings.Contains(got, "380") {
+		t.Errorf("intensity string = %q", got)
+	}
+	if got := GramsPerSquareCentimeter(500).String(); !strings.Contains(got, "500") {
+		t.Errorf("areal string = %q", got)
+	}
+	if got := SquareCentimeters(707).String(); !strings.Contains(got, "cm²") {
+		t.Errorf("big area string = %q", got)
+	}
+	if got := TonnesCO2e(2).String(); !strings.Contains(got, "tCO2e") {
+		t.Errorf("tonnes string = %q", got)
+	}
+	if got := Months(1).Duration(); got <= 0 {
+		t.Errorf("months duration = %v", got)
+	}
+	// EnergyPerArea helpers.
+	epa := KilowattHoursPerSquareCentimeter(1)
+	if got := epa.Over(SquareCentimeters(2)).KilowattHours(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("EPA over area = %v, want 2", got)
+	}
+}

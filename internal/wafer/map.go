@@ -1,0 +1,76 @@
+package wafer
+
+import (
+	"errors"
+	"math"
+	"strings"
+)
+
+// RenderMap draws an ASCII wafer map at the given character width: '#' for
+// a placed die cell, '.' for usable area that cannot fit a whole die
+// column, '_' for the flat exclusion, and blanks outside the wafer. Each
+// character covers a square patch of the wafer; the map is a visual aid
+// for the die-per-wafer estimate, not the estimate itself.
+func RenderMap(s Spec, d Die, chars int) (string, error) {
+	if err := s.Validate(); err != nil {
+		return "", err
+	}
+	if err := d.Validate(); err != nil {
+		return "", err
+	}
+	if chars < 10 || chars > 400 {
+		return "", errors.New("wafer: map width must be 10-400 characters")
+	}
+	r := s.UsableRadius().Meters()
+	rim := s.Diameter.Meters() / 2
+	flatY := -(r - math.Max(0, s.FlatHeight.Meters()-s.EdgeClearance.Meters()))
+	w := d.Width.Meters() + d.Spacing.Meters()
+	h := d.Height.Meters() + d.Spacing.Meters()
+
+	patch := 2 * rim / float64(chars)
+	var sb strings.Builder
+	// Terminal cells are ~2× taller than wide; halve the row count.
+	rows := chars / 2
+	for row := 0; row < rows; row++ {
+		y := rim - (float64(row)+0.5)*2*rim/float64(rows)
+		for col := 0; col < chars; col++ {
+			x := -rim + (float64(col)+0.5)*patch
+			rr := math.Hypot(x, y)
+			switch {
+			case rr > rim:
+				sb.WriteByte(' ')
+			case rr > r:
+				sb.WriteByte('o') // edge-clearance ring
+			case y < flatY:
+				sb.WriteByte('_') // flat exclusion
+			default:
+				// Does the die cell containing this point fit whole?
+				cx := math.Floor(x/w) * w
+				cy := math.Floor(y/h) * h
+				if cellInside(cx, cy, w, h, r, flatY) {
+					sb.WriteByte('#')
+				} else {
+					sb.WriteByte('.')
+				}
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+// cellInside reports whether the cell with lower-left corner (cx, cy) fits
+// entirely inside the usable disc above the flat line.
+func cellInside(cx, cy, w, h, r, flatY float64) bool {
+	if cy < flatY {
+		return false
+	}
+	for _, x := range []float64{cx, cx + w} {
+		for _, y := range []float64{cy, cy + h} {
+			if math.Hypot(x, y) > r {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,201 @@
+// Package wafer implements die-per-wafer estimation (Step 5 of the paper's
+// design flow). Two estimators are provided: the classic analytic formula
+// used by die-per-wafer calculators, and a geometric row-packing count that
+// places rectangular dies on the usable wafer region, honoring die spacing,
+// edge clearance, and the flat/notch exclusion — the parameters the paper
+// feeds its estimator (horizontal & vertical spacing 0.1 mm, edge clearance
+// 5 mm, flat/notch height 10 mm).
+package wafer
+
+import (
+	"errors"
+	"math"
+
+	"ppatc/internal/units"
+)
+
+// Spec describes the wafer and its exclusion zones.
+type Spec struct {
+	// Diameter is the wafer diameter (300 mm in the paper).
+	Diameter units.Length
+	// EdgeClearance is the unusable annulus at the wafer rim.
+	EdgeClearance units.Length
+	// FlatHeight is the height of the flat/notch exclusion segment at the
+	// wafer edge.
+	FlatHeight units.Length
+}
+
+// Paper300mm is the wafer specification of the paper's case study.
+func Paper300mm() Spec {
+	return Spec{
+		Diameter:      units.Millimeters(300),
+		EdgeClearance: units.Millimeters(5),
+		FlatHeight:    units.Millimeters(10),
+	}
+}
+
+// Validate checks the wafer spec.
+func (s Spec) Validate() error {
+	switch {
+	case s.Diameter <= 0:
+		return errors.New("wafer: diameter must be positive")
+	case s.EdgeClearance < 0 || s.FlatHeight < 0:
+		return errors.New("wafer: clearances must be non-negative")
+	case 2*s.EdgeClearance >= s.Diameter:
+		return errors.New("wafer: edge clearance consumes the whole wafer")
+	case s.FlatHeight.Meters() >= s.Diameter.Meters()/2:
+		return errors.New("wafer: flat height exceeds wafer radius")
+	}
+	return nil
+}
+
+// UsableRadius reports the radius of the region dies may occupy.
+func (s Spec) UsableRadius() units.Length {
+	return units.Length(s.Diameter.Meters()/2 - s.EdgeClearance.Meters())
+}
+
+// Area reports the full wafer area (used by the per-area carbon terms,
+// which apply to the whole processed wafer).
+func (s Spec) Area() units.Area {
+	r := s.Diameter.Meters() / 2
+	return units.SquareMeters(math.Pi * r * r)
+}
+
+// Die describes one die and its scribe-lane spacing.
+type Die struct {
+	// Width and Height are the die dimensions from place-and-route.
+	Width, Height units.Length
+	// Spacing is the horizontal and vertical scribe spacing between dies.
+	Spacing units.Length
+}
+
+// Validate checks the die spec.
+func (d Die) Validate() error {
+	if d.Width <= 0 || d.Height <= 0 {
+		return errors.New("wafer: die dimensions must be positive")
+	}
+	if d.Spacing < 0 {
+		return errors.New("wafer: die spacing must be non-negative")
+	}
+	return nil
+}
+
+// Area reports the die's own area (without scribe).
+func (d Die) Area() units.Area { return d.Width.TimesLength(d.Height) }
+
+// CellArea reports the area one die consumes on the wafer including scribe.
+func (d Die) CellArea() units.Area {
+	return units.Area((d.Width.Meters() + d.Spacing.Meters()) * (d.Height.Meters() + d.Spacing.Meters()))
+}
+
+// EstimateFormula evaluates the classic die-per-wafer formula
+//
+//	DPW = π·d_eff²/(4·S) − π·d_eff/√(2·S)
+//
+// with d_eff the usable diameter (diameter − 2·edge clearance) and S the
+// cell area including scribe. The second term approximates the partial dies
+// lost along the circumference; the flat exclusion is subtracted as an area
+// correction.
+func EstimateFormula(s Spec, d Die) (int, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	dEff := 2 * s.UsableRadius().Meters()
+	cell := d.CellArea().SquareMeters()
+	dpw := math.Pi*dEff*dEff/(4*cell) - math.Pi*dEff/math.Sqrt(2*cell)
+	// Subtract the flat segment, clipped to the usable radius.
+	dpw -= flatSegmentArea(s) / cell
+	if dpw < 0 {
+		dpw = 0
+	}
+	return int(dpw), nil
+}
+
+// flatSegmentArea reports the area of the flat/notch exclusion that overlaps
+// the usable disc, in m².
+func flatSegmentArea(s Spec) float64 {
+	r := s.UsableRadius().Meters()
+	// The flat removes a segment of height FlatHeight measured from the
+	// physical wafer edge; the part overlapping the usable disc has height
+	// h = FlatHeight − EdgeClearance.
+	h := s.FlatHeight.Meters() - s.EdgeClearance.Meters()
+	if h <= 0 {
+		return 0
+	}
+	if h > r {
+		h = r
+	}
+	// Circular segment of height h on a circle of radius r.
+	return r*r*math.Acos((r-h)/r) - (r-h)*math.Sqrt(2*r*h-h*h)
+}
+
+// EstimateGeometric counts dies by packing the grid of (die+scribe) cells
+// onto the usable disc, excluding the flat segment at the bottom. Four grid
+// offsets (half-cell shifts in x and y) are tried and the best count is
+// returned, mirroring how steppers optimize reticle placement.
+func EstimateGeometric(s Spec, d Die) (int, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	r := s.UsableRadius().Meters()
+	w := d.Width.Meters() + d.Spacing.Meters()
+	h := d.Height.Meters() + d.Spacing.Meters()
+	// Flat exclusion: rows must satisfy yMin ≥ flatY.
+	flatY := -(r - math.Max(0, s.FlatHeight.Meters()-s.EdgeClearance.Meters()))
+
+	best := 0
+	for _, ox := range []float64{0, 0.5} {
+		for _, oy := range []float64{0, 0.5} {
+			if n := packCount(r, w, h, ox, oy, flatY); n > best {
+				best = n
+			}
+		}
+	}
+	return best, nil
+}
+
+// packCount counts grid cells fully inside the disc of radius r and above
+// the flat line, with the grid shifted by (ox·w, oy·h) from center.
+func packCount(r, w, h, ox, oy, flatY float64) int {
+	count := 0
+	// Row j spans y ∈ [ (j+oy)·h, (j+oy+1)·h ).
+	jMin := int(math.Floor((-r)/h)) - 2
+	jMax := int(math.Ceil(r/h)) + 2
+	for j := jMin; j <= jMax; j++ {
+		y0 := (float64(j) + oy) * h
+		y1 := y0 + h
+		if y0 < flatY {
+			continue
+		}
+		yAbs := math.Max(math.Abs(y0), math.Abs(y1))
+		if yAbs >= r {
+			continue
+		}
+		// Maximum |x| so that both cell corners stay inside the circle.
+		xMax := math.Sqrt(r*r - yAbs*yAbs)
+		// Columns i span x ∈ [ (i+ox)·w, (i+ox+1)·w ); count those fully
+		// within [−xMax, xMax].
+		iLo := int(math.Ceil(-xMax/w - ox))
+		iHi := int(math.Floor(xMax/w-ox)) - 1
+		if iHi >= iLo {
+			count += iHi - iLo + 1
+		}
+	}
+	return count
+}
+
+// UsableArea reports the wafer area available to dies: the usable disc
+// minus the flat exclusion.
+func UsableArea(s Spec) (units.Area, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	r := s.UsableRadius().Meters()
+	return units.SquareMeters(math.Pi*r*r - flatSegmentArea(s)), nil
+}

@@ -1,0 +1,238 @@
+package wafer
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ppatc/internal/units"
+)
+
+func paperAllSiDie() Die {
+	return Die{
+		Width:   units.Micrometers(515),
+		Height:  units.Micrometers(270),
+		Spacing: units.Millimeters(0.1),
+	}
+}
+
+func paperM3DDie() Die {
+	return Die{
+		Width:   units.Micrometers(334),
+		Height:  units.Micrometers(159),
+		Spacing: units.Millimeters(0.1),
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := Paper300mm().Validate(); err != nil {
+		t.Fatalf("paper spec invalid: %v", err)
+	}
+	bad := []Spec{
+		{},
+		{Diameter: units.Millimeters(300), EdgeClearance: units.Millimeters(-1)},
+		{Diameter: units.Millimeters(300), EdgeClearance: units.Millimeters(150)},
+		{Diameter: units.Millimeters(300), FlatHeight: units.Millimeters(160)},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d should be invalid", i)
+		}
+	}
+}
+
+func TestDieValidateAndAreas(t *testing.T) {
+	d := paperAllSiDie()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Area().SquareMillimeters(); !almostEqual(got, 0.139, 0.01) {
+		t.Errorf("all-Si die area = %v mm², want ≈0.139 (Table II)", got)
+	}
+	if got := paperM3DDie().Area().SquareMillimeters(); !almostEqual(got, 0.0531, 0.01) {
+		t.Errorf("M3D die area = %v mm², want ≈0.053 (Table II)", got)
+	}
+	if got := d.CellArea().SquareMillimeters(); !almostEqual(got, 0.615*0.370, 1e-9) {
+		t.Errorf("cell area = %v mm², want 0.2276", got)
+	}
+	for i, bad := range []Die{{}, {Width: 1, Height: -1}, {Width: 1, Height: 1, Spacing: -1}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("die %d should be invalid", i)
+		}
+	}
+}
+
+func TestUsableGeometry(t *testing.T) {
+	s := Paper300mm()
+	if got := s.UsableRadius().Millimeters(); got != 145 {
+		t.Errorf("usable radius = %v mm, want 145", got)
+	}
+	if got := s.Area().SquareCentimeters(); !almostEqual(got, 706.858, 1e-4) {
+		t.Errorf("wafer area = %v cm², want 706.86", got)
+	}
+	ua, err := UsableArea(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := math.Pi * 145 * 145
+	if mm2 := ua.SquareMillimeters(); mm2 >= full || mm2 < full*0.99 {
+		t.Errorf("usable area = %v mm², want slightly below %v", mm2, full)
+	}
+}
+
+// TestDieCountsNearPaper checks both estimators against Table II's die
+// counts (299,127 all-Si; 606,238 M3D). Our estimators are independent
+// implementations, so we accept a ±5% band — what must hold tightly is the
+// *ratio* between the two designs, which drives every downstream carbon
+// number.
+func TestDieCountsNearPaper(t *testing.T) {
+	s := Paper300mm()
+	for _, tc := range []struct {
+		name string
+		est  func(Spec, Die) (int, error)
+	}{
+		{"formula", EstimateFormula},
+		{"geometric", EstimateGeometric},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			nAll, err := tc.est(s, paperAllSiDie())
+			if err != nil {
+				t.Fatal(err)
+			}
+			nM3D, err := tc.est(s, paperM3DDie())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(float64(nAll), 299127, 0.05) {
+				t.Errorf("all-Si dies = %d, want 299,127 ± 5%%", nAll)
+			}
+			if !almostEqual(float64(nM3D), 606238, 0.05) {
+				t.Errorf("M3D dies = %d, want 606,238 ± 5%%", nM3D)
+			}
+			ratio := float64(nM3D) / float64(nAll)
+			if !almostEqual(ratio, 606238.0/299127.0, 0.01) {
+				t.Errorf("die count ratio = %.4f, want ≈2.027 ± 1%%", ratio)
+			}
+			t.Logf("%s: all-Si %d, M3D %d (ratio %.4f)", tc.name, nAll, nM3D, ratio)
+		})
+	}
+}
+
+func TestGeometricAtMostAreaBound(t *testing.T) {
+	// The packed count can never exceed usable area / cell area.
+	s := Paper300mm()
+	for _, d := range []Die{paperAllSiDie(), paperM3DDie()} {
+		n, err := EstimateGeometric(s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ua, _ := UsableArea(s)
+		bound := int(ua.SquareMeters() / d.CellArea().SquareMeters())
+		if n > bound {
+			t.Errorf("geometric count %d exceeds area bound %d", n, bound)
+		}
+	}
+}
+
+func TestEstimatorErrors(t *testing.T) {
+	s := Paper300mm()
+	if _, err := EstimateFormula(Spec{}, paperAllSiDie()); err == nil {
+		t.Error("invalid spec should fail")
+	}
+	if _, err := EstimateFormula(s, Die{}); err == nil {
+		t.Error("invalid die should fail")
+	}
+	if _, err := EstimateGeometric(Spec{}, paperAllSiDie()); err == nil {
+		t.Error("invalid spec should fail (geometric)")
+	}
+	if _, err := EstimateGeometric(s, Die{}); err == nil {
+		t.Error("invalid die should fail (geometric)")
+	}
+	if _, err := UsableArea(Spec{}); err == nil {
+		t.Error("invalid spec should fail (usable area)")
+	}
+}
+
+func TestHugeDieYieldsZero(t *testing.T) {
+	s := Paper300mm()
+	huge := Die{Width: units.Millimeters(400), Height: units.Millimeters(400)}
+	n, err := EstimateGeometric(s, huge)
+	if err != nil || n != 0 {
+		t.Errorf("die larger than wafer: n=%d err=%v, want 0, nil", n, err)
+	}
+	nf, err := EstimateFormula(s, huge)
+	if err != nil || nf != 0 {
+		t.Errorf("formula with huge die: n=%d err=%v, want 0, nil", nf, err)
+	}
+}
+
+func TestFlatExclusionReducesCount(t *testing.T) {
+	noFlat := Spec{Diameter: units.Millimeters(300), EdgeClearance: units.Millimeters(5)}
+	withFlat := Paper300mm()
+	d := paperAllSiDie()
+	n0, err := EstimateGeometric(noFlat, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err := EstimateGeometric(withFlat, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 >= n0 {
+		t.Errorf("flat exclusion should reduce count: %d vs %d", n1, n0)
+	}
+}
+
+// Property: die count is antitone in die size — a strictly larger die never
+// packs more.
+func TestCountAntitoneInDieSize(t *testing.T) {
+	s := Paper300mm()
+	f := func(wUM, hUM uint16, growPct uint8) bool {
+		w := 100 + float64(wUM%2000)
+		h := 100 + float64(hUM%2000)
+		grow := 1 + float64(growPct%50)/100
+		small := Die{Width: units.Micrometers(w), Height: units.Micrometers(h), Spacing: units.Millimeters(0.1)}
+		big := Die{Width: units.Micrometers(w * grow), Height: units.Micrometers(h * grow), Spacing: units.Millimeters(0.1)}
+		nSmall, err1 := EstimateGeometric(s, small)
+		nBig, err2 := EstimateGeometric(s, big)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return nBig <= nSmall
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestRenderMap(t *testing.T) {
+	// Use a large die so the map shows structure at low resolution.
+	d := Die{Width: units.Millimeters(20), Height: units.Millimeters(20), Spacing: units.Millimeters(0.5)}
+	m, err := RenderMap(Paper300mm(), d, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"#", ".", "o", "_"} {
+		if !strings.Contains(m, want) {
+			t.Errorf("map missing %q glyph", want)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(m, "\n"), "\n")
+	if len(lines) != 60 {
+		t.Errorf("map has %d rows, want 60", len(lines))
+	}
+	if _, err := RenderMap(Paper300mm(), d, 5); err == nil {
+		t.Error("tiny map should fail")
+	}
+	if _, err := RenderMap(Spec{}, d, 60); err == nil {
+		t.Error("invalid spec should fail")
+	}
+}

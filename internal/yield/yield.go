@@ -1,0 +1,168 @@
+// Package yield provides die-yield models for the good-die amortization of
+// Eq. 5. The paper demonstrates its case study with fixed yields (90% for
+// the mature all-Si eDRAM process, 50% for the M3D process) and notes that
+// "designers can choose arbitrary yield models (e.g., depending on
+// technology node, process, and design robustness)" — this package supplies
+// the standard ones: fixed, Poisson, Murphy, negative binomial, and a
+// compound per-tier model for monolithic-3D stacks where every sequential
+// device tier must yield.
+package yield
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ppatc/internal/units"
+)
+
+// Model maps a die area to a probability that the die is functional.
+type Model interface {
+	// Yield reports the expected fraction of good dies of the given area.
+	// Results are in (0, 1].
+	Yield(die units.Area) (float64, error)
+	// Name identifies the model for reports.
+	Name() string
+}
+
+// Fixed is an area-independent yield, the paper's demonstration choice.
+type Fixed struct {
+	// Value is the yield fraction in (0, 1].
+	Value float64
+}
+
+// Name implements Model.
+func (f Fixed) Name() string { return fmt.Sprintf("fixed(%.0f%%)", f.Value*100) }
+
+// Yield implements Model.
+func (f Fixed) Yield(units.Area) (float64, error) {
+	if f.Value <= 0 || f.Value > 1 {
+		return 0, fmt.Errorf("yield: fixed yield %g outside (0, 1]", f.Value)
+	}
+	return f.Value, nil
+}
+
+// Poisson is the Poisson defect-density model: Y = exp(−D0·A).
+type Poisson struct {
+	// D0 is the defect density in defects per cm².
+	D0 float64
+}
+
+// Name implements Model.
+func (p Poisson) Name() string { return fmt.Sprintf("poisson(D0=%.2g/cm²)", p.D0) }
+
+// Yield implements Model.
+func (p Poisson) Yield(die units.Area) (float64, error) {
+	if p.D0 < 0 {
+		return 0, errors.New("yield: defect density must be non-negative")
+	}
+	if die <= 0 {
+		return 0, errors.New("yield: die area must be positive")
+	}
+	return math.Exp(-p.D0 * die.SquareCentimeters()), nil
+}
+
+// Murphy is Murphy's yield model, Y = ((1 − e^{−D0·A}) / (D0·A))², which
+// assumes a triangular defect-density distribution and sits between the
+// pessimistic Poisson and optimistic Seeds models.
+type Murphy struct {
+	// D0 is the defect density in defects per cm².
+	D0 float64
+}
+
+// Name implements Model.
+func (m Murphy) Name() string { return fmt.Sprintf("murphy(D0=%.2g/cm²)", m.D0) }
+
+// Yield implements Model.
+func (m Murphy) Yield(die units.Area) (float64, error) {
+	if m.D0 < 0 {
+		return 0, errors.New("yield: defect density must be non-negative")
+	}
+	if die <= 0 {
+		return 0, errors.New("yield: die area must be positive")
+	}
+	x := m.D0 * die.SquareCentimeters()
+	if x == 0 {
+		return 1, nil
+	}
+	f := (1 - math.Exp(-x)) / x
+	return f * f, nil
+}
+
+// NegativeBinomial is the negative-binomial (clustered-defect) model,
+// Y = (1 + D0·A/α)^{−α}, the industry standard for modern nodes.
+type NegativeBinomial struct {
+	// D0 is the defect density in defects per cm².
+	D0 float64
+	// Alpha is the clustering parameter (α → ∞ recovers Poisson; α ≈ 2-3
+	// is typical).
+	Alpha float64
+}
+
+// Name implements Model.
+func (n NegativeBinomial) Name() string {
+	return fmt.Sprintf("negbinomial(D0=%.2g/cm², α=%.2g)", n.D0, n.Alpha)
+}
+
+// Yield implements Model.
+func (n NegativeBinomial) Yield(die units.Area) (float64, error) {
+	if n.D0 < 0 {
+		return 0, errors.New("yield: defect density must be non-negative")
+	}
+	if n.Alpha <= 0 {
+		return 0, errors.New("yield: clustering parameter must be positive")
+	}
+	if die <= 0 {
+		return 0, errors.New("yield: die area must be positive")
+	}
+	return math.Pow(1+n.D0*die.SquareCentimeters()/n.Alpha, -n.Alpha), nil
+}
+
+// Compound multiplies per-tier yields, modeling a monolithic-3D stack in
+// which every sequentially fabricated tier must be functional for the die
+// to be good. This captures the paper's observation that the M3D process's
+// relative immaturity and complexity depress its yield.
+type Compound struct {
+	// Tiers are the per-tier models, one per device tier in the stack.
+	Tiers []Model
+}
+
+// Name implements Model.
+func (c Compound) Name() string { return fmt.Sprintf("compound(%d tiers)", len(c.Tiers)) }
+
+// Yield implements Model.
+func (c Compound) Yield(die units.Area) (float64, error) {
+	if len(c.Tiers) == 0 {
+		return 0, errors.New("yield: compound model needs at least one tier")
+	}
+	y := 1.0
+	for _, t := range c.Tiers {
+		ty, err := t.Yield(die)
+		if err != nil {
+			return 0, err
+		}
+		y *= ty
+	}
+	return y, nil
+}
+
+// Paper yields for the case study (Sec. III-B, Step 5).
+var (
+	// PaperAllSi is the 90% yield the paper assumes for the mature all-Si
+	// eDRAM process.
+	PaperAllSi = Fixed{Value: 0.90}
+	// PaperM3D is the 50% yield the paper assumes for the M3D process.
+	PaperM3D = Fixed{Value: 0.50}
+)
+
+// GoodDies applies a model to a die count: floor(N · Y).
+func GoodDies(n int, die units.Area, m Model) (int, error) {
+	if n < 0 {
+		return 0, errors.New("yield: die count must be non-negative")
+	}
+	y, err := m.Yield(die)
+	if err != nil {
+		return 0, err
+	}
+	return int(float64(n) * y), nil
+}

@@ -1,0 +1,171 @@
+package yield
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ppatc/internal/units"
+)
+
+var testDie = units.SquareMillimeters(0.139)
+
+func TestFixed(t *testing.T) {
+	y, err := PaperAllSi.Yield(testDie)
+	if err != nil || y != 0.90 {
+		t.Errorf("paper all-Si yield = %v, %v; want 0.90", y, err)
+	}
+	y, err = PaperM3D.Yield(testDie)
+	if err != nil || y != 0.50 {
+		t.Errorf("paper M3D yield = %v, %v; want 0.50", y, err)
+	}
+	for _, bad := range []float64{0, -0.5, 1.5} {
+		if _, err := (Fixed{Value: bad}).Yield(testDie); err == nil {
+			t.Errorf("fixed yield %v should be invalid", bad)
+		}
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	// Y = exp(-D0·A): with D0 = 0.1/cm² and A = 1 cm², Y = e^-0.1.
+	p := Poisson{D0: 0.1}
+	y, err := p.Yield(units.SquareCentimeters(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(y, math.Exp(-0.1), 1e-12) {
+		t.Errorf("poisson yield = %v, want %v", y, math.Exp(-0.1))
+	}
+	if _, err := (Poisson{D0: -1}).Yield(testDie); err == nil {
+		t.Error("negative D0 should fail")
+	}
+	if _, err := p.Yield(0); err == nil {
+		t.Error("zero area should fail")
+	}
+}
+
+func TestMurphyBetweenPoissonAndOne(t *testing.T) {
+	d0 := 0.5
+	a := units.SquareCentimeters(1)
+	pois, _ := Poisson{D0: d0}.Yield(a)
+	mur, _ := Murphy{D0: d0}.Yield(a)
+	if !(mur > pois && mur < 1) {
+		t.Errorf("murphy %v must lie between poisson %v and 1", mur, pois)
+	}
+	y, err := Murphy{D0: 0}.Yield(a)
+	if err != nil || y != 1 {
+		t.Errorf("murphy with D0=0 = %v, %v; want 1", y, err)
+	}
+}
+
+func TestNegativeBinomialLimits(t *testing.T) {
+	a := units.SquareCentimeters(1)
+	// α → ∞ approaches Poisson.
+	nb, _ := NegativeBinomial{D0: 0.3, Alpha: 1e6}.Yield(a)
+	pois, _ := Poisson{D0: 0.3}.Yield(a)
+	if !almostEqual(nb, pois, 1e-4) {
+		t.Errorf("NB with huge α = %v, want ≈ poisson %v", nb, pois)
+	}
+	// Clustering (small α) raises yield above Poisson.
+	nb2, _ := NegativeBinomial{D0: 0.3, Alpha: 2}.Yield(a)
+	if nb2 <= pois {
+		t.Errorf("clustered NB %v should exceed poisson %v", nb2, pois)
+	}
+	if _, err := (NegativeBinomial{D0: 0.3, Alpha: 0}).Yield(a); err == nil {
+		t.Error("zero alpha should fail")
+	}
+}
+
+func TestCompoundTiers(t *testing.T) {
+	// Three identical tiers at fixed 80% compound to 0.512.
+	c := Compound{Tiers: []Model{Fixed{0.8}, Fixed{0.8}, Fixed{0.8}}}
+	y, err := c.Yield(testDie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(y, 0.512, 1e-12) {
+		t.Errorf("compound yield = %v, want 0.512", y)
+	}
+	if _, err := (Compound{}).Yield(testDie); err == nil {
+		t.Error("empty compound should fail")
+	}
+	// Errors propagate from tiers.
+	bad := Compound{Tiers: []Model{Fixed{0.8}, Fixed{0}}}
+	if _, err := bad.Yield(testDie); err == nil {
+		t.Error("bad tier should fail")
+	}
+}
+
+func TestGoodDies(t *testing.T) {
+	n, err := GoodDies(299127, testDie, PaperAllSi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 269214 {
+		t.Errorf("good all-Si dies = %d, want 269,214", n)
+	}
+	n, err = GoodDies(606238, units.SquareMillimeters(0.053), PaperM3D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 303119 {
+		t.Errorf("good M3D dies = %d, want 303,119", n)
+	}
+	if _, err := GoodDies(-1, testDie, PaperAllSi); err == nil {
+		t.Error("negative die count should fail")
+	}
+}
+
+func TestNames(t *testing.T) {
+	models := []Model{
+		Fixed{0.9}, Poisson{0.1}, Murphy{0.1},
+		NegativeBinomial{0.1, 2}, Compound{Tiers: []Model{Fixed{0.9}}},
+	}
+	seen := map[string]bool{}
+	for _, m := range models {
+		n := m.Name()
+		if n == "" || seen[n] {
+			t.Errorf("model name %q empty or duplicated", n)
+		}
+		seen[n] = true
+	}
+}
+
+// Property: every model's yield is within (0, 1] and antitone in area.
+func TestYieldBoundsAndMonotonicity(t *testing.T) {
+	models := []Model{
+		Poisson{D0: 0.2}, Murphy{D0: 0.2}, NegativeBinomial{D0: 0.2, Alpha: 2.5},
+		Compound{Tiers: []Model{Poisson{D0: 0.1}, Poisson{D0: 0.1}}},
+	}
+	f := func(aMM2, bMM2 uint16) bool {
+		a := units.SquareMillimeters(float64(aMM2%5000) + 0.01)
+		b := units.SquareMillimeters(float64(bMM2%5000) + 0.01)
+		if a > b {
+			a, b = b, a
+		}
+		for _, m := range models {
+			ya, err1 := m.Yield(a)
+			yb, err2 := m.Yield(b)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if ya <= 0 || ya > 1 || yb <= 0 || yb > 1 {
+				return false
+			}
+			if yb > ya+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}

@@ -1,0 +1,74 @@
+package ppatc
+
+import (
+	"strings"
+	"testing"
+
+	"ppatc/internal/embench"
+	"ppatc/internal/thumb"
+)
+
+// runWorkload executes a workload on a fresh simulator and reports its
+// cycle count (shared with bench_test.go).
+func runWorkload(w Workload) (uint64, error) {
+	res, err := embench.Run(w, 1<<34)
+	if err != nil {
+		return 0, err
+	}
+	return res.Cycles, nil
+}
+
+func TestFacadeGrids(t *testing.T) {
+	if GridUS.Intensity.GramsPerKilowattHour() != 380 {
+		t.Error("US grid wrong")
+	}
+	if GridCoal.Name != "Coal" || GridSolar.Name != "Solar" || GridTaiwan.Name != "Taiwan" {
+		t.Error("grid names wrong")
+	}
+}
+
+func TestFacadeSystems(t *testing.T) {
+	si := AllSiSystem()
+	m3d := M3DSystem()
+	if si.Name == m3d.Name {
+		t.Error("systems must differ")
+	}
+	if err := si.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := m3d.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	ws := Workloads()
+	if len(ws) < 5 {
+		t.Fatalf("want ≥ 5 workloads, got %d", len(ws))
+	}
+	if MatmultInt().Name != "matmult-int" {
+		t.Error("matmult facade wrong")
+	}
+	if _, err := runWorkload(ws[0]); err != nil {
+		t.Fatal(err)
+	}
+	_ = thumb.StackTop // facade exposes the substrate packages transitively
+}
+
+func TestExperimentDriversProduceOutput(t *testing.T) {
+	out, err := Fig2c()
+	if err != nil || !strings.Contains(out, "average") {
+		t.Errorf("Fig2c: %v, %q", err, out)
+	}
+	out, err = Fig2d()
+	if err != nil || !strings.Contains(out, "EPA total") {
+		t.Errorf("Fig2d: %v", err)
+	}
+	if out := Table1(); !strings.Contains(out, "CNFET") || !strings.Contains(out, "IGZO") {
+		t.Error("Table1 missing devices")
+	}
+	out, err = Fig4()
+	if err != nil || !strings.Contains(out, "SLVT") {
+		t.Errorf("Fig4: %v", err)
+	}
+}
