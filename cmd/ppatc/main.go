@@ -49,7 +49,7 @@ func run(args []string) error {
 	workload := fs.String("workload", "matmult-int", "workload name, or 'all'")
 	months := fs.Int("months", 24, "system lifetime in months for fig5/fig6")
 	markdown := fs.Bool("markdown", false, "for report: emit a self-contained markdown artifact")
-	asJSON := fs.Bool("json", false, "for table2: emit machine-readable JSON")
+	asJSON := fs.Bool("json", false, "for table2/suite: emit machine-readable JSON")
 	asCSV := fs.Bool("csv", false, "for fig5: emit the series as CSV")
 	if len(args) == 0 {
 		fs.Usage()
@@ -175,6 +175,9 @@ func run(args []string) error {
 		rows, err := core.Suite(grid)
 		if err != nil {
 			return err
+		}
+		if *asJSON {
+			return core.WriteSuiteJSON(os.Stdout, rows)
 		}
 		fmt.Print(core.FormatSuite(rows))
 	case "diecount":

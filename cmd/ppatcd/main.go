@@ -1,0 +1,163 @@
+// Command ppatcd serves the PPAtC engine as a long-lived JSON API. Run
+// with no arguments to start the daemon:
+//
+//	ppatcd -addr :8037 -workers 4 -queue 64 -cache 512
+//
+// Endpoints:
+//
+//	POST /v1/evaluate   {"system":"m3d","workload":"matmult-int","grid":"US"}
+//	POST /v1/suite      {"grid":"US"}
+//	POST /v1/tcdp       {"workload":"matmult-int","grid":"US","months":24}
+//	GET  /v1/grids      grid discovery
+//	GET  /v1/workloads  workload discovery
+//	GET  /healthz       liveness
+//	GET  /metrics       Prometheus-style counters and latency histograms
+//
+// The daemon caches results (the pipeline is deterministic), coalesces
+// concurrent identical requests, bounds concurrency with a worker pool,
+// and drains in-flight requests on SIGTERM/SIGINT.
+//
+// Client mode drives a running daemon without curl:
+//
+//	ppatcd -call evaluate -data '{"system":"si","workload":"crc32"}'
+//	ppatcd -call grids -addr http://localhost:8037
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"ppatc/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ppatcd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ppatcd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8037", "listen address (serve mode) or base URL (client mode)")
+	workers := fs.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "request queue depth before 503s")
+	cache := fs.Int("cache", 512, "LRU result-cache entries")
+	timeout := fs.Duration("timeout", 2*time.Minute, "per-request evaluation timeout")
+	drain := fs.Duration("drain", 30*time.Second, "shutdown drain window for in-flight requests")
+	call := fs.String("call", "", "client mode: endpoint to call (evaluate, suite, tcdp, grids, workloads, health, metrics)")
+	data := fs.String("data", "", "client mode: JSON request body")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *call != "" {
+		return clientCall(*addr, *call, *data)
+	}
+	return serve(*addr, server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		RequestTimeout: *timeout,
+	}, *drain)
+}
+
+func serve(addr string, cfg server.Config, drain time.Duration) error {
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	cfg.Logger = logger
+	srv := server.New(cfg)
+	defer srv.Close()
+
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		logger.Info("shutdown", "reason", "signal", "drain", drain.String())
+		dctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		shutdownErr <- hs.Shutdown(dctx)
+	}()
+
+	logger.Info("listening", "addr", addr)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	// Shutdown returned: in-flight requests have drained (or the drain
+	// window expired); the deferred srv.Close reaps the worker pool.
+	if err := <-shutdownErr; err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	logger.Info("stopped")
+	return nil
+}
+
+// clientCall posts to (or gets from) a running daemon and streams the
+// response to stdout.
+func clientCall(addr, endpoint, data string) error {
+	base := addr
+	if !strings.Contains(base, "://") {
+		if strings.HasPrefix(base, ":") {
+			base = "localhost" + base
+		}
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	routes := map[string]struct {
+		method, path string
+	}{
+		"evaluate":  {http.MethodPost, "/v1/evaluate"},
+		"suite":     {http.MethodPost, "/v1/suite"},
+		"tcdp":      {http.MethodPost, "/v1/tcdp"},
+		"grids":     {http.MethodGet, "/v1/grids"},
+		"workloads": {http.MethodGet, "/v1/workloads"},
+		"health":    {http.MethodGet, "/healthz"},
+		"metrics":   {http.MethodGet, "/metrics"},
+	}
+	rt, ok := routes[endpoint]
+	if !ok {
+		names := make([]string, 0, len(routes))
+		for n := range routes {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("unknown -call %q (valid: %s)", endpoint, strings.Join(names, ", "))
+	}
+	body := io.Reader(nil)
+	if rt.method == http.MethodPost {
+		if data == "" {
+			data = "{}"
+		}
+		body = strings.NewReader(data)
+	}
+	req, err := http.NewRequest(rt.method, base+rt.path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("%s %s: %s", rt.method, rt.path, resp.Status)
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package carbon
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -25,12 +26,30 @@ func TestGridsCanonicalValues(t *testing.T) {
 			t.Errorf("grid %s intensity = %v, want %v", g.Name, got, want[g.Name])
 		}
 	}
-	if _, err := GridByName("Mars"); err == nil {
+	err := func() error {
+		_, err := GridByName("Mars")
+		return err
+	}()
+	if err == nil {
 		t.Error("GridByName(Mars) should fail")
+	} else {
+		// The error must list the valid names so callers can self-correct.
+		for _, name := range []string{"US", "Coal", "Solar", "Taiwan"} {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("GridByName error %q should mention %q", err, name)
+			}
+		}
 	}
 	g, err := GridByName("Taiwan")
 	if err != nil || g.Name != "Taiwan" {
 		t.Errorf("GridByName(Taiwan) = %v, %v", g, err)
+	}
+	// Lookups are case-insensitive but return the canonical name.
+	for _, alias := range []string{"taiwan", "TAIWAN", "taiWAN"} {
+		g, err := GridByName(alias)
+		if err != nil || g.Name != "Taiwan" {
+			t.Errorf("GridByName(%s) = %v, %v, want Taiwan", alias, g, err)
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"ppatc/internal/units"
 )
@@ -35,14 +36,16 @@ func Grids() []Grid {
 	return []Grid{GridUS, GridCoal, GridSolar, GridTaiwan}
 }
 
-// GridByName looks a canonical grid up by its (case-sensitive) name.
+// GridByName looks a canonical grid up by name, case-insensitively.
 func GridByName(name string) (Grid, error) {
+	names := make([]string, 0, 4)
 	for _, g := range Grids() {
-		if g.Name == name {
+		if strings.EqualFold(g.Name, name) {
 			return g, nil
 		}
+		names = append(names, g.Name)
 	}
-	return Grid{}, fmt.Errorf("carbon: unknown grid %q", name)
+	return Grid{}, fmt.Errorf("carbon: unknown grid %q (valid: %s)", name, strings.Join(names, ", "))
 }
 
 // Profile models the time variation of use-phase carbon intensity CI_use(t)

@@ -38,6 +38,31 @@ type exportedPPAtC struct {
 	DataWritesPerCycle   float64 `json:"data_writes_per_cycle"`
 }
 
+func exportOne(r *PPAtC) exportedPPAtC {
+	return exportedPPAtC{
+		System:               r.System,
+		Workload:             r.Workload,
+		ClockMHz:             r.Clock.Megahertz(),
+		Cycles:               r.Cycles,
+		ExecTimeSeconds:      r.ExecTime,
+		M0DynamicPJPerCycle:  r.M0DynamicPerCycle.Picojoules(),
+		MemPJPerCycle:        r.MemPerCycle.Picojoules(),
+		OperationalPowerMW:   r.OperationalPower.Milliwatts(),
+		MemoryAreaMM2:        r.MemoryArea.SquareMillimeters(),
+		TotalAreaMM2:         r.TotalArea.SquareMillimeters(),
+		DieWidthUM:           r.DieWidth.Micrometers(),
+		DieHeightUM:          r.DieHeight.Micrometers(),
+		EPAKWhPerWafer:       r.EPA.KilowattHours(),
+		EmbodiedWaferKG:      r.EmbodiedPerWafer.Total().Kilograms(),
+		DiesPerWafer:         r.DiesPerWafer,
+		Yield:                r.Yield,
+		EmbodiedPerGoodDieG:  r.EmbodiedPerGoodDie.Grams(),
+		ProgramReadsPerCycle: r.ProgramReadsPerCycle,
+		DataReadsPerCycle:    r.DataReadsPerCycle,
+		DataWritesPerCycle:   r.DataWritesPerCycle,
+	}
+}
+
 // WriteJSON emits one or more evaluations as a JSON array.
 func WriteJSON(w io.Writer, results ...*PPAtC) error {
 	out := make([]exportedPPAtC, 0, len(results))
@@ -45,32 +70,22 @@ func WriteJSON(w io.Writer, results ...*PPAtC) error {
 		if r == nil {
 			return fmt.Errorf("core: nil result in JSON export")
 		}
-		out = append(out, exportedPPAtC{
-			System:               r.System,
-			Workload:             r.Workload,
-			ClockMHz:             r.Clock.Megahertz(),
-			Cycles:               r.Cycles,
-			ExecTimeSeconds:      r.ExecTime,
-			M0DynamicPJPerCycle:  r.M0DynamicPerCycle.Picojoules(),
-			MemPJPerCycle:        r.MemPerCycle.Picojoules(),
-			OperationalPowerMW:   r.OperationalPower.Milliwatts(),
-			MemoryAreaMM2:        r.MemoryArea.SquareMillimeters(),
-			TotalAreaMM2:         r.TotalArea.SquareMillimeters(),
-			DieWidthUM:           r.DieWidth.Micrometers(),
-			DieHeightUM:          r.DieHeight.Micrometers(),
-			EPAKWhPerWafer:       r.EPA.KilowattHours(),
-			EmbodiedWaferKG:      r.EmbodiedPerWafer.Total().Kilograms(),
-			DiesPerWafer:         r.DiesPerWafer,
-			Yield:                r.Yield,
-			EmbodiedPerGoodDieG:  r.EmbodiedPerGoodDie.Grams(),
-			ProgramReadsPerCycle: r.ProgramReadsPerCycle,
-			DataReadsPerCycle:    r.DataReadsPerCycle,
-			DataWritesPerCycle:   r.DataWritesPerCycle,
-		})
+		out = append(out, exportOne(r))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// WriteJSONOne emits a single evaluation as a JSON object (the shape the
+// ppatcd daemon's /v1/evaluate endpoint returns).
+func WriteJSONOne(w io.Writer, r *PPAtC) error {
+	if r == nil {
+		return fmt.Errorf("core: nil result in JSON export")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(exportOne(r))
 }
 
 // WriteLifetimeCSV emits the Fig. 5 series of one or more designs as CSV

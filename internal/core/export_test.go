@@ -1,0 +1,220 @@
+package core
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ppatc/internal/carbon"
+	"ppatc/internal/tcdp"
+	"ppatc/internal/units"
+)
+
+// syntheticResult builds a PPAtC with distinct, exactly-representable
+// values in every exported field, so round-trip mismatches are
+// unambiguous.
+func syntheticResult() *PPAtC {
+	return &PPAtC{
+		System:            "all-Si",
+		Workload:          "matmult-int",
+		Clock:             units.Megahertz(500),
+		Cycles:            20047423,
+		ExecTime:          0.0400948,
+		M0DynamicPerCycle: units.Picojoules(1.5),
+		MemPerCycle:       units.Picojoules(18),
+		M0LeakagePower:    units.Microwatts(25),
+		OperationalPower:  units.Milliwatts(9.75),
+		MemoryArea:        units.SquareMillimeters(0.0625),
+		TotalArea:         units.SquareMillimeters(0.140625),
+		DieWidth:          units.Micrometers(515),
+		DieHeight:         units.Micrometers(270),
+		EPA:               units.KilowattHours(705),
+		EmbodiedPerWafer: carbon.EmbodiedBreakdown{
+			Materials:   units.KilogramsCO2e(350),
+			Gases:       units.KilogramsCO2e(112),
+			Electricity: units.KilogramsCO2e(376),
+		},
+		DiesPerWafer:         285897,
+		Yield:                0.90,
+		EmbodiedPerGoodDie:   units.GramsCO2e(3.2578125),
+		ProgramReadsPerCycle: 0.75,
+		DataReadsPerCycle:    0.25,
+		DataWritesPerCycle:   0.125,
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := syntheticResult()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r, r); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(decoded) != 2 {
+		t.Fatalf("got %d elements, want 2", len(decoded))
+	}
+	checkExportedFields(t, decoded[0], r)
+	checkExportedFields(t, decoded[1], r)
+}
+
+func TestWriteJSONOneRoundTrip(t *testing.T) {
+	r := syntheticResult()
+	var buf bytes.Buffer
+	if err := WriteJSONOne(&buf, r); err != nil {
+		t.Fatalf("WriteJSONOne: %v", err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	checkExportedFields(t, decoded, r)
+
+	// The object form must match the array form element-for-element.
+	var arr bytes.Buffer
+	if err := WriteJSON(&arr, r); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var fromArr []map[string]any
+	if err := json.Unmarshal(arr.Bytes(), &fromArr); err != nil {
+		t.Fatalf("decode array: %v", err)
+	}
+	for k, v := range fromArr[0] {
+		if decoded[k] != v {
+			t.Errorf("object/array forms disagree on %q: %v vs %v", k, decoded[k], v)
+		}
+	}
+}
+
+func checkExportedFields(t *testing.T, got map[string]any, r *PPAtC) {
+	t.Helper()
+	wantNum := map[string]float64{
+		"clock_mhz":               r.Clock.Megahertz(),
+		"cycles":                  float64(r.Cycles),
+		"exec_time_s":             r.ExecTime,
+		"m0_dynamic_pj_per_cycle": r.M0DynamicPerCycle.Picojoules(),
+		"memory_pj_per_cycle":     r.MemPerCycle.Picojoules(),
+		"operational_power_mw":    r.OperationalPower.Milliwatts(),
+		"memory_area_mm2":         r.MemoryArea.SquareMillimeters(),
+		"total_area_mm2":          r.TotalArea.SquareMillimeters(),
+		"die_width_um":            r.DieWidth.Micrometers(),
+		"die_height_um":           r.DieHeight.Micrometers(),
+		"epa_kwh_per_wafer":       r.EPA.KilowattHours(),
+		"embodied_per_wafer_kg":   r.EmbodiedPerWafer.Total().Kilograms(),
+		"dies_per_wafer":          float64(r.DiesPerWafer),
+		"yield":                   r.Yield,
+		"embodied_per_good_die_g": r.EmbodiedPerGoodDie.Grams(),
+		"program_reads_per_cycle": r.ProgramReadsPerCycle,
+		"data_reads_per_cycle":    r.DataReadsPerCycle,
+		"data_writes_per_cycle":   r.DataWritesPerCycle,
+	}
+	for key, want := range wantNum {
+		v, ok := got[key]
+		if !ok {
+			t.Errorf("missing field %q", key)
+			continue
+		}
+		f, ok := v.(float64)
+		if !ok {
+			t.Errorf("field %q is %T, want number", key, v)
+			continue
+		}
+		if math.Abs(f-want) > math.Abs(want)*1e-12 {
+			t.Errorf("field %q = %v, want %v", key, f, want)
+		}
+	}
+	if got["system"] != r.System {
+		t.Errorf("system = %v, want %v", got["system"], r.System)
+	}
+	if got["workload"] != r.Workload {
+		t.Errorf("workload = %v, want %v", got["workload"], r.Workload)
+	}
+}
+
+func TestWriteJSONNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err == nil {
+		t.Error("WriteJSON(nil) should fail")
+	}
+	if err := WriteJSONOne(&buf, nil); err == nil {
+		t.Error("WriteJSONOne(nil) should fail")
+	}
+}
+
+func syntheticSeries(name string, scale float64) tcdp.Series {
+	s := tcdp.Series{Name: name}
+	for m := 1; m <= 4; m++ {
+		s.Months = append(s.Months, float64(m))
+		s.Embodied = append(s.Embodied, 3.25*scale)
+		s.Operational = append(s.Operational, 0.25*scale*float64(m))
+		s.TCSeries = append(s.TCSeries, 3.25*scale+0.25*scale*float64(m))
+		s.TCDPSeries = append(s.TCDPSeries, (3.25*scale+0.25*scale*float64(m))*0.04)
+	}
+	return s
+}
+
+func TestWriteLifetimeCSVRoundTrip(t *testing.T) {
+	a := syntheticSeries("all-Si", 1)
+	b := syntheticSeries("M3D", 1.25)
+	var buf bytes.Buffer
+	if err := WriteLifetimeCSV(&buf, a, b); err != nil {
+		t.Fatalf("WriteLifetimeCSV: %v", err)
+	}
+	records, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("parse CSV: %v", err)
+	}
+	if len(records) != 1+len(a.Months) {
+		t.Fatalf("got %d rows, want %d", len(records), 1+len(a.Months))
+	}
+	header := records[0]
+	wantHeader := []string{
+		"month",
+		"all-Si_embodied_g", "all-Si_operational_g", "all-Si_tc_g", "all-Si_tcdp_gs",
+		"M3D_embodied_g", "M3D_operational_g", "M3D_tc_g", "M3D_tcdp_gs",
+	}
+	if len(header) != len(wantHeader) {
+		t.Fatalf("header has %d columns, want %d", len(header), len(wantHeader))
+	}
+	for i, h := range wantHeader {
+		if header[i] != h {
+			t.Errorf("header[%d] = %q, want %q", i, header[i], h)
+		}
+	}
+	for i, rec := range records[1:] {
+		want := []float64{
+			a.Months[i],
+			a.Embodied[i], a.Operational[i], a.TCSeries[i], a.TCDPSeries[i],
+			b.Embodied[i], b.Operational[i], b.TCSeries[i], b.TCDPSeries[i],
+		}
+		for j, cell := range rec {
+			f, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("row %d col %d %q: %v", i, j, cell, err)
+			}
+			// The writer prints %.6g, so compare at that precision.
+			if math.Abs(f-want[j]) > math.Abs(want[j])*1e-5 {
+				t.Errorf("row %d col %d = %v, want %v", i, j, f, want[j])
+			}
+		}
+	}
+}
+
+func TestWriteLifetimeCSVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLifetimeCSV(&buf); err == nil {
+		t.Error("WriteLifetimeCSV() with no series should fail")
+	}
+	a := syntheticSeries("a", 1)
+	short := syntheticSeries("b", 1)
+	short.Months = short.Months[:2]
+	if err := WriteLifetimeCSV(&buf, a, short); err == nil {
+		t.Error("mismatched series lengths should fail")
+	}
+}

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 
 	"ppatc/internal/carbon"
@@ -10,32 +13,44 @@ import (
 	"ppatc/internal/units"
 )
 
-// SuiteRow is one workload's comparison across the two designs.
+// SuiteRow is one workload's comparison across the two designs. The JSON
+// tags define the stable machine-readable shape shared by `ppatc suite
+// -json` and the daemon's /v1/suite endpoint.
 type SuiteRow struct {
 	// Workload names the kernel.
-	Workload string
+	Workload string `json:"workload"`
 	// Cycles is the execution length (identical for both designs).
-	Cycles uint64
+	Cycles uint64 `json:"cycles"`
 	// SiMemPJ and M3DMemPJ are the per-cycle memory energies (pJ).
-	SiMemPJ, M3DMemPJ float64
+	SiMemPJ  float64 `json:"si_memory_pj_per_cycle"`
+	M3DMemPJ float64 `json:"m3d_memory_pj_per_cycle"`
 	// SiPowerMW and M3DPowerMW are the operating powers (mW).
-	SiPowerMW, M3DPowerMW float64
+	SiPowerMW  float64 `json:"si_power_mw"`
+	M3DPowerMW float64 `json:"m3d_power_mw"`
 	// TCDPRatio24 is tCDP(all-Si)/tCDP(M3D) at 24 months (>1 → M3D wins).
-	TCDPRatio24 float64
+	TCDPRatio24 float64 `json:"tcdp_ratio_24mo"`
 }
 
 // Suite evaluates every bundled workload through the full PPAtC pipeline
 // on both designs — the paper's "variety of applications ... well
 // represented by the workloads in Embench" framing, made concrete.
 func Suite(grid carbon.Grid) ([]SuiteRow, error) {
+	return SuiteContext(context.Background(), grid)
+}
+
+// SuiteContext is Suite with cancellation between workloads.
+func SuiteContext(ctx context.Context, grid carbon.Grid) ([]SuiteRow, error) {
 	scenario := tcdp.PaperScenario()
 	var rows []SuiteRow
 	for _, w := range embench.Workloads() {
-		si, err := Evaluate(AllSiSystem(), w, grid)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		si, err := EvaluateContext(ctx, AllSiSystem(), w, grid)
 		if err != nil {
 			return nil, fmt.Errorf("core: suite %s: %w", w.Name, err)
 		}
-		m3d, err := Evaluate(M3DSystem(), w, grid)
+		m3d, err := EvaluateContext(ctx, M3DSystem(), w, grid)
 		if err != nil {
 			return nil, fmt.Errorf("core: suite %s: %w", w.Name, err)
 		}
@@ -67,4 +82,15 @@ func FormatSuite(rows []SuiteRow) string {
 			r.SiPowerMW, r.M3DPowerMW, r.TCDPRatio24)
 	}
 	return sb.String()
+}
+
+// WriteSuiteJSON emits the suite comparison as an indented JSON array —
+// the one encoder behind both the CLI's -json flag and /v1/suite.
+func WriteSuiteJSON(w io.Writer, rows []SuiteRow) error {
+	if rows == nil {
+		rows = []SuiteRow{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
 }

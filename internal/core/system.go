@@ -15,8 +15,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 
 	"ppatc/internal/carbon"
 	"ppatc/internal/device"
@@ -99,6 +101,33 @@ func M3DSystem() SystemDesign {
 	}
 }
 
+// Systems returns the bundled system designs in the paper's order.
+func Systems() []SystemDesign {
+	return []SystemDesign{AllSiSystem(), M3DSystem()}
+}
+
+// SystemByName looks up a bundled design by its full name, case-insensitively,
+// also accepting the shorthands "si", "all-si" and "m3d".
+func SystemByName(name string) (SystemDesign, error) {
+	switch strings.ToLower(name) {
+	case "si", "all-si", "allsi":
+		return AllSiSystem(), nil
+	case "m3d":
+		return M3DSystem(), nil
+	}
+	for _, s := range Systems() {
+		if strings.EqualFold(s.Name, name) {
+			return s, nil
+		}
+	}
+	names := make([]string, 0, 2)
+	for _, s := range Systems() {
+		names = append(names, s.Name)
+	}
+	return SystemDesign{}, fmt.Errorf("core: unknown system %q (valid: %s, or the shorthands si, m3d)",
+		name, strings.Join(names, ", "))
+}
+
 // Validate checks the design is complete.
 func (s SystemDesign) Validate() error {
 	switch {
@@ -170,7 +199,18 @@ type PPAtC struct {
 
 // Evaluate runs the full design flow for a system and workload on a grid.
 func Evaluate(sys SystemDesign, w embench.Workload, grid carbon.Grid) (*PPAtC, error) {
+	return EvaluateContext(context.Background(), sys, w, grid)
+}
+
+// EvaluateContext is Evaluate with cancellation: the flow checks ctx between
+// its expensive stages (ISA simulation, eDRAM characterization, synthesis)
+// so callers serving many evaluations — the ppatcd daemon in particular —
+// can abandon work whose requester has gone away or timed out.
+func EvaluateContext(ctx context.Context, sys SystemDesign, w embench.Workload, grid carbon.Grid) (*PPAtC, error) {
 	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
@@ -179,10 +219,16 @@ func Evaluate(sys SystemDesign, w embench.Workload, grid carbon.Grid) (*PPAtC, e
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Step 2: characterize the eDRAM macro.
 	mem, err := edram.Build(sys.Cell, sys.Array, sys.Periphery)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if !mem.MeetsTiming(sys.Clock) {
@@ -197,6 +243,9 @@ func Evaluate(sys SystemDesign, w embench.Workload, grid carbon.Grid) (*PPAtC, e
 	}
 	if !cRes.Closed {
 		return nil, fmt.Errorf("core: %s M0 fails timing closure at %v", sys.Name, sys.Clock)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Memory energy: program macro serves fetches; data macro serves

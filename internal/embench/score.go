@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Embench-style scoring: the suite's headline number is the geometric mean
@@ -16,9 +17,9 @@ import (
 
 // ReferenceCycles returns the bundled suite's cycle counts, measured once
 // per process (the assembly is deterministic, so these are constants of
-// the build).
+// the build). Safe for concurrent use.
 func ReferenceCycles() (map[string]uint64, error) {
-	refOnce()
+	refOnce.Do(measureReference)
 	if refErr != nil {
 		return nil, refErr
 	}
@@ -30,16 +31,12 @@ func ReferenceCycles() (map[string]uint64, error) {
 }
 
 var (
+	refOnce   sync.Once
 	refCycles map[string]uint64
 	refErr    error
-	refDone   bool
 )
 
-func refOnce() {
-	if refDone {
-		return
-	}
-	refDone = true
+func measureReference() {
 	refCycles = make(map[string]uint64)
 	for _, w := range Workloads() {
 		res, err := Run(w, 1<<34)

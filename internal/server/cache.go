@@ -1,0 +1,130 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// The evaluation pipeline is deterministic — same system, workload and
+// grid always produce the same bytes — so the daemon caches encoded
+// responses keyed by a canonical request hash and coalesces concurrent
+// identical requests onto a single computation.
+
+// RequestKey builds the canonical cache key for an endpoint and its
+// resolved (canonical-cased) parameters.
+func RequestKey(endpoint string, parts ...any) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s", endpoint)
+	for _, p := range parts {
+		fmt.Fprintf(h, "|%v", p)
+	}
+	return endpoint + ":" + hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// LRU is a mutex-guarded least-recently-used byte cache with a fixed
+// entry capacity.
+type LRU struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List
+	entries map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+// NewLRU builds a cache holding at most capacity entries (minimum 1).
+func NewLRU(capacity int) *LRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU{cap: capacity, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// Get returns the cached bytes for key, marking the entry recently used.
+func (c *LRU) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put stores val under key, evicting the least recently used entry when
+// at capacity.
+func (c *LRU) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// flightGroup coalesces concurrent computations of the same key: the
+// first caller runs fn, later callers block until its result is ready
+// (or their own context is done) and share it.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// Do returns fn's result for key, running fn at most once across
+// concurrent callers. shared reports whether this caller piggybacked on
+// another caller's computation.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, error)) (val []byte, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by Pool.Do when the request queue is at
+// capacity; callers should surface it as backpressure (HTTP 503).
+var ErrQueueFull = errors.New("server: request queue full")
+
+// ErrPoolClosed is returned by Pool.Do after Close.
+var ErrPoolClosed = errors.New("server: worker pool closed")
+
+// Pool is a bounded worker pool with a fixed-depth queue. Work is
+// submitted with a context; jobs whose context is already done when a
+// worker picks them up are skipped, and a full queue rejects immediately
+// rather than blocking the submitter.
+type Pool struct {
+	jobs  chan *job
+	wg    sync.WaitGroup
+	mu    sync.RWMutex
+	done  bool
+	depth atomic.Int64
+}
+
+type job struct {
+	ctx  context.Context
+	fn   func()
+	done chan struct{}
+}
+
+// NewPool starts workers goroutines consuming a queue of at most queue
+// waiting jobs (minimums of 1 are enforced).
+func NewPool(workers, queue int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 1 {
+		queue = 1
+	}
+	p := &Pool{jobs: make(chan *job, queue)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		p.depth.Add(-1)
+		if j.ctx.Err() == nil {
+			j.fn()
+		}
+		close(j.done)
+	}
+}
+
+// Do runs fn on a pool worker and blocks until it completes or ctx is
+// done. A full queue fails fast with ErrQueueFull. When ctx expires while
+// the job is still queued, the job is abandoned (the worker skips it).
+func (p *Pool) Do(ctx context.Context, fn func()) error {
+	j := &job{ctx: ctx, fn: fn, done: make(chan struct{})}
+	p.mu.RLock()
+	if p.done {
+		p.mu.RUnlock()
+		return ErrPoolClosed
+	}
+	select {
+	case p.jobs <- j:
+		p.depth.Add(1)
+		p.mu.RUnlock()
+	default:
+		p.mu.RUnlock()
+		return ErrQueueFull
+	}
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// QueueDepth reports the number of jobs waiting for a worker.
+func (p *Pool) QueueDepth() int64 { return p.depth.Load() }
+
+// Close stops accepting new work, lets queued and in-flight jobs finish,
+// and waits for every worker to exit. Safe to call more than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.done {
+		p.done = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,512 @@
+// Package server exposes the PPAtC engine as a long-lived JSON service:
+// the evaluation pipeline behind cmd/ppatc, wrapped in a bounded worker
+// pool, an LRU result cache with single-flight coalescing, and a
+// Prometheus-style metrics surface. The pipeline is deterministic, so
+// identical requests are exact cache hits and return byte-identical
+// responses.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"time"
+
+	"ppatc/internal/carbon"
+	"ppatc/internal/core"
+	"ppatc/internal/embench"
+	"ppatc/internal/tcdp"
+	"ppatc/internal/units"
+)
+
+// Config sizes the daemon. Zero values take the documented defaults.
+type Config struct {
+	// Workers is the evaluation concurrency (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds waiting requests before 503s (default 64).
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache (default 512).
+	CacheEntries int
+	// RequestTimeout caps one evaluation (default 2 minutes).
+	RequestTimeout time.Duration
+	// Logger receives structured request logs (default slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 512
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Minute
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is the PPAtC evaluation service.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	pool    *Pool
+	cache   *LRU
+	flight  *flightGroup
+	metrics *Metrics
+	log     *slog.Logger
+	base    context.Context
+	cancel  context.CancelFunc
+	started time.Time
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		pool:    NewPool(cfg.Workers, cfg.QueueDepth),
+		cache:   NewLRU(cfg.CacheEntries),
+		flight:  newFlightGroup(),
+		metrics: NewMetrics(),
+		log:     cfg.Logger,
+		started: time.Now(),
+	}
+	s.base, s.cancel = context.WithCancel(context.Background())
+	s.metrics.queueDepth = s.pool.QueueDepth
+	s.metrics.cacheLen = s.cache.Len
+
+	s.mux.HandleFunc("POST /v1/evaluate", s.instrument("evaluate", s.handleEvaluate))
+	s.mux.HandleFunc("POST /v1/suite", s.instrument("suite", s.handleSuite))
+	s.mux.HandleFunc("POST /v1/tcdp", s.instrument("tcdp", s.handleTCDP))
+	s.mux.HandleFunc("GET /v1/grids", s.instrument("grids", s.handleGrids))
+	s.mux.HandleFunc("GET /v1/workloads", s.instrument("workloads", s.handleWorkloads))
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's counters (read-mostly; used by tests and
+// the /metrics endpoint).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close drains the worker pool and cancels any computation still keyed to
+// the server's base context. Call after the HTTP listener has shut down.
+func (s *Server) Close() {
+	s.cancel()
+	s.pool.Close()
+}
+
+// statusWriter captures the status code for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		d := time.Since(start)
+		s.metrics.Observe(endpoint, d)
+		s.log.Info("request",
+			"endpoint", endpoint,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration_ms", float64(d.Microseconds())/1e3,
+			"cache", sw.Header().Get("X-Cache"),
+		)
+	}
+}
+
+// httpError is the JSON error envelope.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(httpError{Error: err.Error()})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// compute serves key from the cache, or runs work on the worker pool
+// (coalescing concurrent identical requests) and caches the encoded
+// result. The returned bytes are exactly what was first computed, so
+// repeated requests are byte-identical.
+func (s *Server) compute(ctx context.Context, key string, work func(context.Context) ([]byte, error)) (body []byte, cached bool, err error) {
+	if b, ok := s.cache.Get(key); ok {
+		s.metrics.CacheHits.Add(1)
+		return b, true, nil
+	}
+	s.metrics.CacheMisses.Add(1)
+	b, shared, err := s.flight.Do(ctx, key, func() ([]byte, error) {
+		// The leader computes under the server's lifetime, not the
+		// leader's own request, so a canceled requester cannot poison
+		// coalesced waiters; the pool enforces queue bounds.
+		jctx, cancel := context.WithTimeout(s.base, s.cfg.RequestTimeout)
+		defer cancel()
+		var out []byte
+		var werr error
+		if perr := s.pool.Do(jctx, func() { out, werr = work(jctx) }); perr != nil {
+			return nil, perr
+		}
+		if werr == nil {
+			s.cache.Put(key, out)
+		}
+		return out, werr
+	})
+	if shared {
+		s.metrics.Coalesced.Add(1)
+	}
+	return b, false, err
+}
+
+// serveComputed runs compute and writes the JSON body with cache and
+// backpressure semantics shared by every evaluation endpoint.
+func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, key string, work func(context.Context) ([]byte, error)) {
+	body, cached, err := s.compute(r.Context(), key, work)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull):
+		s.metrics.Rejections.Add(1)
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err)
+		return
+	case errors.Is(err, context.Canceled), errors.Is(err, ErrPoolClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if cached {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
+	_, _ = w.Write(body)
+}
+
+// evaluateRequest asks for one full PPAtC evaluation.
+type evaluateRequest struct {
+	// System is "all-Si", "M3D IGZO/CNFET/Si", or the shorthands si/m3d.
+	System string `json:"system"`
+	// Workload is a bundled Embench-style kernel name.
+	Workload string `json:"workload"`
+	// Grid names the energy grid (default "US").
+	Grid string `json:"grid"`
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req evaluateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Grid == "" {
+		req.Grid = "US"
+	}
+	sys, err := core.SystemByName(req.System)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	wl, err := embench.ByName(req.Workload)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	grid, err := carbon.GridByName(req.Grid)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := RequestKey("evaluate", sys.Name, wl.Name, grid.Name)
+	s.serveComputed(w, r, key, func(ctx context.Context) ([]byte, error) {
+		res, err := core.EvaluateContext(ctx, sys, wl, grid)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := core.WriteJSONOne(&buf, res); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+}
+
+// suiteRequest asks for the full per-workload comparison suite.
+type suiteRequest struct {
+	// Grid names the energy grid (default "US").
+	Grid string `json:"grid"`
+}
+
+func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
+	var req suiteRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Grid == "" {
+		req.Grid = "US"
+	}
+	grid, err := carbon.GridByName(req.Grid)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := RequestKey("suite", grid.Name)
+	s.serveComputed(w, r, key, func(ctx context.Context) ([]byte, error) {
+		rows, err := core.SuiteContext(ctx, grid)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := core.WriteSuiteJSON(&buf, rows); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+}
+
+// tcdpRequest asks for the carbon-efficiency comparison of the two
+// designs at a lifetime: the tCDP ratio, crossovers, and the Fig. 6a
+// isoline sampled at the requested operational scales.
+type tcdpRequest struct {
+	// Workload is a bundled kernel name (default "matmult-int").
+	Workload string `json:"workload"`
+	// Grid names the energy grid (default "US").
+	Grid string `json:"grid"`
+	// Months is the system lifetime (default 24).
+	Months float64 `json:"months"`
+	// OpScales samples the isoline x(y) at these operational-energy
+	// scales (default 0.25..1.5 in steps of 0.25).
+	OpScales []float64 `json:"op_scales"`
+}
+
+// tcdpDesign is one design's slice of the tCDP response.
+type tcdpDesign struct {
+	System            string  `json:"system"`
+	EmbodiedG         float64 `json:"embodied_g"`
+	OperationalG      float64 `json:"operational_g"`
+	TCG               float64 `json:"tc_g"`
+	TCDPGS            float64 `json:"tcdp_gs"`
+	EmbodiedOpCrossMo float64 `json:"embodied_operational_crossover_months"`
+}
+
+// isolinePoint is one sample of the Fig. 6a isoline.
+type isolinePoint struct {
+	OpScale       float64 `json:"op_scale"`
+	EmbodiedScale float64 `json:"embodied_scale"`
+}
+
+// tcdpResponse is the /v1/tcdp payload.
+type tcdpResponse struct {
+	Workload string  `json:"workload"`
+	Grid     string  `json:"grid"`
+	Months   float64 `json:"months"`
+	// TCDPRatio is tCDP(all-Si)/tCDP(M3D); >1 means the M3D design wins.
+	TCDPRatio float64    `json:"tcdp_ratio"`
+	Si        tcdpDesign `json:"si"`
+	M3D       tcdpDesign `json:"m3d"`
+	// TCCrossoverMonths is where the designs' total-carbon curves cross
+	// (omitted when one design dominates at every lifetime).
+	TCCrossoverMonths *float64       `json:"tc_crossover_months,omitempty"`
+	Isoline           []isolinePoint `json:"isoline"`
+}
+
+func (s *Server) handleTCDP(w http.ResponseWriter, r *http.Request) {
+	var req tcdpRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Workload == "" {
+		req.Workload = "matmult-int"
+	}
+	if req.Grid == "" {
+		req.Grid = "US"
+	}
+	if req.Months == 0 {
+		req.Months = 24
+	}
+	if req.Months <= 0 {
+		writeError(w, http.StatusBadRequest, errors.New("months must be positive"))
+		return
+	}
+	if len(req.OpScales) == 0 {
+		req.OpScales = []float64{0.25, 0.5, 0.75, 1.0, 1.25, 1.5}
+	}
+	for _, y := range req.OpScales {
+		if y <= 0 {
+			writeError(w, http.StatusBadRequest, errors.New("op_scales must be positive"))
+			return
+		}
+	}
+	wl, err := embench.ByName(req.Workload)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	grid, err := carbon.GridByName(req.Grid)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := RequestKey("tcdp", wl.Name, grid.Name, req.Months, req.OpScales)
+	s.serveComputed(w, r, key, func(ctx context.Context) ([]byte, error) {
+		return computeTCDP(ctx, wl, grid, req.Months, req.OpScales)
+	})
+}
+
+func computeTCDP(ctx context.Context, wl embench.Workload, grid carbon.Grid, months float64, opScales []float64) ([]byte, error) {
+	si, err := core.EvaluateContext(ctx, core.AllSiSystem(), wl, grid)
+	if err != nil {
+		return nil, err
+	}
+	m3d, err := core.EvaluateContext(ctx, core.M3DSystem(), wl, grid)
+	if err != nil {
+		return nil, err
+	}
+	sc := tcdp.PaperScenario()
+	life := units.Months(months)
+	a, b := si.DesignPoint(), m3d.DesignPoint()
+
+	ratio, err := tcdp.Ratio(a, b, sc, life)
+	if err != nil {
+		return nil, err
+	}
+	resp := tcdpResponse{
+		Workload:  wl.Name,
+		Grid:      grid.Name,
+		Months:    months,
+		TCDPRatio: ratio,
+	}
+	for _, d := range []struct {
+		pt  tcdp.DesignPoint
+		out *tcdpDesign
+	}{{a, &resp.Si}, {b, &resp.M3D}} {
+		tc, err := tcdp.TC(d.pt, sc, life)
+		if err != nil {
+			return nil, err
+		}
+		prod, err := tcdp.TCDP(d.pt, sc, life)
+		if err != nil {
+			return nil, err
+		}
+		cross, err := tcdp.EmbodiedOperationalCrossover(d.pt, sc)
+		if err != nil {
+			return nil, err
+		}
+		*d.out = tcdpDesign{
+			System:            d.pt.Name,
+			EmbodiedG:         tc.Embodied.Grams(),
+			OperationalG:      tc.Operational.Grams(),
+			TCG:               tc.TC().Grams(),
+			TCDPGS:            prod,
+			EmbodiedOpCrossMo: float64(cross),
+		}
+	}
+	if cross, err := tcdp.DesignCrossover(a, b, sc); err == nil {
+		v := float64(cross)
+		resp.TCCrossoverMonths = &v
+	}
+	iso, err := tcdp.Isoline(b, a, sc, life)
+	if err != nil {
+		return nil, err
+	}
+	for _, y := range opScales {
+		resp.Isoline = append(resp.Isoline, isolinePoint{OpScale: y, EmbodiedScale: iso(y)})
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// gridInfo is one entry of the /v1/grids discovery response.
+type gridInfo struct {
+	Name             string  `json:"name"`
+	IntensityGPerKWh float64 `json:"intensity_g_per_kwh"`
+}
+
+func (s *Server) handleGrids(w http.ResponseWriter, r *http.Request) {
+	out := make([]gridInfo, 0, 4)
+	for _, g := range carbon.Grids() {
+		out = append(out, gridInfo{Name: g.Name, IntensityGPerKWh: g.Intensity.GramsPerKilowattHour()})
+	}
+	writeJSON(w, out)
+}
+
+// workloadInfo is one entry of the /v1/workloads discovery response.
+type workloadInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	ws := embench.Workloads()
+	out := make([]workloadInfo, 0, len(ws))
+	for _, wl := range ws {
+		out = append(out, workloadInfo{Name: wl.Name, Description: wl.Description})
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":      "ok",
+		"uptime_s":    time.Since(s.started).Seconds(),
+		"queue_depth": s.pool.QueueDepth(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = s.metrics.WriteTo(w)
+}
