@@ -20,9 +20,16 @@
 //	wafermap ASCII wafer map (dies magnified)
 //	montecarlo sampled robustness of the tCDP verdict
 //	report   everything, in order (-markdown for a markdown artifact)
+//
+// Observability flags: -trace <file> writes a Chrome trace-event file
+// (load in chrome://tracing or Perfetto) of the pipeline stages behind
+// the experiment; -provenance prints, after table2, every intermediate
+// quantity each stage produced (cycles, EPA, yield, ...) so the final
+// numbers can be audited back to their inputs.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +37,7 @@ import (
 	"ppatc/internal/carbon"
 	"ppatc/internal/core"
 	"ppatc/internal/embench"
+	"ppatc/internal/obs"
 	"ppatc/internal/process"
 	"ppatc/internal/tcdp"
 	"ppatc/internal/units"
@@ -51,6 +59,8 @@ func run(args []string) error {
 	markdown := fs.Bool("markdown", false, "for report: emit a self-contained markdown artifact")
 	asJSON := fs.Bool("json", false, "for table2/suite: emit machine-readable JSON")
 	asCSV := fs.Bool("csv", false, "for fig5: emit the series as CSV")
+	traceFile := fs.String("trace", "", "write a Chrome trace-event file (chrome://tracing) of the pipeline stages")
+	provenance := fs.Bool("provenance", false, "for table2: print each stage's intermediate quantities after the table")
 	if len(args) == 0 {
 		fs.Usage()
 		return fmt.Errorf("missing experiment (fig2c fig2d table1 table2 fig4 fig5 fig6a fig6b suite score gases diecount wafermap montecarlo report)")
@@ -64,12 +74,49 @@ func run(args []string) error {
 		return err
 	}
 
+	// Observability: -trace installs a tracer on the context driving the
+	// evaluation pipeline (the file is written on the way out);
+	// -provenance asks evaluations to record their intermediates.
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *traceFile != "" {
+		tr = obs.NewTrace("")
+		ctx = obs.WithTrace(ctx, tr)
+		defer func() {
+			f, ferr := os.Create(*traceFile)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "ppatc: trace:", ferr)
+				return
+			}
+			defer f.Close()
+			if werr := tr.WriteChromeTrace(f); werr != nil {
+				fmt.Fprintln(os.Stderr, "ppatc: trace:", werr)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "ppatc: wrote trace %s (run %s)\n", *traceFile, tr.ID)
+		}()
+	}
+	if *provenance {
+		ctx = obs.WithProvenanceEnabled(ctx)
+	}
+
+	printProvenance := func(results ...*core.PPAtC) {
+		if !*provenance {
+			return
+		}
+		for _, r := range results {
+			fmt.Printf("\nprovenance: %s / %s (run inputs → Table II)\n", r.System, r.Workload)
+			fmt.Print(obs.FormatFields(r.Provenance))
+		}
+	}
+
 	table2 := func(w embench.Workload) (*core.PPAtC, *core.PPAtC, error) {
-		si, m3d, text, err := core.Table2(w, grid)
+		si, m3d, text, err := core.Table2Context(ctx, w, grid)
 		if err != nil {
 			return nil, nil, err
 		}
 		fmt.Print(text)
+		printProvenance(si, m3d)
 		return si, m3d, nil
 	}
 
@@ -117,7 +164,7 @@ func run(args []string) error {
 		if *asJSON {
 			var all []*core.PPAtC
 			for _, w := range ws {
-				si, m3d, _, err := core.Table2(w, grid)
+				si, m3d, _, err := core.Table2Context(ctx, w, grid)
 				if err != nil {
 					return err
 				}
@@ -142,7 +189,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		si, m3d, _, err := core.Table2(w, grid)
+		si, m3d, _, err := core.Table2Context(ctx, w, grid)
 		if err != nil {
 			return err
 		}
@@ -172,7 +219,7 @@ func run(args []string) error {
 		}
 		fmt.Print(out)
 	case "suite":
-		rows, err := core.Suite(grid)
+		rows, err := core.SuiteContext(ctx, grid)
 		if err != nil {
 			return err
 		}
@@ -189,7 +236,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		si, m3d, _, err := core.Table2(w, grid)
+		si, m3d, _, err := core.Table2Context(ctx, w, grid)
 		if err != nil {
 			return err
 		}

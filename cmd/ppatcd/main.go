@@ -12,10 +12,19 @@
 //	GET  /v1/workloads  workload discovery
 //	GET  /healthz       liveness
 //	GET  /metrics       Prometheus-style counters and latency histograms
+//	                    (request + per-pipeline-stage)
 //
 // The daemon caches results (the pipeline is deterministic), coalesces
 // concurrent identical requests, bounds concurrency with a worker pool,
 // and drains in-flight requests on SIGTERM/SIGINT.
+//
+// Observability: every request gets a trace ID (taken from an incoming
+// X-Request-ID header when present), echoed on the response and logged
+// with the request's latency and cache disposition. Appending ?trace=1
+// to an evaluation endpoint returns the stage-level span tree inline.
+// -pprof mounts net/http/pprof at /debug/pprof/. Logs are structured
+// slog records; -log-level and -log-format select verbosity and
+// text/JSON encoding.
 //
 // Client mode drives a running daemon without curl:
 //
@@ -55,6 +64,9 @@ func run(args []string) error {
 	cache := fs.Int("cache", 512, "LRU result-cache entries")
 	timeout := fs.Duration("timeout", 2*time.Minute, "per-request evaluation timeout")
 	drain := fs.Duration("drain", 30*time.Second, "shutdown drain window for in-flight requests")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	logFormat := fs.String("log-format", "json", "log encoding: text or json")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof at /debug/pprof/")
 	call := fs.String("call", "", "client mode: endpoint to call (evaluate, suite, tcdp, grids, workloads, health, metrics)")
 	data := fs.String("data", "", "client mode: JSON request body")
 	if err := fs.Parse(args); err != nil {
@@ -63,17 +75,49 @@ func run(args []string) error {
 	if *call != "" {
 		return clientCall(*addr, *call, *data)
 	}
+	logger, err := buildLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
 	return serve(*addr, server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
 		RequestTimeout: *timeout,
+		Logger:         logger,
+		EnablePprof:    *pprofOn,
 	}, *drain)
 }
 
+// buildLogger assembles the daemon's slog.Logger from the -log-level and
+// -log-format flags.
+func buildLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (valid: debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (valid: text, json)", format)
+	}
+}
+
 func serve(addr string, cfg server.Config, drain time.Duration) error {
-	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
-	cfg.Logger = logger
+	logger := cfg.Logger
 	srv := server.New(cfg)
 	defer srv.Close()
 

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestBuildLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := buildLogger(&buf, "warn", "json")
+	if err != nil {
+		t.Fatalf("buildLogger: %v", err)
+	}
+	logger.Info("hidden")
+	logger.Warn("visible")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Error("info record emitted at -log-level warn")
+	}
+	if !strings.Contains(out, "visible") {
+		t.Error("warn record suppressed at -log-level warn")
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out)), &rec); err != nil {
+		t.Errorf("-log-format json did not emit JSON: %v (%q)", err, out)
+	}
+}
+
+func TestBuildLoggerTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := buildLogger(&buf, "debug", "text")
+	if err != nil {
+		t.Fatalf("buildLogger: %v", err)
+	}
+	logger.Debug("dbg", "k", "v")
+	if out := buf.String(); !strings.Contains(out, "msg=dbg") {
+		t.Errorf("text handler output unexpected: %q", out)
+	}
+}
+
+func TestBuildLoggerRejectsBadFlags(t *testing.T) {
+	if _, err := buildLogger(&bytes.Buffer{}, "loud", "json"); err == nil {
+		t.Error("bad -log-level accepted")
+	}
+	if _, err := buildLogger(&bytes.Buffer{}, "info", "xml"); err == nil {
+		t.Error("bad -log-format accepted")
+	}
+}

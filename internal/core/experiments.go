@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -113,11 +114,18 @@ func Table1() string {
 
 // Table2 regenerates Table II for a workload on a grid.
 func Table2(w embench.Workload, grid carbon.Grid) (*PPAtC, *PPAtC, string, error) {
-	si, err := Evaluate(AllSiSystem(), w, grid)
+	return Table2Context(context.Background(), w, grid)
+}
+
+// Table2Context is Table2 with cancellation and observability: tracing
+// and provenance flags carried by ctx (see internal/obs) flow into both
+// evaluations.
+func Table2Context(ctx context.Context, w embench.Workload, grid carbon.Grid) (*PPAtC, *PPAtC, string, error) {
+	si, err := EvaluateContext(ctx, AllSiSystem(), w, grid)
 	if err != nil {
 		return nil, nil, "", err
 	}
-	m3d, err := Evaluate(M3DSystem(), w, grid)
+	m3d, err := EvaluateContext(ctx, M3DSystem(), w, grid)
 	if err != nil {
 		return nil, nil, "", err
 	}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"strconv"
 
+	"ppatc/internal/obs"
 	"ppatc/internal/tcdp"
 )
 
@@ -36,6 +37,9 @@ type exportedPPAtC struct {
 	ProgramReadsPerCycle float64 `json:"program_reads_per_cycle"`
 	DataReadsPerCycle    float64 `json:"data_reads_per_cycle"`
 	DataWritesPerCycle   float64 `json:"data_writes_per_cycle"`
+	// Provenance is present only when the evaluation collected it
+	// (obs.WithProvenanceEnabled): the per-stage intermediate quantities.
+	Provenance []obs.Field `json:"provenance,omitempty"`
 }
 
 func exportOne(r *PPAtC) exportedPPAtC {
@@ -60,6 +64,7 @@ func exportOne(r *PPAtC) exportedPPAtC {
 		ProgramReadsPerCycle: r.ProgramReadsPerCycle,
 		DataReadsPerCycle:    r.DataReadsPerCycle,
 		DataWritesPerCycle:   r.DataWritesPerCycle,
+		Provenance:           r.Provenance,
 	}
 }
 

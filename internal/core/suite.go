@@ -9,6 +9,7 @@ import (
 
 	"ppatc/internal/carbon"
 	"ppatc/internal/embench"
+	"ppatc/internal/obs"
 	"ppatc/internal/tcdp"
 	"ppatc/internal/units"
 )
@@ -38,19 +39,29 @@ func Suite(grid carbon.Grid) ([]SuiteRow, error) {
 	return SuiteContext(context.Background(), grid)
 }
 
-// SuiteContext is Suite with cancellation between workloads.
+// SuiteContext is Suite with cancellation between workloads. When the
+// context carries an obs trace, each workload gets a span enclosing its
+// two evaluations, so the exported trace shows where the suite's
+// wall-clock went.
 func SuiteContext(ctx context.Context, grid carbon.Grid) ([]SuiteRow, error) {
 	scenario := tcdp.PaperScenario()
 	var rows []SuiteRow
+	sctx, suiteSpan := obs.StartSpan(ctx, "suite")
+	defer suiteSpan.End()
+	suiteSpan.SetStr("grid", grid.Name)
 	for _, w := range embench.Workloads() {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		si, err := EvaluateContext(ctx, AllSiSystem(), w, grid)
+		wctx, wSpan := obs.StartSpan(sctx, "workload")
+		wSpan.SetStr("name", w.Name)
+		si, err := EvaluateContext(wctx, AllSiSystem(), w, grid)
 		if err != nil {
+			wSpan.End()
 			return nil, fmt.Errorf("core: suite %s: %w", w.Name, err)
 		}
-		m3d, err := EvaluateContext(ctx, M3DSystem(), w, grid)
+		m3d, err := EvaluateContext(wctx, M3DSystem(), w, grid)
+		wSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: suite %s: %w", w.Name, err)
 		}

@@ -25,12 +25,28 @@ import (
 	"ppatc/internal/edram"
 	"ppatc/internal/embench"
 	"ppatc/internal/floorplan"
+	"ppatc/internal/obs"
 	"ppatc/internal/process"
 	"ppatc/internal/synth"
 	"ppatc/internal/units"
 	"ppatc/internal/wafer"
 	"ppatc/internal/yield"
 )
+
+// Stage names of the five-step flow, as they appear in trace spans,
+// provenance records, and the daemon's per-stage latency histograms.
+const (
+	StageEmbench   = "embench"
+	StageEDRAM     = "edram"
+	StageSynth     = "synth"
+	StageFloorplan = "floorplan"
+	StageCarbon    = "carbon"
+)
+
+// Stages lists the pipeline stage names in execution order.
+func Stages() []string {
+	return []string{StageEmbench, StageEDRAM, StageSynth, StageFloorplan, StageCarbon}
+}
 
 // SystemDesign is one technology realization of the embedded system.
 type SystemDesign struct {
@@ -195,6 +211,12 @@ type PPAtC struct {
 	// AccessRates are the workload's per-cycle access rates
 	// (program reads, data reads, data writes).
 	ProgramReadsPerCycle, DataReadsPerCycle, DataWritesPerCycle float64
+
+	// Provenance records the intermediate quantity each stage produced,
+	// so any Table-2 number can be audited back to its inputs. Collected
+	// only when the evaluation context asks for it via
+	// obs.WithProvenanceEnabled; nil otherwise.
+	Provenance []obs.Field
 }
 
 // Evaluate runs the full design flow for a system and workload on a grid.
@@ -214,17 +236,40 @@ func EvaluateContext(ctx context.Context, sys SystemDesign, w embench.Workload, 
 		return nil, err
 	}
 
+	// Observability is opt-in per context and free when absent: spans are
+	// nil no-ops without a trace, and prov stays a nil no-op collector
+	// unless provenance was requested.
+	ctx, evalSpan := obs.StartSpan(ctx, "evaluate")
+	defer evalSpan.End()
+	evalSpan.SetStr("system", sys.Name)
+	evalSpan.SetStr("workload", w.Name)
+	evalSpan.SetStr("grid", grid.Name)
+	var prov *obs.Provenance
+	if obs.ProvenanceEnabled(ctx) {
+		prov = obs.NewProvenance()
+	}
+
 	// Step 4 first: the workload's cycle count and access mix.
+	_, runSpan := obs.StartSpan(ctx, StageEmbench)
 	run, err := embench.Run(w, 1<<34)
+	runSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	runSpan.SetFloat("cycles", float64(run.Cycles))
+	prov.Record(StageEmbench, "cycles", float64(run.Cycles), "cycles")
+	prov.Record(StageEmbench, "instructions", float64(run.Instructions), "insns")
+	prov.Record(StageEmbench, "program_reads_per_cycle", run.ProgramReadsPerCycle(), "")
+	prov.Record(StageEmbench, "data_reads_per_cycle", run.DataReadsPerCycle(), "")
+	prov.Record(StageEmbench, "data_writes_per_cycle", run.DataWritesPerCycle(), "")
 
 	// Step 2: characterize the eDRAM macro.
+	_, memSpan := obs.StartSpan(ctx, StageEDRAM)
 	mem, err := edram.Build(sys.Cell, sys.Array, sys.Periphery)
+	memSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -234,10 +279,25 @@ func EvaluateContext(ctx context.Context, sys SystemDesign, w embench.Workload, 
 	if !mem.MeetsTiming(sys.Clock) {
 		return nil, fmt.Errorf("core: %s memory misses timing at %v", sys.Name, sys.Clock)
 	}
+	accessDelay := mem.ReadLatency
+	if mem.WriteLatency > accessDelay {
+		accessDelay = mem.WriteLatency
+	}
+	timingMarginPS := (sys.Clock.PeriodSeconds() - accessDelay) * 1e12
+	memSpan.SetFloat("area_mm2", mem.Area.SquareMillimeters())
+	memSpan.SetFloat("timing_margin_ps", timingMarginPS)
+	prov.Record(StageEDRAM, "macro_area_mm2", mem.Area.SquareMillimeters(), "mm2")
+	prov.Record(StageEDRAM, "read_energy_pj", mem.ReadEnergy*1e12, "pJ")
+	prov.Record(StageEDRAM, "write_energy_pj", mem.WriteEnergy*1e12, "pJ")
+	prov.Record(StageEDRAM, "refresh_power_mw", mem.RefreshPower*1e3, "mW")
+	prov.Record(StageEDRAM, "leakage_power_mw", mem.LeakagePower*1e3, "mW")
+	prov.Record(StageEDRAM, "timing_margin_ps", timingMarginPS, "ps")
 
 	// Step 3: synthesize the core at the target clock.
 	var lib = stdcellFor(sys.CoreFlavor)
+	_, synSpan := obs.StartSpan(ctx, StageSynth)
 	cRes, err := synth.Close(sys.Core, lib, sys.Clock)
+	synSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -247,6 +307,12 @@ func EvaluateContext(ctx context.Context, sys SystemDesign, w embench.Workload, 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	synSpan.SetFloat("dynamic_pj_per_cycle", cRes.DynamicEnergy.Picojoules())
+	prov.Record(StageSynth, "dynamic_energy_pj_per_cycle", cRes.DynamicEnergy.Picojoules(), "pJ")
+	prov.Record(StageSynth, "leakage_power_mw", cRes.LeakagePower.Milliwatts(), "mW")
+	prov.Record(StageSynth, "critical_path_ps", cRes.CriticalPath*1e12, "ps")
+	prov.Record(StageSynth, "sizing", cRes.Sizing, "x")
+	prov.Record(StageSynth, "core_area_mm2", sys.Core.Area().SquareMillimeters(), "mm2")
 
 	// Memory energy: program macro serves fetches; data macro serves
 	// loads/stores; both pay refresh + leakage every cycle.
@@ -259,65 +325,28 @@ func EvaluateContext(ctx context.Context, sys SystemDesign, w embench.Workload, 
 		return nil, err
 	}
 	memPerCycle := progE + dataE
+	prov.Record(StageEDRAM, "memory_pj_per_cycle", memPerCycle.Picojoules(), "pJ")
 
 	// Floorplan: two macros plus the core.
+	_, fpSpan := obs.StartSpan(ctx, StageFloorplan)
 	chip, err := floorplan.Compose(mem.Width, mem.Height, mem.Area, sys.Core.Area())
+	fpSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	fpSpan.SetFloat("die_area_mm2", chip.Area.SquareMillimeters())
+	prov.Record(StageFloorplan, "die_width_um", chip.Width.Micrometers(), "um")
+	prov.Record(StageFloorplan, "die_height_um", chip.Height.Micrometers(), "um")
+	prov.Record(StageFloorplan, "die_area_mm2", chip.Area.SquareMillimeters(), "mm2")
 
 	// Step 5: carbon.
-	epa, err := sys.Flow.EPA(process.DefaultEnergyTable())
+	_, cbSpan := obs.StartSpan(ctx, StageCarbon)
+	res, err := carbonChain(sys, grid, chip, cRes, memPerCycle, prov)
+	cbSpan.End()
 	if err != nil {
 		return nil, err
 	}
-	gpa, err := carbon.GPAScaled(epa, process.IN7Reference(), process.IN7GPA())
-	if err != nil {
-		return nil, err
-	}
-	waferArea := sys.Wafer.Area()
-	var films []process.FilmMaterial
-	if sys.HasCNT {
-		f, err := process.CNTMaterial(process.PaperCNTFilm(waferArea))
-		if err != nil {
-			return nil, err
-		}
-		films = append(films, f)
-	}
-	if sys.HasIGZO {
-		f, err := process.IGZOMaterial(process.PaperIGZOFilm(waferArea))
-		if err != nil {
-			return nil, err
-		}
-		films = append(films, f)
-	}
-	mpa, err := process.MPAWithFilms(waferArea, films...)
-	if err != nil {
-		return nil, err
-	}
-	breakdown, err := carbon.EmbodiedPerWafer(carbon.EmbodiedInputs{
-		MPA: mpa, GPA: gpa, EPA: epa,
-		CIFab: grid.Intensity, WaferArea: waferArea,
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	die := wafer.Die{Width: chip.Width, Height: chip.Height, Spacing: sys.DieSpacing}
-	dies, err := wafer.EstimateGeometric(sys.Wafer, die)
-	if err != nil {
-		return nil, err
-	}
-	yieldVal, err := sys.Yield.Yield(chip.Area)
-	if err != nil {
-		return nil, err
-	}
-	perGood, err := carbon.PerGoodDie(breakdown.Total(), dies, yieldVal)
-	if err != nil {
-		return nil, err
-	}
-
-	opPower := carbon.OperationalPower(cRes.LeakagePower, cRes.DynamicEnergy, memPerCycle, sys.Clock)
+	cbSpan.SetFloat("embodied_per_good_die_g", res.perGood.Grams())
 
 	return &PPAtC{
 		System:               sys.Name,
@@ -328,19 +357,101 @@ func EvaluateContext(ctx context.Context, sys SystemDesign, w embench.Workload, 
 		M0DynamicPerCycle:    cRes.DynamicEnergy,
 		MemPerCycle:          memPerCycle,
 		M0LeakagePower:       cRes.LeakagePower,
-		OperationalPower:     opPower,
+		OperationalPower:     res.opPower,
 		MemoryArea:           mem.Area,
 		TotalArea:            chip.Area,
 		DieWidth:             chip.Width,
 		DieHeight:            chip.Height,
-		EPA:                  epa,
-		EmbodiedPerWafer:     breakdown,
-		DiesPerWafer:         dies,
-		Yield:                yieldVal,
-		EmbodiedPerGoodDie:   perGood,
+		EPA:                  res.epa,
+		EmbodiedPerWafer:     res.breakdown,
+		DiesPerWafer:         res.dies,
+		Yield:                res.yield,
+		EmbodiedPerGoodDie:   res.perGood,
 		Memory:               mem,
 		ProgramReadsPerCycle: run.ProgramReadsPerCycle(),
 		DataReadsPerCycle:    run.DataReadsPerCycle(),
 		DataWritesPerCycle:   run.DataWritesPerCycle(),
+		Provenance:           prov.Fields(),
 	}, nil
+}
+
+// carbonResult is the Step-5 output bundle of carbonChain.
+type carbonResult struct {
+	epa       units.Energy
+	breakdown carbon.EmbodiedBreakdown
+	dies      int
+	yield     float64
+	perGood   units.Carbon
+	opPower   units.Power
+}
+
+// carbonChain runs the EPA → GPA → MPA → embodied → yield → per-good-die
+// chain plus Eq. 6's operational power, recording each intermediate into
+// prov (a nil collector is a no-op).
+func carbonChain(sys SystemDesign, grid carbon.Grid, chip floorplan.Chip, cRes synth.Result, memPerCycle units.Energy, prov *obs.Provenance) (carbonResult, error) {
+	var out carbonResult
+	epa, err := sys.Flow.EPA(process.DefaultEnergyTable())
+	if err != nil {
+		return out, err
+	}
+	gpa, err := carbon.GPAScaled(epa, process.IN7Reference(), process.IN7GPA())
+	if err != nil {
+		return out, err
+	}
+	waferArea := sys.Wafer.Area()
+	var films []process.FilmMaterial
+	if sys.HasCNT {
+		f, err := process.CNTMaterial(process.PaperCNTFilm(waferArea))
+		if err != nil {
+			return out, err
+		}
+		films = append(films, f)
+	}
+	if sys.HasIGZO {
+		f, err := process.IGZOMaterial(process.PaperIGZOFilm(waferArea))
+		if err != nil {
+			return out, err
+		}
+		films = append(films, f)
+	}
+	mpa, err := process.MPAWithFilms(waferArea, films...)
+	if err != nil {
+		return out, err
+	}
+	breakdown, err := carbon.EmbodiedPerWafer(carbon.EmbodiedInputs{
+		MPA: mpa, GPA: gpa, EPA: epa,
+		CIFab: grid.Intensity, WaferArea: waferArea,
+	})
+	if err != nil {
+		return out, err
+	}
+
+	die := wafer.Die{Width: chip.Width, Height: chip.Height, Spacing: sys.DieSpacing}
+	dies, err := wafer.EstimateGeometric(sys.Wafer, die)
+	if err != nil {
+		return out, err
+	}
+	yieldVal, err := sys.Yield.Yield(chip.Area)
+	if err != nil {
+		return out, err
+	}
+	perGood, err := carbon.PerGoodDie(breakdown.Total(), dies, yieldVal)
+	if err != nil {
+		return out, err
+	}
+	opPower := carbon.OperationalPower(cRes.LeakagePower, cRes.DynamicEnergy, memPerCycle, sys.Clock)
+
+	prov.Record(StageCarbon, "epa_kwh_per_wafer", epa.KilowattHours(), "kWh")
+	prov.Record(StageCarbon, "epa_facility_kwh_per_wafer", breakdown.EPAFacility.KilowattHours(), "kWh")
+	prov.Record(StageCarbon, "gpa_kg_per_wafer", breakdown.Gases.Kilograms(), "kg")
+	prov.Record(StageCarbon, "mpa_kg_per_wafer", breakdown.Materials.Kilograms(), "kg")
+	prov.Record(StageCarbon, "electricity_kg_per_wafer", breakdown.Electricity.Kilograms(), "kg")
+	prov.Record(StageCarbon, "embodied_per_wafer_kg", breakdown.Total().Kilograms(), "kg")
+	prov.Record(StageCarbon, "dies_per_wafer", float64(dies), "dies")
+	prov.Record(StageCarbon, "yield", yieldVal, "")
+	prov.Record(StageCarbon, "embodied_per_good_die_g", perGood.Grams(), "g")
+	prov.Record(StageCarbon, "operational_power_mw", opPower.Milliwatts(), "mW")
+
+	out = carbonResult{epa: epa, breakdown: breakdown, dies: dies, yield: yieldVal, perGood: perGood, opPower: opPower}
+	return out, nil
 }

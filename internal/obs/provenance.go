@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Field is one intermediate quantity a pipeline stage produced: the
+// cycle count the ISA simulation measured, the EPA the flow summed, the
+// yield the model returned. A result's fields let any headline number be
+// audited back to its inputs.
+type Field struct {
+	// Stage names the producing pipeline stage (embench, edram, synth,
+	// floorplan, carbon).
+	Stage string `json:"stage"`
+	// Name is the quantity, with the unit suffixed in the conventional
+	// export style (e.g. "epa_kwh", "yield").
+	Name string `json:"name"`
+	// Value is the quantity in the unit Name declares.
+	Value float64 `json:"value"`
+	// Unit spells the unit out for display ("kWh", "" for ratios).
+	Unit string `json:"unit,omitempty"`
+}
+
+// Provenance collects fields as stages run. Safe for concurrent use; a
+// nil *Provenance is a valid no-op collector, so instrumented code calls
+// Record unconditionally.
+type Provenance struct {
+	mu     sync.Mutex
+	fields []Field
+}
+
+// NewProvenance returns an empty collector.
+func NewProvenance() *Provenance { return &Provenance{} }
+
+// Record appends one field. Safe on a nil receiver (no-op, no
+// allocations — the disabled hot path).
+func (p *Provenance) Record(stage, name string, value float64, unit string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.fields = append(p.fields, Field{Stage: stage, Name: name, Value: value, Unit: unit})
+	p.mu.Unlock()
+}
+
+// Fields snapshots the recorded fields in insertion order. Returns nil on
+// a nil receiver.
+func (p *Provenance) Fields() []Field {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Field(nil), p.fields...)
+}
+
+type provenanceKey struct{}
+
+// WithProvenanceEnabled marks the context so instrumented pipelines
+// collect provenance and attach it to their results.
+func WithProvenanceEnabled(ctx context.Context) context.Context {
+	return context.WithValue(ctx, provenanceKey{}, true)
+}
+
+// ProvenanceEnabled reports whether the context asks for provenance.
+func ProvenanceEnabled(ctx context.Context) bool {
+	on, _ := ctx.Value(provenanceKey{}).(bool)
+	return on
+}
+
+// Stages returns the distinct stage names present in fields, sorted.
+func Stages(fields []Field) []string {
+	seen := make(map[string]bool)
+	for _, f := range fields {
+		seen[f.Stage] = true
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup finds a field by stage and name; ok is false when absent.
+func Lookup(fields []Field, stage, name string) (Field, bool) {
+	for _, f := range fields {
+		if f.Stage == stage && f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// FormatFields renders a provenance table, stages in insertion order.
+func FormatFields(fields []Field) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %-28s %16s %s\n", "stage", "quantity", "value", "unit")
+	for _, f := range fields {
+		fmt.Fprintf(&sb, "%-10s %-28s %16.6g %s\n", f.Stage, f.Name, f.Value, f.Unit)
+	}
+	return sb.String()
+}

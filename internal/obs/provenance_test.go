@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestProvenanceRecordAndLookup(t *testing.T) {
+	p := NewProvenance()
+	p.Record("embench", "cycles", 123456, "cycles")
+	p.Record("carbon", "yield", 0.9, "")
+	p.Record("carbon", "epa_kwh_per_wafer", 777.5, "kWh")
+
+	fields := p.Fields()
+	if len(fields) != 3 {
+		t.Fatalf("got %d fields, want 3", len(fields))
+	}
+	f, ok := Lookup(fields, "carbon", "yield")
+	if !ok || f.Value != 0.9 {
+		t.Fatalf("Lookup carbon/yield = %+v, %v", f, ok)
+	}
+	if _, ok := Lookup(fields, "carbon", "missing"); ok {
+		t.Fatal("Lookup found a field that was never recorded")
+	}
+	stages := Stages(fields)
+	if len(stages) != 2 || stages[0] != "carbon" || stages[1] != "embench" {
+		t.Fatalf("Stages = %v, want [carbon embench]", stages)
+	}
+}
+
+func TestProvenanceNilSafe(t *testing.T) {
+	var p *Provenance
+	p.Record("embench", "cycles", 1, "") // must not panic
+	if got := p.Fields(); got != nil {
+		t.Fatalf("nil collector Fields() = %v, want nil", got)
+	}
+}
+
+func TestProvenanceContextFlag(t *testing.T) {
+	ctx := context.Background()
+	if ProvenanceEnabled(ctx) {
+		t.Fatal("provenance enabled on background context")
+	}
+	if !ProvenanceEnabled(WithProvenanceEnabled(ctx)) {
+		t.Fatal("WithProvenanceEnabled did not stick")
+	}
+}
+
+func TestFormatFields(t *testing.T) {
+	p := NewProvenance()
+	p.Record("carbon", "epa_kwh_per_wafer", 1086.33, "kWh")
+	p.Record("embench", "cycles", 3.39e6, "cycles")
+	out := FormatFields(p.Fields())
+	for _, want := range []string{"carbon", "epa_kwh_per_wafer", "1086.33", "kWh", "embench", "cycles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatFields missing %q:\n%s", want, out)
+		}
+	}
+}

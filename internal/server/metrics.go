@@ -1,171 +1,94 @@
 package server
 
 import (
-	"fmt"
 	"io"
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"ppatc/internal/core"
+	"ppatc/internal/obs"
 )
 
-// latencyBuckets are the histogram upper bounds in seconds. The spread
-// covers both cache hits (sub-millisecond) and full suite evaluations
-// (seconds).
-var latencyBuckets = []float64{
-	0.0005, 0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
-}
-
-// histogram is a fixed-bucket latency histogram with lock-free observation.
-// Bucket counts are stored per-bucket and cumulated at render time, the
-// way Prometheus expects `le` buckets.
-type histogram struct {
-	counts    []atomic.Int64 // one per latencyBuckets entry; overflow in count-sum
-	count     atomic.Int64
-	sumMicros atomic.Int64
-}
-
-func newHistogram() *histogram {
-	return &histogram{counts: make([]atomic.Int64, len(latencyBuckets))}
-}
-
-func (h *histogram) observe(d time.Duration) {
-	s := d.Seconds()
-	for i, ub := range latencyBuckets {
-		if s <= ub {
-			h.counts[i].Add(1)
-			break
-		}
-	}
-	h.count.Add(1)
-	h.sumMicros.Add(d.Microseconds())
-}
-
-// endpointMetrics accumulates per-endpoint counters.
-type endpointMetrics struct {
-	requests atomic.Int64
-	latency  *histogram
-}
-
-// Metrics is the daemon's observability surface: atomic counters and
-// per-endpoint latency histograms, rendered in Prometheus text format at
-// /metrics. All methods are safe for concurrent use.
+// Metrics is the daemon's observability surface, built on the shared
+// obs.Registry so the CLI, daemon, and any future backend declare their
+// instruments against one implementation. It keeps per-endpoint request
+// counters and latency histograms, the cache/coalescing/backpressure
+// counters, and per-pipeline-stage latency histograms fed from trace
+// spans. All methods are safe for concurrent use.
 type Metrics struct {
-	mu        sync.Mutex
-	endpoints map[string]*endpointMetrics
+	reg      *obs.Registry
+	requests *obs.CounterVec
+	latency  *obs.HistogramVec
+	stages   *obs.HistogramVec
 
 	// CacheHits/CacheMisses count result-cache lookups; Coalesced counts
 	// requests that piggybacked on an identical in-flight computation;
 	// Rejections counts requests turned away by a full queue.
-	CacheHits, CacheMisses, Coalesced, Rejections atomic.Int64
+	CacheHits, CacheMisses, Coalesced, Rejections *obs.Counter
 
 	// queueDepth and cacheLen are gauge hooks wired by the server.
 	queueDepth func() int64
 	cacheLen   func() int
 }
 
-// NewMetrics builds an empty metrics registry.
+// NewMetrics builds the daemon's metric set on a fresh registry.
 func NewMetrics() *Metrics {
-	return &Metrics{
-		endpoints:  make(map[string]*endpointMetrics),
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		reg:        reg,
 		queueDepth: func() int64 { return 0 },
 		cacheLen:   func() int { return 0 },
 	}
-}
-
-func (m *Metrics) endpoint(name string) *endpointMetrics {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e, ok := m.endpoints[name]
-	if !ok {
-		e = &endpointMetrics{latency: newHistogram()}
-		m.endpoints[name] = e
-	}
-	return e
+	m.requests = reg.CounterVec("ppatcd_requests_total", "Requests served, by endpoint.", "endpoint")
+	m.CacheHits = reg.Counter("ppatcd_cache_hits_total", "Result-cache hits.")
+	m.CacheMisses = reg.Counter("ppatcd_cache_misses_total", "Result-cache misses.")
+	m.Coalesced = reg.Counter("ppatcd_coalesced_total", "Requests coalesced onto an identical in-flight computation.")
+	m.Rejections = reg.Counter("ppatcd_rejections_total", "Requests rejected by a full queue.")
+	reg.GaugeFunc("ppatcd_queue_depth", "Jobs waiting in the worker queue.",
+		func() float64 { return float64(m.queueDepth()) })
+	reg.GaugeFunc("ppatcd_cache_entries", "Entries in the result cache.",
+		func() float64 { return float64(m.cacheLen()) })
+	m.latency = reg.HistogramVec("ppatcd_request_seconds", "Request latency, by endpoint.", "endpoint", nil)
+	m.stages = reg.HistogramVec("ppatcd_stage_seconds", "Pipeline stage latency, by stage.", "stage", nil)
+	return m
 }
 
 // Observe records one served request on an endpoint.
 func (m *Metrics) Observe(endpoint string, d time.Duration) {
-	e := m.endpoint(endpoint)
-	e.requests.Add(1)
-	e.latency.observe(d)
+	m.requests.With(endpoint).Add(1)
+	m.latency.With(endpoint).Observe(d)
 }
 
 // Requests reports the request count of an endpoint.
 func (m *Metrics) Requests(endpoint string) int64 {
-	return m.endpoint(endpoint).requests.Load()
+	return m.requests.With(endpoint).Load()
+}
+
+// ObserveStages walks an evaluation trace and feeds every pipeline-stage
+// span (embench, edram, synth, floorplan, carbon) into the per-stage
+// latency histograms. Cache hits carry no trace, so only real
+// computations contribute.
+func (m *Metrics) ObserveStages(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	known := make(map[string]bool, 5)
+	for _, s := range core.Stages() {
+		known[s] = true
+	}
+	tr.Walk(func(name string, d time.Duration) {
+		if known[name] {
+			m.stages.With(name).Observe(d)
+		}
+	})
+}
+
+// StageCount reports the per-stage histogram's observation count (used
+// by tests).
+func (m *Metrics) StageCount(stage string) int64 {
+	return m.stages.With(stage).Count()
 }
 
 // WriteTo renders the registry in Prometheus text exposition format.
 func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
-	var n int64
-	p := func(format string, args ...any) error {
-		c, err := fmt.Fprintf(w, format, args...)
-		n += int64(c)
-		return err
-	}
-
-	m.mu.Lock()
-	names := make([]string, 0, len(m.endpoints))
-	for name := range m.endpoints {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	eps := make(map[string]*endpointMetrics, len(names))
-	for _, name := range names {
-		eps[name] = m.endpoints[name]
-	}
-	m.mu.Unlock()
-
-	if err := p("# HELP ppatcd_requests_total Requests served, by endpoint.\n# TYPE ppatcd_requests_total counter\n"); err != nil {
-		return n, err
-	}
-	for _, name := range names {
-		if err := p("ppatcd_requests_total{endpoint=%q} %d\n", name, eps[name].requests.Load()); err != nil {
-			return n, err
-		}
-	}
-	for _, c := range []struct {
-		name, help string
-		v          *atomic.Int64
-	}{
-		{"ppatcd_cache_hits_total", "Result-cache hits.", &m.CacheHits},
-		{"ppatcd_cache_misses_total", "Result-cache misses.", &m.CacheMisses},
-		{"ppatcd_coalesced_total", "Requests coalesced onto an identical in-flight computation.", &m.Coalesced},
-		{"ppatcd_rejections_total", "Requests rejected by a full queue.", &m.Rejections},
-	} {
-		if err := p("# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v.Load()); err != nil {
-			return n, err
-		}
-	}
-	if err := p("# HELP ppatcd_queue_depth Jobs waiting in the worker queue.\n# TYPE ppatcd_queue_depth gauge\nppatcd_queue_depth %d\n", m.queueDepth()); err != nil {
-		return n, err
-	}
-	if err := p("# HELP ppatcd_cache_entries Entries in the result cache.\n# TYPE ppatcd_cache_entries gauge\nppatcd_cache_entries %d\n", m.cacheLen()); err != nil {
-		return n, err
-	}
-
-	if err := p("# HELP ppatcd_request_seconds Request latency, by endpoint.\n# TYPE ppatcd_request_seconds histogram\n"); err != nil {
-		return n, err
-	}
-	for _, name := range names {
-		h := eps[name].latency
-		var cum int64
-		for i, ub := range latencyBuckets {
-			cum += h.counts[i].Load()
-			if err := p("ppatcd_request_seconds_bucket{endpoint=%q,le=%q} %d\n", name, fmt.Sprintf("%g", ub), cum); err != nil {
-				return n, err
-			}
-		}
-		if err := p("ppatcd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, h.count.Load()); err != nil {
-			return n, err
-		}
-		if err := p("ppatcd_request_seconds_sum{endpoint=%q} %g\n", name, float64(h.sumMicros.Load())/1e6); err != nil {
-			return n, err
-		}
-		if err := p("ppatcd_request_seconds_count{endpoint=%q} %d\n", name, h.count.Load()); err != nil {
-			return n, err
-		}
-	}
-	return n, nil
+	return m.reg.WriteTo(w)
 }

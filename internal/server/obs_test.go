@@ -1,0 +1,191 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ppatc/internal/core"
+	"ppatc/internal/obs"
+)
+
+const evalBody = `{"system":"si","workload":"crc32","grid":"US"}`
+
+func TestRequestIDAdoptedAndEchoed(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/evaluate", strings.NewReader(evalBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "caller-supplied-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "caller-supplied-42" {
+		t.Errorf("X-Request-ID = %q, want the caller's ID echoed", got)
+	}
+
+	// Without a caller ID the server must mint one.
+	resp2, _ := post(t, ts, "/v1/evaluate", evalBody)
+	if got := resp2.Header.Get("X-Request-ID"); got == "" {
+		t.Error("server did not assign a request ID")
+	}
+}
+
+func TestTraceQueryReturnsSpanTree(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp, b := post(t, ts, "/v1/evaluate?trace=1", evalBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "BYPASS" {
+		t.Errorf("X-Cache = %q, want BYPASS (traced requests skip the cache)", got)
+	}
+	var env struct {
+		RequestID string          `json:"request_id"`
+		Result    json.RawMessage `json:"result"`
+		Trace     struct {
+			ID    string         `json:"id"`
+			Spans []obs.SpanNode `json:"spans"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(b, &env); err != nil {
+		t.Fatalf("decode envelope: %v\n%s", err, b)
+	}
+	if env.RequestID == "" || env.RequestID != resp.Header.Get("X-Request-ID") {
+		t.Errorf("envelope request_id %q != header %q", env.RequestID, resp.Header.Get("X-Request-ID"))
+	}
+	if env.Trace.ID != env.RequestID {
+		t.Errorf("trace id %q != request id %q", env.Trace.ID, env.RequestID)
+	}
+	// The result inside the envelope is the normal evaluation payload.
+	var result struct {
+		System string `json:"system"`
+	}
+	if err := json.Unmarshal(env.Result, &result); err != nil {
+		t.Fatalf("decode inner result: %v", err)
+	}
+	if result.System == "" {
+		t.Error("inner result missing system field")
+	}
+	// The span tree carries the full pipeline.
+	if len(env.Trace.Spans) != 1 || env.Trace.Spans[0].Name != "evaluate" {
+		t.Fatalf("want one evaluate root span, got %+v", env.Trace.Spans)
+	}
+	var stages []string
+	for _, c := range env.Trace.Spans[0].Children {
+		stages = append(stages, c.Name)
+	}
+	want := core.Stages()
+	if fmt.Sprint(stages) != fmt.Sprint(want) {
+		t.Errorf("stage spans = %v, want %v", stages, want)
+	}
+
+	// A traced request must not have populated the cache: the next plain
+	// request is a MISS, not a HIT.
+	resp2, _ := post(t, ts, "/v1/evaluate", evalBody)
+	if got := resp2.Header.Get("X-Cache"); got != "MISS" {
+		t.Errorf("request after traced run: X-Cache = %q, want MISS", got)
+	}
+}
+
+func TestStageLatencyHistogramsExposed(t *testing.T) {
+	srv, ts := newTestServer(t)
+
+	post(t, ts, "/v1/evaluate", evalBody)
+	_, b := get(t, ts, "/metrics")
+	body := string(b)
+	for _, stage := range core.Stages() {
+		line := fmt.Sprintf("ppatcd_stage_seconds_count{stage=%q} 1", stage)
+		if !strings.Contains(body, line) {
+			t.Errorf("/metrics missing %q after one evaluation", line)
+		}
+		if got := srv.metrics.StageCount(stage); got != 1 {
+			t.Errorf("StageCount(%q) = %d, want 1", stage, got)
+		}
+	}
+	// A cache hit computes nothing, so stage counts must not move.
+	post(t, ts, "/v1/evaluate", evalBody)
+	if got := srv.metrics.StageCount(core.StageEmbench); got != 1 {
+		t.Errorf("cache hit advanced stage histogram to %d", got)
+	}
+}
+
+func TestRequestLogCarriesDispositionAndID(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quietConfig()
+	cfg.Logger = slog.New(slog.NewJSONHandler(&buf, nil))
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+
+	post(t, ts, "/v1/evaluate", evalBody) // MISS
+	post(t, ts, "/v1/evaluate", evalBody) // HIT
+
+	type record struct {
+		Msg        string  `json:"msg"`
+		Endpoint   string  `json:"endpoint"`
+		Status     int     `json:"status"`
+		DurationMS float64 `json:"duration_ms"`
+		Cache      string  `json:"cache"`
+		RequestID  string  `json:"request_id"`
+	}
+	var dispositions []string
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad log line %q: %v", line, err)
+		}
+		if rec.Msg != "request" || rec.Endpoint != "evaluate" {
+			continue
+		}
+		if rec.Status != http.StatusOK {
+			t.Errorf("log status = %d, want 200", rec.Status)
+		}
+		if rec.DurationMS < 0 {
+			t.Errorf("log duration_ms = %v, want >= 0", rec.DurationMS)
+		}
+		if rec.RequestID == "" {
+			t.Error("log record missing request_id")
+		}
+		dispositions = append(dispositions, rec.Cache)
+	}
+	if len(dispositions) != 2 || dispositions[0] != "MISS" || dispositions[1] != "HIT" {
+		t.Errorf("logged cache dispositions = %v, want [MISS HIT]", dispositions)
+	}
+}
+
+func TestPprofGatedByConfig(t *testing.T) {
+	// Default config: pprof is off.
+	_, ts := newTestServer(t)
+	resp, _ := get(t, ts, "/debug/pprof/")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof off: status %d, want 404", resp.StatusCode)
+	}
+
+	cfg := quietConfig()
+	cfg.EnablePprof = true
+	srv := New(cfg)
+	ts2 := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		srv.Close()
+	})
+	resp2, b := get(t, ts2, "/debug/pprof/")
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("pprof on: status %d: %s", resp2.StatusCode, b)
+	}
+}

@@ -14,12 +14,14 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"time"
 
 	"ppatc/internal/carbon"
 	"ppatc/internal/core"
 	"ppatc/internal/embench"
+	"ppatc/internal/obs"
 	"ppatc/internal/tcdp"
 	"ppatc/internal/units"
 )
@@ -36,6 +38,9 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Logger receives structured request logs (default slog.Default()).
 	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ for CPU,
+	// heap and goroutine profiling of a live daemon.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +100,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/workloads", s.instrument("workloads", s.handleWorkloads))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -123,9 +135,29 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// requestIDKey carries the per-request trace ID through the handler
+// chain and into evaluation spans.
+type requestIDKey struct{}
+
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// instrument wraps a handler with the request's whole observability
+// story: it assigns (or adopts, via X-Request-ID) a trace ID, echoes it
+// on the response, and emits one log record carrying the endpoint,
+// status, latency, cache disposition and trace ID together — one line
+// tells the whole request story.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = obs.NewID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, rid))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
 		d := time.Since(start)
@@ -137,6 +169,7 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 			"status", sw.status,
 			"duration_ms", float64(d.Microseconds())/1e3,
 			"cache", sw.Header().Get("X-Cache"),
+			"request_id", rid,
 		)
 	}
 }
@@ -164,11 +197,13 @@ func decodeBody(r *http.Request, v any) error {
 // compute serves key from the cache, or runs work on the worker pool
 // (coalescing concurrent identical requests) and caches the encoded
 // result. The returned bytes are exactly what was first computed, so
-// repeated requests are byte-identical.
-func (s *Server) compute(ctx context.Context, key string, work func(context.Context) ([]byte, error)) (body []byte, cached bool, err error) {
+// repeated requests are byte-identical. disposition reports how the
+// request was served: "HIT", "MISS" (this request led the computation)
+// or "COALESCED" (piggybacked on an identical in-flight computation).
+func (s *Server) compute(ctx context.Context, key string, work func(context.Context) ([]byte, error)) (body []byte, disposition string, err error) {
 	if b, ok := s.cache.Get(key); ok {
 		s.metrics.CacheHits.Add(1)
-		return b, true, nil
+		return b, "HIT", nil
 	}
 	s.metrics.CacheMisses.Add(1)
 	b, shared, err := s.flight.Do(ctx, key, func() ([]byte, error) {
@@ -179,9 +214,15 @@ func (s *Server) compute(ctx context.Context, key string, work func(context.Cont
 		defer cancel()
 		var out []byte
 		var werr error
-		if perr := s.pool.Do(jctx, func() { out, werr = work(jctx) }); perr != nil {
+		// Every real computation runs under a trace so its stage spans
+		// feed the per-stage latency histograms; the trace itself is
+		// discarded (the ?trace=1 path returns one to the caller).
+		tr := obs.NewTrace("")
+		tctx := obs.WithTrace(jctx, tr)
+		if perr := s.pool.Do(jctx, func() { out, werr = work(tctx) }); perr != nil {
 			return nil, perr
 		}
+		s.metrics.ObserveStages(tr)
 		if werr == nil {
 			s.cache.Put(key, out)
 		}
@@ -189,37 +230,85 @@ func (s *Server) compute(ctx context.Context, key string, work func(context.Cont
 	})
 	if shared {
 		s.metrics.Coalesced.Add(1)
+		return b, "COALESCED", err
 	}
-	return b, false, err
+	return b, "MISS", err
 }
 
-// serveComputed runs compute and writes the JSON body with cache and
-// backpressure semantics shared by every evaluation endpoint.
-func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, key string, work func(context.Context) ([]byte, error)) {
-	body, cached, err := s.compute(r.Context(), key, work)
+// writeComputeError maps evaluation errors onto the HTTP status space
+// shared by every computing endpoint.
+func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
 	switch {
-	case err == nil:
 	case errors.Is(err, ErrQueueFull):
 		s.metrics.Rejections.Add(1)
 		writeError(w, http.StatusServiceUnavailable, err)
-		return
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, err)
-		return
 	case errors.Is(err, context.Canceled), errors.Is(err, ErrPoolClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
-		return
 	default:
 		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// serveComputed runs compute and writes the JSON body with cache and
+// backpressure semantics shared by every evaluation endpoint. With
+// ?trace=1 the request bypasses the cache, computes fresh under a trace
+// rooted at its request ID, and returns the span tree inline alongside
+// the result.
+func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, key string, work func(context.Context) ([]byte, error)) {
+	if q := r.URL.Query().Get("trace"); q == "1" || q == "true" {
+		s.serveTraced(w, r, work)
+		return
+	}
+	body, disposition, err := s.compute(r.Context(), key, work)
+	if err != nil {
+		s.writeComputeError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	if cached {
-		w.Header().Set("X-Cache", "HIT")
-	} else {
-		w.Header().Set("X-Cache", "MISS")
-	}
+	w.Header().Set("X-Cache", disposition)
 	_, _ = w.Write(body)
+}
+
+// tracedResponse is the ?trace=1 envelope: the normal result plus the
+// span tree of the computation that produced it.
+type tracedResponse struct {
+	RequestID string          `json:"request_id"`
+	Result    json.RawMessage `json:"result"`
+	Trace     tracedTrace     `json:"trace"`
+}
+
+type tracedTrace struct {
+	ID    string         `json:"id"`
+	Spans []obs.SpanNode `json:"spans"`
+}
+
+// serveTraced computes fresh (no cache, no coalescing — timings are the
+// point) on the worker pool under a trace whose ID is the request ID.
+func (s *Server) serveTraced(w http.ResponseWriter, r *http.Request, work func(context.Context) ([]byte, error)) {
+	rid := requestIDFrom(r.Context())
+	jctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	tr := obs.NewTrace(rid)
+	tctx := obs.WithTrace(jctx, tr)
+	var out []byte
+	var werr error
+	if perr := s.pool.Do(jctx, func() { out, werr = work(tctx) }); perr != nil {
+		s.writeComputeError(w, perr)
+		return
+	}
+	s.metrics.ObserveStages(tr)
+	if werr != nil {
+		s.writeComputeError(w, werr)
+		return
+	}
+	w.Header().Set("X-Cache", "BYPASS")
+	writeJSON(w, tracedResponse{
+		RequestID: rid,
+		Result:    out,
+		Trace:     tracedTrace{ID: tr.ID, Spans: tr.Tree()},
+	})
 }
 
 // evaluateRequest asks for one full PPAtC evaluation.
