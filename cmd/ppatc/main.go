@@ -19,6 +19,7 @@
 //	diecount die-per-wafer estimates for both designs
 //	wafermap ASCII wafer map (dies magnified)
 //	montecarlo sampled robustness of the tCDP verdict
+//	sweep    design-space sweep from a JSON spec (-spec, -p, -checkpoint)
 //	report   everything, in order (-markdown for a markdown artifact)
 //
 // Observability flags: -trace <file> writes a Chrome trace-event file
@@ -61,9 +62,12 @@ func run(args []string) error {
 	asCSV := fs.Bool("csv", false, "for fig5: emit the series as CSV")
 	traceFile := fs.String("trace", "", "write a Chrome trace-event file (chrome://tracing) of the pipeline stages")
 	provenance := fs.Bool("provenance", false, "for table2: print each stage's intermediate quantities after the table")
+	specPath := fs.String("spec", "", "for sweep: JSON sweep spec file ('-' reads stdin)")
+	parallel := fs.Int("p", 0, "for sweep: worker count (default GOMAXPROCS; any value gives identical results)")
+	checkpoint := fs.String("checkpoint", "", "for sweep: checkpoint file — interrupted sweeps resume from it")
 	if len(args) == 0 {
 		fs.Usage()
-		return fmt.Errorf("missing experiment (fig2c fig2d table1 table2 fig4 fig5 fig6a fig6b suite score gases diecount wafermap montecarlo report)")
+		return fmt.Errorf("missing experiment (fig2c fig2d table1 table2 fig4 fig5 fig6a fig6b suite score gases diecount wafermap montecarlo sweep report)")
 	}
 	cmd := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
@@ -246,6 +250,8 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Print(res.Format())
+	case "sweep":
+		return runSweep(ctx, *specPath, *parallel, *checkpoint)
 	case "report":
 		if *markdown {
 			w, err := embench.ByName(*workload)

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"ppatc/internal/dse"
+)
+
+// runSweep drives `ppatc sweep -spec spec.json`: expand the spec, stream
+// results to stdout as NDJSON while the worker pool runs, and print the
+// analyses (Pareto frontier, sensitivity, win probabilities) to stderr
+// so stdout stays machine-readable. With -checkpoint, completed points
+// persist across interrupts: Ctrl-C, re-run, and the sweep resumes.
+func runSweep(ctx context.Context, specPath string, workers int, ckptPath string) error {
+	if specPath == "" {
+		return errors.New("sweep needs -spec <file> (or -spec - for stdin)")
+	}
+	in := os.Stdin
+	if specPath != "-" {
+		f, err := os.Open(specPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	spec, err := dse.ParseSpec(in)
+	if err != nil {
+		return err
+	}
+	plan, err := dse.Expand(spec)
+	if err != nil {
+		return err
+	}
+
+	// Ctrl-C cancels the run but leaves the checkpoint behind.
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	defer stop()
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	opts := dse.Options{
+		Workers: workers,
+		OnResult: func(r dse.Result) error {
+			line, err := r.MarshalLine()
+			if err != nil {
+				return err
+			}
+			_, err = out.Write(line)
+			return err
+		},
+	}
+	if ckptPath != "" {
+		cp, err := dse.OpenCheckpoint(ckptPath, plan)
+		if err != nil {
+			return err
+		}
+		defer cp.Close()
+		if n := len(cp.Completed); n > 0 {
+			fmt.Fprintf(os.Stderr, "ppatc: resuming %s: %d/%d points from %s\n",
+				spec.Name, n, len(plan.Points), ckptPath)
+		}
+		opts.Completed = cp.Completed
+		opts.OnComplete = cp.Record
+	}
+
+	results, err := dse.RunPlan(ctx, plan, opts)
+	if err != nil {
+		if errors.Is(err, context.Canceled) && ckptPath != "" {
+			fmt.Fprintf(os.Stderr, "ppatc: sweep interrupted; re-run with -checkpoint %s to resume\n", ckptPath)
+		}
+		return err
+	}
+	if err := out.Flush(); err != nil {
+		return err
+	}
+
+	// Analyses go to stderr: the frontier always; sensitivity and win
+	// probabilities when the sweep actually varies something to rank.
+	front, err := dse.Frontier(results, plan.Spec.Objectives)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(os.Stderr, dse.FormatFrontier(front, plan.Spec.Objectives))
+	metric := plan.Spec.Objectives[0].Metric
+	if sens, err := dse.Sensitivity(results, metric); err == nil && len(sens) > 0 {
+		fmt.Fprint(os.Stderr, dse.FormatSensitivity(sens, metric))
+	}
+	if len(plan.Spec.Axes.System) > 1 {
+		if win, err := dse.Winners(results, plan.Spec.Objectives[0]); err == nil {
+			fmt.Fprint(os.Stderr, dse.FormatWinners(win))
+		}
+	}
+	return nil
+}

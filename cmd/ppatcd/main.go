@@ -8,11 +8,21 @@
 //	POST /v1/evaluate   {"system":"m3d","workload":"matmult-int","grid":"US"}
 //	POST /v1/suite      {"grid":"US"}
 //	POST /v1/tcdp       {"workload":"matmult-int","grid":"US","months":24}
+//	POST /v1/sweeps     design-space sweep spec → async job (202 + job ID)
+//	GET  /v1/sweeps     job listing
+//	GET  /v1/sweeps/{id}           job status and progress
+//	GET  /v1/sweeps/{id}/results   NDJSON result stream (follows live jobs)
+//	GET  /v1/sweeps/{id}/frontier  Pareto/sensitivity/winner analyses
+//	DELETE /v1/sweeps/{id}         cancel
 //	GET  /v1/grids      grid discovery
 //	GET  /v1/workloads  workload discovery
 //	GET  /healthz       liveness
 //	GET  /metrics       Prometheus-style counters and latency histograms
-//	                    (request + per-pipeline-stage)
+//	                    (request + per-pipeline-stage + ppatcd_sweep_*)
+//
+// Sweep jobs are keyed by the spec hash: POSTing the same spec twice
+// lands on the same job, and with -sweep-dir the daemon checkpoints
+// completed points so a restart resumes interrupted sweeps from disk.
 //
 // The daemon caches results (the pipeline is deterministic), coalesces
 // concurrent identical requests, bounds concurrency with a worker pool,
@@ -30,6 +40,8 @@
 //
 //	ppatcd -call evaluate -data '{"system":"si","workload":"crc32"}'
 //	ppatcd -call grids -addr http://localhost:8037
+//	ppatcd -call sweep -data @spec.json
+//	ppatcd -call sweep-results -id 3f1c9a2b7d04
 package main
 
 import (
@@ -67,13 +79,18 @@ func run(args []string) error {
 	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	logFormat := fs.String("log-format", "json", "log encoding: text or json")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof at /debug/pprof/")
-	call := fs.String("call", "", "client mode: endpoint to call (evaluate, suite, tcdp, grids, workloads, health, metrics)")
-	data := fs.String("data", "", "client mode: JSON request body")
+	sweepDir := fs.String("sweep-dir", "", "sweep checkpoint directory (restarted daemon resumes interrupted sweeps)")
+	sweepQueue := fs.Int("sweep-queue", 8, "queued sweep jobs before 503s")
+	sweepRunners := fs.Int("sweep-runners", 1, "sweep jobs executing concurrently")
+	sweepMaxPoints := fs.Int("sweep-max-points", 0, "largest accepted sweep plan (0 = 100000)")
+	call := fs.String("call", "", "client mode: endpoint to call (evaluate, suite, tcdp, sweep, sweeps, sweep-status, sweep-results, sweep-frontier, sweep-cancel, grids, workloads, health, metrics)")
+	data := fs.String("data", "", "client mode: JSON request body ('@file' reads a file)")
+	jobID := fs.String("id", "", "client mode: sweep job ID for sweep-status/results/frontier/cancel")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *call != "" {
-		return clientCall(*addr, *call, *data)
+		return clientCall(*addr, *call, *data, *jobID)
 	}
 	logger, err := buildLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
@@ -86,6 +103,10 @@ func run(args []string) error {
 		RequestTimeout: *timeout,
 		Logger:         logger,
 		EnablePprof:    *pprofOn,
+		SweepDir:       *sweepDir,
+		SweepQueue:     *sweepQueue,
+		SweepRunners:   *sweepRunners,
+		SweepMaxPoints: *sweepMaxPoints,
 	}, *drain)
 }
 
@@ -148,8 +169,8 @@ func serve(addr string, cfg server.Config, drain time.Duration) error {
 }
 
 // clientCall posts to (or gets from) a running daemon and streams the
-// response to stdout.
-func clientCall(addr, endpoint, data string) error {
+// response to stdout. Paths containing {id} substitute the -id flag.
+func clientCall(addr, endpoint, data, jobID string) error {
 	base := addr
 	if !strings.Contains(base, "://") {
 		if strings.HasPrefix(base, ":") {
@@ -161,13 +182,19 @@ func clientCall(addr, endpoint, data string) error {
 	routes := map[string]struct {
 		method, path string
 	}{
-		"evaluate":  {http.MethodPost, "/v1/evaluate"},
-		"suite":     {http.MethodPost, "/v1/suite"},
-		"tcdp":      {http.MethodPost, "/v1/tcdp"},
-		"grids":     {http.MethodGet, "/v1/grids"},
-		"workloads": {http.MethodGet, "/v1/workloads"},
-		"health":    {http.MethodGet, "/healthz"},
-		"metrics":   {http.MethodGet, "/metrics"},
+		"evaluate":       {http.MethodPost, "/v1/evaluate"},
+		"suite":          {http.MethodPost, "/v1/suite"},
+		"tcdp":           {http.MethodPost, "/v1/tcdp"},
+		"sweep":          {http.MethodPost, "/v1/sweeps"},
+		"sweeps":         {http.MethodGet, "/v1/sweeps"},
+		"sweep-status":   {http.MethodGet, "/v1/sweeps/{id}"},
+		"sweep-results":  {http.MethodGet, "/v1/sweeps/{id}/results"},
+		"sweep-frontier": {http.MethodGet, "/v1/sweeps/{id}/frontier"},
+		"sweep-cancel":   {http.MethodDelete, "/v1/sweeps/{id}"},
+		"grids":          {http.MethodGet, "/v1/grids"},
+		"workloads":      {http.MethodGet, "/v1/workloads"},
+		"health":         {http.MethodGet, "/healthz"},
+		"metrics":        {http.MethodGet, "/metrics"},
 	}
 	rt, ok := routes[endpoint]
 	if !ok {
@@ -178,10 +205,23 @@ func clientCall(addr, endpoint, data string) error {
 		sort.Strings(names)
 		return fmt.Errorf("unknown -call %q (valid: %s)", endpoint, strings.Join(names, ", "))
 	}
+	if strings.Contains(rt.path, "{id}") {
+		if jobID == "" {
+			return fmt.Errorf("-call %s needs -id <job id>", endpoint)
+		}
+		rt.path = strings.Replace(rt.path, "{id}", jobID, 1)
+	}
 	body := io.Reader(nil)
 	if rt.method == http.MethodPost {
 		if data == "" {
 			data = "{}"
+		}
+		if after, ok := strings.CutPrefix(data, "@"); ok {
+			b, err := os.ReadFile(after)
+			if err != nil {
+				return err
+			}
+			data = string(b)
 		}
 		body = strings.NewReader(data)
 	}

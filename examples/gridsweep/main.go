@@ -1,60 +1,66 @@
-// Gridsweep: the Fig. 2c experiment extended with a user-defined grid —
+// Gridsweep: the Fig. 2c experiment extended with user-defined grids —
 // where should a fab buy its electricity to minimize the embodied carbon
 // of each process, and how does the M3D premium move with grid intensity?
+// A thin wrapper over the dse engine: the sweep is declared as a spec
+// (grid axis = the paper's four grids plus two hypothetical fabs built
+// with carbon.CustomGrid) and evaluated by the parallel sweep engine.
 //
 //	go run ./examples/gridsweep
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"ppatc/internal/carbon"
-	"ppatc/internal/process"
-	"ppatc/internal/units"
+	"ppatc/internal/dse"
 )
 
 func main() {
-	flows := []*process.Flow{process.AllSi7nm(), process.M3D7nm()}
-	tbl := process.DefaultEnergyTable()
-	waferArea := units.SquareCentimeters(706.858)
+	spec := &dse.Spec{
+		Name: "gridsweep",
+		Axes: dse.Axes{
+			Workload: []string{"huff"},
+			Grid: &dse.GridAxis{
+				// The paper's four grids plus a wind-powered fab and a
+				// 2035-projection mixed grid.
+				Names: []string{"US", "Coal", "Solar", "Taiwan"},
+				Custom: []dse.CustomGridSpec{
+					{Name: "Wind", GPerKWh: 11},
+					{Name: "Mix2035", GPerKWh: 200},
+				},
+			},
+		},
+	}
+	results, err := dse.Run(context.Background(), spec, dse.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	// The paper's four grids plus two hypothetical fabs: a wind-powered
-	// one and a 2035-projection mixed grid.
-	grids := append(carbon.Grids(),
-		carbon.Grid{Name: "Wind", Intensity: units.GramsPerKilowattHour(11)},
-		carbon.Grid{Name: "Mix2035", Intensity: units.GramsPerKilowattHour(200)},
-	)
+	// Pair the two systems per grid, preserving the spec's grid order.
+	type row struct{ si, m3d float64 }
+	perGrid := map[string]*row{}
+	var order []string
+	for _, r := range results {
+		e, ok := perGrid[r.Grid]
+		if !ok {
+			e = &row{}
+			perGrid[r.Grid] = e
+			order = append(order, r.Grid)
+		}
+		if r.System == "all-Si" {
+			e.si = r.EmbodiedWaferKG
+		} else {
+			e.m3d = r.EmbodiedWaferKG
+		}
+	}
 
 	fmt.Printf("%-10s %18s %18s %8s %22s\n",
 		"grid", "all-Si (kgCO2e)", "M3D (kgCO2e)", "ratio", "M3D premium (kgCO2e)")
-	for _, g := range grids {
-		var totals [2]units.Carbon
-		for i, f := range flows {
-			epa, err := f.EPA(tbl)
-			if err != nil {
-				log.Fatal(err)
-			}
-			gpa, err := carbon.GPAScaled(epa, process.IN7Reference(), process.IN7GPA())
-			if err != nil {
-				log.Fatal(err)
-			}
-			b, err := carbon.EmbodiedPerWafer(carbon.EmbodiedInputs{
-				MPA:       process.SiWaferMPA(),
-				GPA:       gpa,
-				EPA:       epa,
-				CIFab:     g.Intensity,
-				WaferArea: waferArea,
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			totals[i] = b.Total()
-		}
+	for _, g := range order {
+		e := perGrid[g]
 		fmt.Printf("%-10s %18.0f %18.0f %8.3f %22.0f\n",
-			g.Name, totals[0].Kilograms(), totals[1].Kilograms(),
-			totals[1].Kilograms()/totals[0].Kilograms(),
-			totals[1].Kilograms()-totals[0].Kilograms())
+			g, e.si, e.m3d, e.m3d/e.si, e.m3d-e.si)
 	}
 
 	fmt.Println("\nTakeaway: the M3D process's extra fabrication energy matters most on")

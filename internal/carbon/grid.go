@@ -36,6 +36,13 @@ func Grids() []Grid {
 	return []Grid{GridUS, GridCoal, GridSolar, GridTaiwan}
 }
 
+// CustomGrid builds a user-defined grid from a name and carbon intensity —
+// the extension point the paper leaves open for supplies beyond its four
+// (a wind-powered fab, a projected 2035 mix, a measured regional average).
+func CustomGrid(name string, intensity units.CarbonIntensity) Grid {
+	return Grid{Name: name, Intensity: intensity}
+}
+
 // GridByName looks a canonical grid up by name, case-insensitively.
 func GridByName(name string) (Grid, error) {
 	names := make([]string, 0, 4)
@@ -71,6 +78,29 @@ func (p FlatProfile) Mean() units.CarbonIntensity { return p.Intensity }
 
 // Flat wraps a grid's average intensity into a constant profile.
 func Flat(g Grid) FlatProfile { return FlatProfile{Intensity: g.Intensity} }
+
+// scaledProfile multiplies a base profile by a constant factor.
+type scaledProfile struct {
+	base   Profile
+	factor float64
+}
+
+// At implements Profile.
+func (p scaledProfile) At(hour float64) units.CarbonIntensity {
+	return units.CarbonIntensity(float64(p.base.At(hour)) * p.factor)
+}
+
+// Mean implements Profile.
+func (p scaledProfile) Mean() units.CarbonIntensity {
+	return units.CarbonIntensity(float64(p.base.Mean()) * p.factor)
+}
+
+// Scaled multiplies every intensity of a profile by a constant factor —
+// the CI_use perturbation of the paper's Fig. 6b ("CI_use within 3×
+// either way") and of Monte Carlo uncertainty axes.
+func Scaled(p Profile, factor float64) Profile {
+	return scaledProfile{base: p, factor: factor}
+}
 
 // HourlyProfile is a piecewise-constant CI_use with one value per hour of
 // day, the shape published by grid observatories such as Electricity Maps.

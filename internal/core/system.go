@@ -208,8 +208,8 @@ type PPAtC struct {
 	// Program and Data are the characterized macros (identical hardware,
 	// different access mixes).
 	Memory *edram.Memory
-	// AccessRates are the workload's per-cycle access rates
-	// (program reads, data reads, data writes).
+	// ProgramReadsPerCycle, DataReadsPerCycle and DataWritesPerCycle are
+	// the workload's per-cycle memory access rates.
 	ProgramReadsPerCycle, DataReadsPerCycle, DataWritesPerCycle float64
 
 	// Provenance records the intermediate quantity each stage produced,

@@ -1,0 +1,43 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchSpec is a 120-point sweep where every point is a distinct core
+// evaluation (the fab-grid intensity feeds the embodied-carbon stage, so
+// the cache can't collapse them).
+func benchSpec() *Spec {
+	return &Spec{
+		Name: "bench",
+		Axes: Axes{
+			System:   []string{"si"},
+			Workload: []string{"huff"},
+			Grid: &GridAxis{
+				Intensity: &NumericAxis{Linspace: &Range{Lo: 20, Hi: 820, N: 120}},
+			},
+		},
+	}
+}
+
+// BenchmarkSweep measures the worker pool's scaling: compare
+// workers=1 against workers=N ns/op — the ratio should approach the
+// core count for this embarrassingly parallel 120-point plan.
+func BenchmarkSweep(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := Run(context.Background(), benchSpec(), Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != 120 {
+					b.Fatalf("got %d points", len(results))
+				}
+			}
+		})
+	}
+}

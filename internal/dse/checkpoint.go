@@ -1,0 +1,144 @@
+package dse
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// checkpointHeader is the first line of a checkpoint file; every later
+// line is one Result. The spec hash ties the file to one exact sweep, so
+// a resume against an edited spec is rejected instead of silently mixing
+// incompatible points.
+type checkpointHeader struct {
+	Version    int    `json:"version"`
+	SpecSHA256 string `json:"spec_sha256"`
+	Total      int    `json:"total"`
+}
+
+const checkpointVersion = 1
+
+// Checkpoint persists completed sweep points to an append-only NDJSON
+// file. Record is safe to use as Options.OnComplete; a partially written
+// trailing line (crash mid-append) is dropped on load.
+type Checkpoint struct {
+	path string
+	f    *os.File
+	w    *bufio.Writer
+	// Completed holds the results recovered on open, keyed by index.
+	Completed map[int]Result
+}
+
+// OpenCheckpoint opens (or creates) the checkpoint for a plan. An
+// existing file must carry the plan's spec hash and point count;
+// recovered results land in Completed and new Records append after them.
+func OpenCheckpoint(path string, plan *Plan) (*Checkpoint, error) {
+	cp := &Checkpoint{path: path, Completed: make(map[int]Result)}
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		cp.f, cp.w = f, bufio.NewWriter(f)
+		hdr, err := json.Marshal(checkpointHeader{Version: checkpointVersion, SpecSHA256: plan.Hash, Total: len(plan.Points)})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := cp.w.Write(append(hdr, '\n')); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := cp.Flush(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return cp, nil
+	case err != nil:
+		return nil, err
+	}
+
+	lines := strings.Split(string(data), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) == "" {
+		return nil, fmt.Errorf("dse: checkpoint %s: missing header", path)
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		return nil, fmt.Errorf("dse: checkpoint %s: bad header: %w", path, err)
+	}
+	if hdr.Version != checkpointVersion {
+		return nil, fmt.Errorf("dse: checkpoint %s: version %d, want %d", path, hdr.Version, checkpointVersion)
+	}
+	if hdr.SpecSHA256 != plan.Hash {
+		return nil, fmt.Errorf("dse: checkpoint %s belongs to a different spec (hash %.12s…, want %.12s…)", path, hdr.SpecSHA256, plan.Hash)
+	}
+	if hdr.Total != len(plan.Points) {
+		return nil, fmt.Errorf("dse: checkpoint %s: %d points, plan has %d", path, hdr.Total, len(plan.Points))
+	}
+	for i, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var r Result
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			// A torn trailing line is expected after a crash; a bad line
+			// in the middle means the file is corrupt.
+			if i == len(lines)-2 {
+				break
+			}
+			return nil, fmt.Errorf("dse: checkpoint %s: corrupt line %d: %w", path, i+2, err)
+		}
+		if r.Index < 0 || r.Index >= len(plan.Points) {
+			return nil, fmt.Errorf("dse: checkpoint %s: point index %d out of range", path, r.Index)
+		}
+		cp.Completed[r.Index] = r
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	cp.f, cp.w = f, bufio.NewWriter(f)
+	return cp, nil
+}
+
+// Record appends one completed point and flushes it to the OS, making it
+// durable against process death. Not safe for concurrent use — the
+// engine serializes OnComplete calls.
+func (c *Checkpoint) Record(r Result) error {
+	line, err := r.MarshalLine()
+	if err != nil {
+		return err
+	}
+	if _, err := c.w.Write(line); err != nil {
+		return err
+	}
+	return c.Flush()
+}
+
+// Flush pushes buffered lines to the file.
+func (c *Checkpoint) Flush() error {
+	return c.w.Flush()
+}
+
+// Close flushes and closes the file. The file is left in place; Remove
+// deletes it once the sweep is complete.
+func (c *Checkpoint) Close() error {
+	if err := c.Flush(); err != nil {
+		c.f.Close()
+		return err
+	}
+	return c.f.Close()
+}
+
+// Remove deletes the checkpoint file (after Close).
+func (c *Checkpoint) Remove() error {
+	if err := os.Remove(c.path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

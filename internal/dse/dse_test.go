@@ -1,0 +1,469 @@
+package dse
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"ppatc/internal/obs"
+)
+
+// testSpec is a small but multi-axis sweep: 2 systems × 1 workload ×
+// 2 grids × 2 lifetimes = 8 points, all sharing 4 core evaluations of
+// the cheapest kernel.
+func testSpec() *Spec {
+	return &Spec{
+		Name: "unit",
+		Seed: 7,
+		Axes: Axes{
+			System:         []string{"si", "m3d"},
+			Workload:       []string{"huff"},
+			Grid:           &GridAxis{Names: []string{"US", "Coal"}},
+			LifetimeMonths: &NumericAxis{Values: []float64{12, 24}},
+		},
+	}
+}
+
+// mcSpec adds Monte Carlo axes: the paper's Fig. 6b uncertainty model.
+func mcSpec(samples int) *Spec {
+	return &Spec{
+		Name:    "unit-mc",
+		Seed:    11,
+		Samples: samples,
+		Axes: Axes{
+			System:           []string{"si", "m3d"},
+			Workload:         []string{"huff"},
+			LifetimeMonths:   &NumericAxis{Dist: &DistSpec{Kind: "uniform", Lo: 18, Hi: 30}},
+			M3DYield:         &NumericAxis{Dist: &DistSpec{Kind: "uniform", Lo: 0.3, Hi: 0.9}},
+			M3DEmbodiedScale: &NumericAxis{Dist: &DistSpec{Kind: "triangular", Lo: 0.8, Mode: 1, Hi: 1.2}},
+			CIUseScale:       &NumericAxis{Dist: &DistSpec{Kind: "loguniform", Lo: 0.5, Hi: 2}},
+		},
+	}
+}
+
+func ndjson(t *testing.T, results []Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, results); err != nil {
+		t.Fatalf("WriteNDJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestDeterminism is the core engine contract: the same spec and seed
+// produce byte-identical NDJSON whether the sweep runs on one worker or
+// many.
+func TestDeterminism(t *testing.T) {
+	for _, spec := range []*Spec{testSpec(), mcSpec(8)} {
+		r1, err := Run(context.Background(), spec, Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s at 1 worker: %v", spec.Name, err)
+		}
+		r8, err := Run(context.Background(), spec, Options{Workers: 8})
+		if err != nil {
+			t.Fatalf("%s at 8 workers: %v", spec.Name, err)
+		}
+		if got, want := ndjson(t, r8), ndjson(t, r1); !bytes.Equal(got, want) {
+			t.Errorf("%s: NDJSON differs between 1 and 8 workers", spec.Name)
+		}
+	}
+}
+
+// TestOnResultOrder checks the streaming hook fires in plan order even
+// when completions land out of order.
+func TestOnResultOrder(t *testing.T) {
+	var seen []int
+	_, err := Run(context.Background(), testSpec(), Options{
+		Workers:  4,
+		OnResult: func(r Result) error { seen = append(seen, r.Index); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 8 {
+		t.Fatalf("streamed %d of 8 points", len(seen))
+	}
+	for i, idx := range seen {
+		if idx != i {
+			t.Fatalf("streamed order %v, want ascending", seen)
+		}
+	}
+}
+
+// TestRunResults sanity-checks the physics wiring: coal fab carbon above
+// US, longer lifetime means more total carbon, exec time constant across
+// carbon axes.
+func TestRunResults(t *testing.T) {
+	results, err := Run(context.Background(), testSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Result{}
+	for _, r := range results {
+		if !r.Feasible {
+			t.Fatalf("point %d infeasible: %s", r.Index, r.Error)
+		}
+		if r.TCG <= 0 || r.ExecTimeS <= 0 || r.Yield <= 0 {
+			t.Fatalf("point %d has empty metrics: %+v", r.Index, r)
+		}
+		byKey[fmt.Sprintf("%s|%s|%g", r.System, r.Grid, r.LifetimeMonths)] = r
+	}
+	for _, sys := range []string{"all-Si", "M3D IGZO/CNFET/Si"} {
+		us := byKey[sys+"|US|24"]
+		coal := byKey[sys+"|Coal|24"]
+		if coal.TCG <= us.TCG {
+			t.Errorf("%s: coal-fab TC %.1f not above US-fab %.1f", sys, coal.TCG, us.TCG)
+		}
+		if coal.ExecTimeS != us.ExecTimeS {
+			t.Errorf("%s: exec time moved with fab grid", sys)
+		}
+		short := byKey[sys+"|US|12"]
+		if us.TCG <= short.TCG {
+			t.Errorf("%s: 24-month TC %.1f not above 12-month %.1f", sys, us.TCG, short.TCG)
+		}
+	}
+}
+
+// TestYieldOverrideExact checks the Eq. 5 re-amortization shortcut
+// against first principles: embodied-per-good-die scales as Y/Y'.
+func TestYieldOverrideExact(t *testing.T) {
+	base := &Spec{
+		Axes: Axes{System: []string{"m3d"}, Workload: []string{"huff"}},
+	}
+	baseRes, err := Run(context.Background(), base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := &Spec{
+		Axes: Axes{
+			System:   []string{"m3d"},
+			Workload: []string{"huff"},
+			M3DYield: &NumericAxis{Values: []float64{0.5}},
+		},
+	}
+	overRes, err := Run(context.Background(), over, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, o := baseRes[0], overRes[0]
+	want := b.EmbodiedGoodDieG * b.Yield / 0.5
+	if rel := math.Abs(o.EmbodiedGoodDieG-want) / want; rel > 1e-12 {
+		t.Errorf("overridden embodied %.6g, want %.6g (rel err %g)", o.EmbodiedGoodDieG, want, rel)
+	}
+	if o.Yield != 0.5 {
+		t.Errorf("yield %v, want 0.5", o.Yield)
+	}
+}
+
+// TestResume cancels a sweep mid-run, resumes from the checkpoint, and
+// verifies via the obs counter that no point was evaluated twice.
+func TestResume(t *testing.T) {
+	spec := testSpec()
+	plan, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+
+	cp, err := OpenCheckpoint(path, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var c1 obs.Counter
+	var recorded atomic.Int64
+	_, err = RunPlan(ctx, plan, Options{
+		Workers:     2,
+		EvalCounter: &c1,
+		OnComplete: func(r Result) error {
+			if err := cp.Record(r); err != nil {
+				return err
+			}
+			if recorded.Add(1) == 3 {
+				cancel() // die mid-sweep
+			}
+			return nil
+		},
+	})
+	if err == nil {
+		t.Fatal("first run finished despite cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("first run: %v, want context.Canceled", err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c1.Load() == 0 || c1.Load() >= int64(len(plan.Points)) {
+		t.Fatalf("first run recorded %d points, want strictly between 0 and %d", c1.Load(), len(plan.Points))
+	}
+
+	// Resume: reopen the checkpoint, feed its results back in.
+	cp2, err := OpenCheckpoint(path, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if len(cp2.Completed) != int(c1.Load()) {
+		t.Fatalf("checkpoint recovered %d points, counter says %d", len(cp2.Completed), c1.Load())
+	}
+	var c2 obs.Counter
+	results, err := RunPlan(context.Background(), plan, Options{
+		Workers:     2,
+		Completed:   cp2.Completed,
+		EvalCounter: &c2,
+		OnComplete:  cp2.Record,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c1.Load() + c2.Load(); got != int64(len(plan.Points)) {
+		t.Errorf("evaluations across runs = %d + %d = %d, want exactly %d (no point twice)",
+			c1.Load(), c2.Load(), got, len(plan.Points))
+	}
+
+	// The resumed output must equal an uninterrupted run.
+	clean, err := RunPlan(context.Background(), plan, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ndjson(t, results), ndjson(t, clean)) {
+		t.Error("resumed results differ from an uninterrupted run")
+	}
+}
+
+// TestCheckpointRejectsOtherSpec ensures a checkpoint can't resume a
+// different sweep.
+func TestCheckpointRejectsOtherSpec(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	planA, err := Expand(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := OpenCheckpoint(path, planA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	other := testSpec()
+	other.Seed = 99
+	planB, err := Expand(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path, planB); err == nil || !strings.Contains(err.Error(), "different spec") {
+		t.Fatalf("got %v, want different-spec rejection", err)
+	}
+}
+
+// TestParetoProperty checks the frontier definition on random point
+// clouds: every non-frontier point is dominated by some frontier point,
+// and no frontier point dominates another.
+func TestParetoProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	objs := []Objective{{Metric: "exec_time_s"}, {Metric: "tc_g", Maximize: false}}
+	for trial := 0; trial < 20; trial++ {
+		results := make([]Result, 60)
+		for i := range results {
+			results[i] = Result{
+				Index:     i,
+				Feasible:  rng.Float64() > 0.1,
+				ExecTimeS: rng.Float64(),
+				TCG:       rng.Float64(),
+			}
+		}
+		front, err := Frontier(results, objs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inFront := map[int]bool{}
+		for _, f := range front {
+			inFront[f.Index] = true
+		}
+		score := func(r Result) []float64 { return []float64{r.ExecTimeS, r.TCG} }
+		for i, a := range front {
+			for k, b := range front {
+				if i != k && dominates(score(a), score(b)) {
+					t.Fatalf("trial %d: frontier point %d dominates frontier point %d", trial, a.Index, b.Index)
+				}
+			}
+		}
+		for _, r := range results {
+			if !r.Feasible {
+				if inFront[r.Index] {
+					t.Fatalf("trial %d: infeasible point %d on frontier", trial, r.Index)
+				}
+				continue
+			}
+			if inFront[r.Index] {
+				continue
+			}
+			dominated := false
+			for _, f := range front {
+				if dominates(score(f), score(r)) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				t.Fatalf("trial %d: off-frontier point %d not dominated by any frontier point", trial, r.Index)
+			}
+		}
+	}
+}
+
+// TestWinnersPairing checks win probabilities on the MC spec: paired
+// replicas mean the per-system win counts partition the groups.
+func TestWinnersPairing(t *testing.T) {
+	results, err := Run(context.Background(), mcSpec(16), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Winners(results, Objective{Metric: "tc_g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Groups != 16 {
+		t.Fatalf("got %d groups, want 16 (one per replica)", w.Groups)
+	}
+	total := w.Ties
+	for _, n := range w.Wins {
+		total += n
+	}
+	if total != w.Groups {
+		t.Errorf("wins+ties = %d, want %d", total, w.Groups)
+	}
+	var psum float64
+	for _, p := range w.Probability {
+		if p < 0 || p > 1 {
+			t.Errorf("probability %v out of range", p)
+		}
+		psum += p
+	}
+	if w.Ties == 0 && math.Abs(psum-1) > 1e-12 {
+		t.Errorf("probabilities sum to %v, want 1", psum)
+	}
+}
+
+// TestSensitivityRanks checks the analysis surfaces the axes that
+// actually vary, and that grid intensity correlates positively with TC.
+func TestSensitivityRanks(t *testing.T) {
+	results, err := Run(context.Background(), testSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sens, err := Sensitivity(results, "tc_g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	axes := map[string]AxisSensitivity{}
+	for _, s := range sens {
+		axes[s.Axis] = s
+	}
+	for _, want := range []string{"system", "grid", "lifetime_months"} {
+		if _, ok := axes[want]; !ok {
+			t.Errorf("axis %s missing from sensitivity (got %v)", want, axes)
+		}
+	}
+	if g := axes["grid"]; g.Corr <= 0 {
+		t.Errorf("grid intensity vs TC correlation %v, want positive", g.Corr)
+	}
+	if _, ok := axes["workload"]; ok {
+		t.Error("fixed workload axis should be omitted")
+	}
+}
+
+// TestSpecHashStability: a spec and its fully spelled-out normalization
+// share a hash; changing the seed changes it.
+func TestSpecHashStability(t *testing.T) {
+	short := &Spec{Axes: Axes{Workload: []string{"huff"}}}
+	long := &Spec{
+		UseGrid: "US",
+		Axes: Axes{
+			System:         []string{"all-Si", "M3D IGZO/CNFET/Si"},
+			Workload:       []string{"huff"},
+			Grid:           &GridAxis{Names: []string{"US"}},
+			LifetimeMonths: &NumericAxis{Values: []float64{24}},
+		},
+		Objectives: []Objective{{Metric: "exec_time_s"}, {Metric: "tc_g"}},
+	}
+	h1, err := short.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := long.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Errorf("shorthand and spelled-out specs hash differently:\n%s\n%s", h1, h2)
+	}
+	seeded := *short
+	seeded.Seed = 1
+	h3, err := seeded.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Error("seed change did not change the hash")
+	}
+}
+
+// TestSpecValidation exercises the rejection paths.
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"unknown field", `{"axes": {"sistem": ["si"]}}`, "unknown field"},
+		{"unknown system", `{"axes": {"system": ["cmos"]}}`, "unknown system"},
+		{"unknown workload", `{"axes": {"workload": ["nope"]}}`, "unknown workload"},
+		{"two forms", `{"axes": {"clock_mhz": {"values": [100], "linspace": {"lo": 1, "hi": 2, "n": 2}}}}`, "exactly one"},
+		{"bad dist", `{"axes": {"ci_use_scale": {"dist": {"kind": "gaussian"}}}}`, "unknown distribution"},
+		{"grid dist", `{"axes": {"grid": {"intensity": {"dist": {"kind": "uniform", "lo": 1, "hi": 2}}}}}`, "cannot be a distribution"},
+		{"bad metric", `{"axes": {}, "objectives": [{"metric": "speed"}]}`, "unknown objective metric"},
+		{"negative clock", `{"axes": {"clock_mhz": {"values": [-5]}}}`, "must be positive"},
+		{"bad m3d yield", `{"axes": {"m3d_yield": {"values": [1.5]}}}`, "in (0, 1]"},
+	}
+	for _, c := range cases {
+		_, err := ParseSpec(strings.NewReader(c.json))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestMaxPoints bounds job size.
+func TestMaxPoints(t *testing.T) {
+	_, err := Run(context.Background(), testSpec(), Options{MaxPoints: 4})
+	if err == nil || !strings.Contains(err.Error(), "cap is 4") {
+		t.Fatalf("got %v, want point-cap rejection", err)
+	}
+}
+
+// TestInfeasibleClock: an absurd clock fails timing closure and comes
+// back as an infeasible datum, not an error.
+func TestInfeasibleClock(t *testing.T) {
+	spec := &Spec{
+		Axes: Axes{
+			System:   []string{"si"},
+			Workload: []string{"huff"},
+			ClockMHz: &NumericAxis{Values: []float64{1e6}},
+		},
+	}
+	results, err := Run(context.Background(), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Feasible || results[0].Error == "" {
+		t.Fatalf("1 THz point came back feasible: %+v", results[0])
+	}
+}

@@ -1,0 +1,186 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ppatc/internal/obs"
+)
+
+// Options tunes a Run. The zero value is usable: GOMAXPROCS workers, no
+// checkpoint, no hooks.
+type Options struct {
+	// Workers caps the evaluation concurrency (<=0 means GOMAXPROCS).
+	// The worker count never changes results — only wall-clock time.
+	Workers int
+	// Completed holds checkpointed results keyed by point index; the
+	// engine emits them verbatim without re-evaluating.
+	Completed map[int]Result
+	// OnComplete fires once per freshly evaluated point, in completion
+	// order, before the point appears anywhere else — the checkpoint
+	// hook. Calls are serialized. A non-nil error cancels the run.
+	OnComplete func(Result) error
+	// OnResult fires once per point in plan-index order — the streaming
+	// hook. Calls are serialized. A non-nil error cancels the run.
+	OnResult func(Result) error
+	// EvalCounter, when set, is incremented once per freshly evaluated
+	// and recorded point (checkpointed points don't count).
+	EvalCounter *obs.Counter
+	// MaxPoints rejects plans larger than this many points (<=0 = no
+	// cap). Servers use it to bound job size.
+	MaxPoints int
+}
+
+// Run expands the spec and evaluates every point on a worker pool.
+// Results are returned (and streamed via OnResult) in plan order, and
+// are identical for any worker count: the plan expansion is serial, the
+// per-point work is a pure function of the point, and a reorder buffer
+// restores index order at the collector. Cancelling ctx stops the run
+// early with ctx.Err(); points already handed to OnComplete are durable.
+func Run(ctx context.Context, spec *Spec, opts Options) ([]Result, error) {
+	plan, err := Expand(spec)
+	if err != nil {
+		return nil, err
+	}
+	return RunPlan(ctx, plan, opts)
+}
+
+// RunPlan executes an already expanded plan. See Run.
+func RunPlan(ctx context.Context, plan *Plan, opts Options) ([]Result, error) {
+	total := len(plan.Points)
+	if opts.MaxPoints > 0 && total > opts.MaxPoints {
+		return nil, fmt.Errorf("dse: plan has %d points, cap is %d", total, opts.MaxPoints)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("dse: empty plan")
+	}
+
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	ctx, span := obs.StartSpan(ctx, "sweep")
+	if span != nil {
+		span.SetStr("spec", plan.Spec.Name)
+		span.SetFloat("points", float64(total))
+		span.SetFloat("workers", float64(workers))
+		defer span.End()
+	}
+
+	ev := newEvaluator(plan.UseGrid)
+	todo := make(chan Point)
+	done := make(chan Result, workers)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for p := range todo {
+				r := ev.evaluate(ctx, p)
+				if ctx.Err() != nil {
+					return // a cancelled evaluation is not a result
+				}
+				select {
+				case done <- r:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	// Feeder: skip checkpointed points, stop on cancellation.
+	go func() {
+		defer close(todo)
+		for _, p := range plan.Points {
+			if _, ok := opts.Completed[p.Index]; ok {
+				continue
+			}
+			select {
+			case todo <- p:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	// Collector: record completions as they land (OnComplete), release
+	// results in index order (OnResult) through a reorder buffer. The
+	// done channel is always drained so the workers never block on send.
+	results := make([]Result, total)
+	present := make([]bool, total)
+	for i, r := range opts.Completed {
+		if i >= 0 && i < total {
+			results[i] = r
+			present[i] = true
+		}
+	}
+	next := 0 // first index not yet released
+	release := func() error {
+		for next < total && present[next] {
+			if opts.OnResult != nil {
+				if err := opts.OnResult(results[next]); err != nil {
+					return fmt.Errorf("dse: result hook: %w", err)
+				}
+			}
+			next++
+		}
+		return nil
+	}
+	var runErr error
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+			cancel(err)
+		}
+	}
+	if err := release(); err != nil {
+		fail(err)
+	}
+	for r := range done {
+		if runErr != nil {
+			continue // drain
+		}
+		if opts.OnComplete != nil {
+			if err := opts.OnComplete(r); err != nil {
+				fail(fmt.Errorf("dse: checkpoint hook: %w", err))
+				continue
+			}
+		}
+		// Counted only once durably recorded, so a cancel+resume pair
+		// evaluates every point exactly once between them.
+		if opts.EvalCounter != nil {
+			opts.EvalCounter.Add(1)
+		}
+		results[r.Index] = r
+		present[r.Index] = true
+		if err := release(); err != nil {
+			fail(err)
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	if err := ctx.Err(); err != nil {
+		if cause := context.Cause(ctx); cause != nil {
+			return nil, cause
+		}
+		return nil, err
+	}
+	if next != total {
+		return nil, fmt.Errorf("dse: internal: released %d of %d points", next, total)
+	}
+	return results, nil
+}

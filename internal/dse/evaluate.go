@@ -1,0 +1,142 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"ppatc/internal/carbon"
+	"ppatc/internal/core"
+	"ppatc/internal/embench"
+	"ppatc/internal/tcdp"
+	"ppatc/internal/units"
+)
+
+// evaluator runs plan points. Points sharing a core coordinate (system,
+// workload, grid, clock) share one pipeline evaluation through a
+// per-sweep cache: the Monte Carlo axes — lifetime, CI_use scale, yield
+// and embodied-carbon overrides — are exact post-transformations of the
+// PPAtC result (Eqs. 5-8 are linear in 1/yield, CI_use and the embodied
+// total), so a 10k-replica uncertainty sweep costs two pipeline runs,
+// not ten thousand.
+type evaluator struct {
+	useGrid carbon.Grid
+	m3dName string
+	cache   sync.Map // core key -> *coreEntry
+}
+
+type coreEntry struct {
+	once sync.Once
+	res  *core.PPAtC
+	err  error
+}
+
+func newEvaluator(useGrid carbon.Grid) *evaluator {
+	return &evaluator{useGrid: useGrid, m3dName: core.M3DSystem().Name}
+}
+
+// coreEval runs (or reuses) the five-stage pipeline for the point's core
+// coordinate.
+func (e *evaluator) coreEval(ctx context.Context, p Point) (*core.PPAtC, error) {
+	key := fmt.Sprintf("%s|%s|%s|%g", p.System, p.Workload, p.Grid.Name, p.ClockMHz)
+	v, _ := e.cache.LoadOrStore(key, &coreEntry{})
+	entry := v.(*coreEntry)
+	entry.once.Do(func() {
+		sys, err := core.SystemByName(p.System)
+		if err != nil {
+			entry.err = err
+			return
+		}
+		if p.ClockMHz > 0 {
+			sys.Clock = units.Megahertz(p.ClockMHz)
+		}
+		wl, err := embench.ByName(p.Workload)
+		if err != nil {
+			entry.err = err
+			return
+		}
+		entry.res, entry.err = core.EvaluateContext(ctx, sys, wl, p.Grid)
+	})
+	return entry.res, entry.err
+}
+
+// evaluate computes one point's Result. Evaluation failures become data
+// (Error set, Feasible false for timing misses) rather than aborting the
+// sweep: a sweep that straddles the feasibility boundary is the common
+// case, not an exception.
+func (e *evaluator) evaluate(ctx context.Context, p Point) Result {
+	r := Result{
+		Index:            p.Index,
+		Replica:          p.Replica,
+		System:           p.System,
+		Workload:         p.Workload,
+		Grid:             p.Grid.Name,
+		GridGPerKWh:      p.Grid.Intensity.GramsPerKilowattHour(),
+		ClockMHz:         p.ClockMHz,
+		LifetimeMonths:   p.LifetimeMonths,
+		CIUseScale:       p.CIUseScale,
+		YieldD0:          p.YieldD0,
+		M3DYield:         p.M3DYield,
+		M3DEmbodiedScale: p.M3DEmbodiedScale,
+	}
+	res, err := e.coreEval(ctx, p)
+	if err != nil {
+		// Timing-closure misses (and any other evaluation failure) are
+		// infeasible sweep points, the way core.ClockSweep treats them.
+		r.Error = err.Error()
+		return r
+	}
+	r.Feasible = true
+	if r.ClockMHz == 0 {
+		r.ClockMHz = res.Clock.Megahertz()
+	}
+	r.Cycles = res.Cycles
+	r.ExecTimeS = res.ExecTime
+	r.OperationalPowerMW = res.OperationalPower.Milliwatts()
+	r.TotalAreaMM2 = res.TotalArea.SquareMillimeters()
+	r.EmbodiedWaferKG = res.EmbodiedPerWafer.Total().Kilograms()
+	r.DiesPerWafer = res.DiesPerWafer
+
+	// Yield and embodied-carbon overrides, applied as the exact Eq. 5
+	// re-amortization C_emb' = C_emb · Y/Y' (and the Fig. 6b embodied
+	// scale), without re-running the pipeline.
+	dp := res.DesignPoint()
+	y := res.Yield
+	if p.YieldD0 != nil {
+		y = math.Exp(-*p.YieldD0 * res.TotalArea.SquareCentimeters())
+	}
+	if p.M3DYield != nil && p.System == e.m3dName {
+		y = *p.M3DYield
+	}
+	if y <= 0 || y > 1 {
+		r.Feasible = false
+		r.Error = fmt.Sprintf("dse: override yield %g outside (0, 1]", y)
+		return r
+	}
+	emb := dp.Embodied.Grams() * dp.Yield / y
+	if p.M3DEmbodiedScale != nil && p.System == e.m3dName {
+		emb *= *p.M3DEmbodiedScale
+	}
+	dp.Embodied = units.GramsCO2e(emb)
+	dp.Yield = y
+	r.Yield = y
+	r.EmbodiedGoodDieG = emb
+
+	scenario := tcdp.PaperScenario()
+	prof := carbon.Profile(carbon.Flat(e.useGrid))
+	if p.CIUseScale != 1 {
+		prof = carbon.Scaled(prof, p.CIUseScale)
+	}
+	scenario.Profile = prof
+	life := units.Months(p.LifetimeMonths)
+	tc, err := tcdp.TC(dp, scenario, life)
+	if err != nil {
+		r.Feasible = false
+		r.Error = err.Error()
+		return r
+	}
+	r.TCG = tc.TC().Grams()
+	r.TCDPGS = r.TCG * dp.ExecTime
+	return r
+}

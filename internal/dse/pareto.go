@@ -1,0 +1,124 @@
+package dse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Frontier extracts the Pareto-optimal subset of the feasible results
+// under the given objectives (each minimized unless Maximize). A point
+// is kept when no other feasible point is at least as good on every
+// objective and strictly better on one. The frontier is returned sorted
+// by the first objective (best first); input order breaks ties, so the
+// output is deterministic.
+func Frontier(results []Result, objectives []Objective) ([]Result, error) {
+	if len(objectives) == 0 {
+		return nil, fmt.Errorf("dse: frontier needs at least one objective")
+	}
+	for _, o := range objectives {
+		if !ValidMetric(o.Metric) {
+			return nil, fmt.Errorf("dse: unknown objective metric %q", o.Metric)
+		}
+	}
+	// Canonicalize to minimization: score = value, negated for Maximize.
+	var feasible []Result
+	var scores [][]float64
+	for i := range results {
+		if !results[i].Feasible {
+			continue
+		}
+		row := make([]float64, len(objectives))
+		for j, o := range objectives {
+			v, _ := results[i].Metric(o.Metric)
+			if o.Maximize {
+				v = -v
+			}
+			row[j] = v
+		}
+		feasible = append(feasible, results[i])
+		scores = append(scores, row)
+	}
+	var keep []int
+	for i := range feasible {
+		dominated := false
+		for k := range feasible {
+			if k != i && dominates(scores[k], scores[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			keep = append(keep, i)
+		}
+	}
+	sort.SliceStable(keep, func(a, b int) bool {
+		return scores[keep[a]][0] < scores[keep[b]][0]
+	})
+	front := make([]Result, len(keep))
+	for i, k := range keep {
+		front[i] = feasible[k]
+	}
+	return front, nil
+}
+
+// dominates reports whether score vector a Pareto-dominates b (all
+// minimized): a is no worse everywhere and strictly better somewhere.
+func dominates(a, b []float64) bool {
+	better := false
+	for j := range a {
+		if a[j] > b[j] {
+			return false
+		}
+		if a[j] < b[j] {
+			better = true
+		}
+	}
+	return better
+}
+
+// FormatFrontier renders the frontier as an aligned text table over the
+// objective metrics plus the identifying coordinate.
+func FormatFrontier(front []Result, objectives []Objective) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Pareto frontier (%d points)\n", len(front))
+	header := []string{"index", "system", "workload", "grid", "clock_mhz"}
+	for _, o := range objectives {
+		dir := "min"
+		if o.Maximize {
+			dir = "max"
+		}
+		header = append(header, fmt.Sprintf("%s(%s)", o.Metric, dir))
+	}
+	rows := [][]string{header}
+	for i := range front {
+		r := &front[i]
+		row := []string{
+			fmt.Sprintf("%d", r.Index), r.System, r.Workload, r.Grid,
+			fmt.Sprintf("%.1f", r.ClockMHz),
+		}
+		for _, o := range objectives {
+			v, _ := r.Metric(o.Metric)
+			row = append(row, fmt.Sprintf("%.4g", v))
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for j, cell := range row {
+			if len(cell) > widths[j] {
+				widths[j] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for j, cell := range row {
+			if j > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[j], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,246 @@
+package dse
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"ppatc/internal/carbon"
+	"ppatc/internal/units"
+)
+
+// Point is one evaluation of the plan: a fully resolved coordinate in the
+// design space plus a per-point seed.
+type Point struct {
+	// Index is the point's position in the plan (stable across runs and
+	// worker counts; checkpoints key on it).
+	Index int
+	// Seed is the per-point seed derived from the root seed and Index,
+	// available to any stochastic evaluation stage.
+	Seed uint64
+	// Replica is the Monte Carlo replica index (0 when no axis samples).
+	Replica int
+
+	// System and Workload are resolved names; Grid the CI_fab supply.
+	System   string
+	Workload string
+	Grid     carbon.Grid
+	// ClockMHz is the clock override (0 = the design's own clock).
+	ClockMHz float64
+	// LifetimeMonths is the tCDP lifetime.
+	LifetimeMonths float64
+	// CIUseScale scales the use-phase carbon intensity.
+	CIUseScale float64
+	// YieldD0, M3DYield and M3DEmbodiedScale are optional overrides
+	// (nil = the design baseline).
+	YieldD0          *float64
+	M3DYield         *float64
+	M3DEmbodiedScale *float64
+}
+
+// Plan is an expanded spec: the ordered point list plus everything the
+// engine needs to execute it.
+type Plan struct {
+	// Spec is the normalized spec the plan was expanded from.
+	Spec *Spec
+	// Hash identifies the normalized spec (checkpoint identity).
+	Hash string
+	// Points are the evaluations, in deterministic order.
+	Points []Point
+	// UseGrid supplies CI_use.
+	UseGrid carbon.Grid
+}
+
+// numLevels is one numeric dimension of the cross product: either fixed
+// levels, or one per-replica sampled level.
+type numLevels struct {
+	present bool
+	fixed   []float64 // nil for sampled axes
+	sampled []float64 // indexed by replica
+}
+
+func (l numLevels) count() int {
+	if !l.present || l.sampled != nil {
+		return 1
+	}
+	return len(l.fixed)
+}
+
+// value resolves the level at a coordinate; ok is false when the axis is
+// absent from the spec.
+func (l numLevels) value(coord, replica int) (float64, bool) {
+	switch {
+	case !l.present:
+		return 0, false
+	case l.sampled != nil:
+		return l.sampled[replica], true
+	default:
+		return l.fixed[coord], true
+	}
+}
+
+// expandNum builds the level list of one numeric axis. Distribution axes
+// pre-draw one value per replica from a stream seeded by the root seed
+// and the axis name, so every point of a replica shares the draw (the
+// pairing Winners depends on) and the plan is identical at any worker
+// count.
+func expandNum(a *NumericAxis, name string, seed int64, samples int) (numLevels, error) {
+	if a == nil {
+		return numLevels{}, nil
+	}
+	if a.Dist == nil {
+		return numLevels{present: true, fixed: a.values()}, nil
+	}
+	dist, err := a.Dist.Distribution()
+	if err != nil {
+		return numLevels{}, err
+	}
+	rng := rand.New(rand.NewSource(axisSeed(seed, name)))
+	vals := make([]float64, samples)
+	for i := range vals {
+		vals[i] = dist.Sample(rng)
+	}
+	return numLevels{present: true, sampled: vals}, nil
+}
+
+// axisSeed derives a per-axis seed from the root seed and the axis name.
+func axisSeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return int64(h.Sum64() ^ uint64(seed)*0x9E3779B97F4A7C15)
+}
+
+// pointSeed derives the per-point seed from the root seed and the point
+// index (a splitmix64 step, so nearby indices decorrelate).
+func pointSeed(seed int64, index int) uint64 {
+	z := uint64(seed) + uint64(index)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Expand validates and normalizes the spec and expands it into the full
+// evaluation plan. Axes are crossed in declaration order — system,
+// workload, grid, clock, lifetime, yield D0, M3D yield, M3D embodied
+// scale, CI_use scale — with Monte Carlo replicas innermost.
+func Expand(spec *Spec) (*Plan, error) {
+	n, err := spec.normalized()
+	if err != nil {
+		return nil, err
+	}
+	hash, err := n.Hash()
+	if err != nil {
+		return nil, err
+	}
+	useGrid, err := carbon.GridByName(n.UseGrid)
+	if err != nil {
+		return nil, err
+	}
+	grids, err := expandGrids(n.Axes.Grid)
+	if err != nil {
+		return nil, err
+	}
+
+	samples := n.Samples
+	replicas := 1
+	if samples > 0 {
+		replicas = samples
+	}
+	type numDim struct {
+		name string
+		axis *NumericAxis
+	}
+	dims := []numDim{
+		{"clock_mhz", n.Axes.ClockMHz},
+		{"lifetime_months", n.Axes.LifetimeMonths},
+		{"yield_d0", n.Axes.YieldD0},
+		{"m3d_yield", n.Axes.M3DYield},
+		{"m3d_embodied_scale", n.Axes.M3DEmbodiedScale},
+		{"ci_use_scale", n.Axes.CIUseScale},
+	}
+	levels := make([]numLevels, len(dims))
+	for i, d := range dims {
+		if levels[i], err = expandNum(d.axis, d.name, n.Seed, samples); err != nil {
+			return nil, err
+		}
+	}
+	clock, life, d0, m3dY, m3dEmb, ciUse := levels[0], levels[1], levels[2], levels[3], levels[4], levels[5]
+
+	counts := []int{
+		len(n.Axes.System), len(n.Axes.Workload), len(grids),
+		clock.count(), life.count(), d0.count(), m3dY.count(), m3dEmb.count(), ciUse.count(),
+		replicas,
+	}
+	total := 1
+	for _, c := range counts {
+		if c == 0 {
+			return nil, fmt.Errorf("dse: empty axis in spec %q", n.Name)
+		}
+		total *= c
+	}
+
+	plan := &Plan{Spec: n, Hash: hash, UseGrid: useGrid, Points: make([]Point, 0, total)}
+	for i := 0; i < total; i++ {
+		// Decode the flat index into per-axis coordinates, row-major with
+		// the replica fastest so paired replicas sit adjacent.
+		rem := i
+		coord := make([]int, len(counts))
+		for d := len(counts) - 1; d >= 0; d-- {
+			coord[d] = rem % counts[d]
+			rem /= counts[d]
+		}
+		replica := coord[9]
+		p := Point{
+			Index:          i,
+			Seed:           pointSeed(n.Seed, i),
+			Replica:        replica,
+			System:         n.Axes.System[coord[0]],
+			Workload:       n.Axes.Workload[coord[1]],
+			Grid:           grids[coord[2]],
+			LifetimeMonths: 24,
+			CIUseScale:     1,
+		}
+		if v, ok := clock.value(coord[3], replica); ok {
+			p.ClockMHz = v
+		}
+		if v, ok := life.value(coord[4], replica); ok {
+			p.LifetimeMonths = v
+		}
+		if v, ok := d0.value(coord[5], replica); ok {
+			p.YieldD0 = &v
+		}
+		if v, ok := m3dY.value(coord[6], replica); ok {
+			p.M3DYield = &v
+		}
+		if v, ok := m3dEmb.value(coord[7], replica); ok {
+			p.M3DEmbodiedScale = &v
+		}
+		if v, ok := ciUse.value(coord[8], replica); ok {
+			p.CIUseScale = v
+		}
+		plan.Points = append(plan.Points, p)
+	}
+	return plan, nil
+}
+
+// expandGrids resolves a grid axis into concrete grids: canonical names,
+// then custom grids, then raw intensities.
+func expandGrids(g *GridAxis) ([]carbon.Grid, error) {
+	var out []carbon.Grid
+	for _, name := range g.Names {
+		grid, err := carbon.GridByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, grid)
+	}
+	for _, c := range g.Custom {
+		out = append(out, carbon.CustomGrid(c.Name, units.GramsPerKilowattHour(c.GPerKWh)))
+	}
+	if g.Intensity != nil {
+		for _, v := range g.Intensity.values() {
+			out = append(out, carbon.CustomGrid(fmt.Sprintf("grid-%g", v), units.GramsPerKilowattHour(v)))
+		}
+	}
+	return out, nil
+}

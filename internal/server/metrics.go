@@ -25,10 +25,23 @@ type Metrics struct {
 	// Rejections counts requests turned away by a full queue.
 	CacheHits, CacheMisses, Coalesced, Rejections *obs.Counter
 
-	// queueDepth and cacheLen are gauge hooks wired by the server.
+	// SweepPoints counts design points evaluated by sweep jobs;
+	// SweepJobs counts finished jobs by terminal status; SweepSeconds
+	// is the job-duration histogram, by terminal status.
+	SweepPoints  *obs.Counter
+	SweepJobs    *obs.CounterVec
+	SweepSeconds *obs.HistogramVec
+
+	// queueDepth, cacheLen and sweepQueue are gauge hooks wired by the
+	// server.
 	queueDepth func() int64
 	cacheLen   func() int
+	sweepQueue func() int
 }
+
+// sweepBuckets span the sweep-duration range: seconds for smoke sweeps
+// up to an hour for full Monte Carlo studies.
+var sweepBuckets = []float64{0.1, 0.5, 1, 5, 10, 30, 60, 300, 600, 1800, 3600}
 
 // NewMetrics builds the daemon's metric set on a fresh registry.
 func NewMetrics() *Metrics {
@@ -37,6 +50,7 @@ func NewMetrics() *Metrics {
 		reg:        reg,
 		queueDepth: func() int64 { return 0 },
 		cacheLen:   func() int { return 0 },
+		sweepQueue: func() int { return 0 },
 	}
 	m.requests = reg.CounterVec("ppatcd_requests_total", "Requests served, by endpoint.", "endpoint")
 	m.CacheHits = reg.Counter("ppatcd_cache_hits_total", "Result-cache hits.")
@@ -49,6 +63,11 @@ func NewMetrics() *Metrics {
 		func() float64 { return float64(m.cacheLen()) })
 	m.latency = reg.HistogramVec("ppatcd_request_seconds", "Request latency, by endpoint.", "endpoint", nil)
 	m.stages = reg.HistogramVec("ppatcd_stage_seconds", "Pipeline stage latency, by stage.", "stage", nil)
+	m.SweepPoints = reg.Counter("ppatcd_sweep_points_total", "Design points evaluated by sweep jobs.")
+	m.SweepJobs = reg.CounterVec("ppatcd_sweep_jobs_total", "Sweep jobs finished, by terminal status.", "status")
+	m.SweepSeconds = reg.HistogramVec("ppatcd_sweep_seconds", "Sweep job duration, by terminal status.", "status", sweepBuckets)
+	reg.GaugeFunc("ppatcd_sweep_queue_depth", "Sweep jobs waiting for a runner.",
+		func() float64 { return float64(m.sweepQueue()) })
 	return m
 }
 

@@ -41,6 +41,18 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ for CPU,
 	// heap and goroutine profiling of a live daemon.
 	EnablePprof bool
+
+	// SweepQueue bounds sweep jobs waiting for a runner (default 8).
+	SweepQueue int
+	// SweepRunners is the number of sweeps executing concurrently
+	// (default 1; each sweep parallelizes internally across Workers).
+	SweepRunners int
+	// SweepDir, when set, holds per-job checkpoint files so a restarted
+	// daemon resumes interrupted sweeps instead of recomputing them.
+	SweepDir string
+	// SweepMaxPoints rejects sweep specs expanding beyond this many
+	// points (default 100000).
+	SweepMaxPoints int
 }
 
 func (c Config) withDefaults() Config {
@@ -59,6 +71,15 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
+	if c.SweepQueue <= 0 {
+		c.SweepQueue = 8
+	}
+	if c.SweepRunners <= 0 {
+		c.SweepRunners = 1
+	}
+	if c.SweepMaxPoints <= 0 {
+		c.SweepMaxPoints = 100000
+	}
 	return c
 }
 
@@ -69,6 +90,7 @@ type Server struct {
 	pool    *Pool
 	cache   *LRU
 	flight  *flightGroup
+	sweeps  *sweepManager
 	metrics *Metrics
 	log     *slog.Logger
 	base    context.Context
@@ -93,9 +115,28 @@ func New(cfg Config) *Server {
 	s.metrics.queueDepth = s.pool.QueueDepth
 	s.metrics.cacheLen = s.cache.Len
 
+	if err := ensureSweepDir(cfg.SweepDir); err != nil {
+		// A broken checkpoint path shouldn't keep the daemon down —
+		// sweeps degrade to checkpoint-free.
+		s.log.Error("sweep checkpoint dir unavailable; checkpointing disabled",
+			"dir", cfg.SweepDir, "error", err)
+		s.cfg.SweepDir = ""
+	}
+	s.sweeps = newSweepManager(cfg.SweepQueue)
+	s.metrics.sweepQueue = func() int { return len(s.sweeps.queue) }
+	for i := 0; i < cfg.SweepRunners; i++ {
+		go s.runSweeps()
+	}
+
 	s.mux.HandleFunc("POST /v1/evaluate", s.instrument("evaluate", s.handleEvaluate))
 	s.mux.HandleFunc("POST /v1/suite", s.instrument("suite", s.handleSuite))
 	s.mux.HandleFunc("POST /v1/tcdp", s.instrument("tcdp", s.handleTCDP))
+	s.mux.HandleFunc("POST /v1/sweeps", s.instrument("sweep_create", s.handleSweepCreate))
+	s.mux.HandleFunc("GET /v1/sweeps", s.instrument("sweep_list", s.handleSweepList))
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.instrument("sweep_status", s.handleSweepStatus))
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.instrument("sweep_results", s.handleSweepResults))
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/frontier", s.instrument("sweep_frontier", s.handleSweepFrontier))
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.instrument("sweep_cancel", s.handleSweepCancel))
 	s.mux.HandleFunc("GET /v1/grids", s.instrument("grids", s.handleGrids))
 	s.mux.HandleFunc("GET /v1/workloads", s.instrument("workloads", s.handleWorkloads))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)

@@ -1,0 +1,437 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"ppatc/internal/dse"
+)
+
+// Sweep job lifecycle states.
+const (
+	SweepQueued    = "queued"
+	SweepRunning   = "running"
+	SweepDone      = "done"
+	SweepFailed    = "failed"
+	SweepCancelled = "cancelled"
+)
+
+var errSweepCancelled = errors.New("sweep cancelled")
+
+// sweepJob is one asynchronous design-space sweep. Results are committed
+// in plan order, so /results streams a stable prefix of the final NDJSON
+// while the sweep is still running.
+type sweepJob struct {
+	id   string
+	plan *dse.Plan
+
+	mu       sync.Mutex
+	status   string
+	errMsg   string
+	results  []dse.Result
+	resumed  int           // points recovered from a checkpoint
+	notify   chan struct{} // closed and replaced on every commit
+	cancel   context.CancelFunc
+	created  time.Time
+	finished time.Time
+}
+
+func (j *sweepJob) commit(r dse.Result) {
+	j.mu.Lock()
+	j.results = append(j.results, r)
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+}
+
+func (j *sweepJob) setStatus(status, errMsg string) {
+	j.mu.Lock()
+	j.status = status
+	j.errMsg = errMsg
+	if status == SweepDone || status == SweepFailed || status == SweepCancelled {
+		j.finished = time.Now()
+	}
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+}
+
+func sweepTerminal(status string) bool {
+	return status == SweepDone || status == SweepFailed || status == SweepCancelled
+}
+
+// sweepManager owns the job table and the bounded runner pool. Job IDs
+// are the spec hash, so POSTing the same spec twice (or after a daemon
+// restart) lands on the same job — and, with a checkpoint directory, on
+// the same completed points.
+type sweepManager struct {
+	mu    sync.Mutex
+	jobs  map[string]*sweepJob
+	order []string
+	queue chan *sweepJob
+}
+
+// maxSweepJobs bounds the job table; oldest terminal jobs are evicted.
+const maxSweepJobs = 64
+
+func newSweepManager(queueDepth int) *sweepManager {
+	return &sweepManager{
+		jobs:  make(map[string]*sweepJob),
+		queue: make(chan *sweepJob, queueDepth),
+	}
+}
+
+func (m *sweepManager) get(id string) *sweepJob {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs[id]
+}
+
+func (m *sweepManager) list() []*sweepJob {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*sweepJob, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// add registers a job (unless its ID exists) and enqueues it. existing
+// is non-nil when the spec is already known; queued reports whether a
+// new job found queue room.
+func (m *sweepManager) add(j *sweepJob) (existing *sweepJob, queued bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if prior, ok := m.jobs[j.id]; ok {
+		return prior, false
+	}
+	select {
+	case m.queue <- j:
+	default:
+		return nil, false
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.evictLocked()
+	return nil, true
+}
+
+// evictLocked drops the oldest terminal jobs once the table overflows.
+func (m *sweepManager) evictLocked() {
+	if len(m.order) <= maxSweepJobs {
+		return
+	}
+	kept := m.order[:0]
+	excess := len(m.order) - maxSweepJobs
+	for _, id := range m.order {
+		j := m.jobs[id]
+		j.mu.Lock()
+		terminal := sweepTerminal(j.status)
+		j.mu.Unlock()
+		if excess > 0 && terminal {
+			delete(m.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// runSweeps is one runner goroutine: it executes queued jobs until the
+// server closes.
+func (s *Server) runSweeps() {
+	for {
+		select {
+		case j := <-s.sweeps.queue:
+			s.runSweep(j)
+		case <-s.base.Done():
+			return
+		}
+	}
+}
+
+func (s *Server) runSweep(j *sweepJob) {
+	j.mu.Lock()
+	if j.status != SweepQueued { // cancelled while waiting
+		j.mu.Unlock()
+		return
+	}
+	j.status = SweepRunning
+	ctx, cancel := context.WithCancelCause(s.base)
+	j.cancel = func() { cancel(errSweepCancelled) }
+	j.mu.Unlock()
+	defer cancel(nil)
+
+	start := time.Now()
+	opts := dse.Options{
+		Workers:     s.cfg.Workers,
+		MaxPoints:   s.cfg.SweepMaxPoints,
+		EvalCounter: s.metrics.SweepPoints,
+		OnResult: func(r dse.Result) error {
+			j.commit(r)
+			return nil
+		},
+	}
+	var cp *dse.Checkpoint
+	if s.cfg.SweepDir != "" {
+		var err error
+		cp, err = dse.OpenCheckpoint(filepath.Join(s.cfg.SweepDir, j.id+".ckpt"), j.plan)
+		if err != nil {
+			s.finishSweep(j, SweepFailed, err, start)
+			return
+		}
+		defer cp.Close()
+		opts.Completed = cp.Completed
+		opts.OnComplete = cp.Record
+		j.mu.Lock()
+		j.resumed = len(cp.Completed)
+		j.mu.Unlock()
+	}
+
+	_, err := dse.RunPlan(ctx, j.plan, opts)
+	switch {
+	case err == nil:
+		s.finishSweep(j, SweepDone, nil, start)
+	case errors.Is(err, errSweepCancelled):
+		s.finishSweep(j, SweepCancelled, nil, start)
+	case errors.Is(err, context.Canceled):
+		// Daemon shutdown: leave the job resumable, not failed.
+		s.finishSweep(j, SweepCancelled, nil, start)
+	default:
+		s.finishSweep(j, SweepFailed, err, start)
+	}
+}
+
+func (s *Server) finishSweep(j *sweepJob, status string, err error, start time.Time) {
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	j.setStatus(status, msg)
+	s.metrics.SweepJobs.With(status).Add(1)
+	s.metrics.SweepSeconds.With(status).Observe(time.Since(start))
+	s.log.Info("sweep",
+		"id", j.id,
+		"spec", j.plan.Spec.Name,
+		"status", status,
+		"points", len(j.plan.Points),
+		"duration_ms", float64(time.Since(start).Microseconds())/1e3,
+		"error", msg,
+	)
+}
+
+// sweepStatus is the job-status JSON envelope.
+type sweepStatus struct {
+	ID        string  `json:"id"`
+	Name      string  `json:"name,omitempty"`
+	Status    string  `json:"status"`
+	Total     int     `json:"total"`
+	Completed int     `json:"completed"`
+	Resumed   int     `json:"resumed,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	SpecSHA   string  `json:"spec_sha256"`
+	CreatedAt string  `json:"created_at"`
+	Elapsed   float64 `json:"elapsed_s"`
+}
+
+func (j *sweepJob) snapshot() sweepStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	return sweepStatus{
+		ID:        j.id,
+		Name:      j.plan.Spec.Name,
+		Status:    j.status,
+		Total:     len(j.plan.Points),
+		Completed: len(j.results),
+		Resumed:   j.resumed,
+		Error:     j.errMsg,
+		SpecSHA:   j.plan.Hash,
+		CreatedAt: j.created.UTC().Format(time.RFC3339),
+		Elapsed:   end.Sub(j.created).Seconds(),
+	}
+}
+
+func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
+	spec, err := dse.ParseSpec(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	plan, err := dse.Expand(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(plan.Points) > s.cfg.SweepMaxPoints {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("sweep has %d points, cap is %d", len(plan.Points), s.cfg.SweepMaxPoints))
+		return
+	}
+	j := &sweepJob{
+		id:      plan.Hash[:12],
+		plan:    plan,
+		status:  SweepQueued,
+		notify:  make(chan struct{}),
+		created: time.Now(),
+	}
+	existing, queued := s.sweeps.add(j)
+	if existing != nil {
+		writeJSON(w, existing.snapshot()) // idempotent POST: same spec, same job
+		return
+	}
+	if !queued {
+		s.metrics.Rejections.Add(1)
+		writeError(w, http.StatusServiceUnavailable, errors.New("sweep queue full"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, j.snapshot())
+}
+
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.sweeps.list()
+	out := make([]sweepStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.snapshot())
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) sweepByPath(w http.ResponseWriter, r *http.Request) *sweepJob {
+	j := s.sweeps.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+	}
+	return j
+}
+
+func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.sweepByPath(w, r); j != nil {
+		writeJSON(w, j.snapshot())
+	}
+}
+
+// handleSweepResults streams the job's results as NDJSON, in plan order,
+// following the sweep live until it reaches a terminal state (or the
+// client goes away). A done job replays instantly — and byte-identically,
+// per the engine's determinism contract.
+func (s *Server) handleSweepResults(w http.ResponseWriter, r *http.Request) {
+	j := s.sweepByPath(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	sent := 0
+	for {
+		j.mu.Lock()
+		results := j.results // append-only: the prefix is immutable
+		status := j.status
+		notify := j.notify
+		j.mu.Unlock()
+		for ; sent < len(results); sent++ {
+			line, err := results[sent].MarshalLine()
+			if err != nil {
+				return
+			}
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if sweepTerminal(status) && sent == len(results) {
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleSweepFrontier serves the analysis bundle of a finished sweep:
+// the Pareto frontier over the spec's objectives, the per-axis
+// sensitivity of the first objective, and the win-probability summary.
+func (s *Server) handleSweepFrontier(w http.ResponseWriter, r *http.Request) {
+	j := s.sweepByPath(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	status := j.status
+	results := j.results
+	j.mu.Unlock()
+	if status != SweepDone {
+		writeError(w, http.StatusConflict, fmt.Errorf("sweep is %s; analyses need a done sweep", status))
+		return
+	}
+	objectives := j.plan.Spec.Objectives
+	front, err := dse.Frontier(results, objectives)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	type analyses struct {
+		Objectives  []dse.Objective       `json:"objectives"`
+		Frontier    []dse.Result          `json:"frontier"`
+		Sensitivity []dse.AxisSensitivity `json:"sensitivity,omitempty"`
+		Winners     *dse.WinnerSummary    `json:"winners,omitempty"`
+	}
+	out := analyses{Objectives: objectives, Frontier: front}
+	if sens, err := dse.Sensitivity(results, objectives[0].Metric); err == nil {
+		out.Sensitivity = sens
+	}
+	if win, err := dse.Winners(results, objectives[0]); err == nil {
+		out.Winners = win
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.sweepByPath(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	switch {
+	case sweepTerminal(j.status):
+		// Nothing to do; report the terminal state.
+	case j.status == SweepQueued:
+		j.status = SweepCancelled
+		j.finished = time.Now()
+		close(j.notify)
+		j.notify = make(chan struct{})
+		s.metrics.SweepJobs.With(SweepCancelled).Add(1)
+	default: // running
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	j.mu.Unlock()
+	writeJSON(w, j.snapshot())
+}
+
+// ensureSweepDir creates the checkpoint directory up front so a
+// misconfigured path fails at startup, not mid-sweep.
+func ensureSweepDir(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	return os.MkdirAll(dir, 0o755)
+}

@@ -3,6 +3,7 @@ package tcdp
 import (
 	"errors"
 
+	"ppatc/internal/carbon"
 	"ppatc/internal/units"
 )
 
@@ -128,7 +129,7 @@ func UncertaintySet(m3d, allSi DesignPoint, s Scenario, life units.Months) ([]Va
 	// operational carbon through the profile.
 	for _, f := range []float64{3, 1.0 / 3} {
 		sc := s
-		sc.Profile = scaledProfile{base: s.Profile, factor: f}
+		sc.Profile = carbon.Scaled(s.Profile, f)
 		name := "CI_use ×3"
 		if f < 1 {
 			name = "CI_use ÷3"
@@ -152,23 +153,4 @@ func UncertaintySet(m3d, allSi DesignPoint, s Scenario, life units.Months) ([]Va
 		}
 	}
 	return out, nil
-}
-
-// scaledProfile multiplies a base profile by a constant factor.
-type scaledProfile struct {
-	base interface {
-		At(hour float64) units.CarbonIntensity
-		Mean() units.CarbonIntensity
-	}
-	factor float64
-}
-
-// At implements carbon.Profile.
-func (p scaledProfile) At(hour float64) units.CarbonIntensity {
-	return units.CarbonIntensity(float64(p.base.At(hour)) * p.factor)
-}
-
-// Mean implements carbon.Profile.
-func (p scaledProfile) Mean() units.CarbonIntensity {
-	return units.CarbonIntensity(float64(p.base.Mean()) * p.factor)
 }

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"ppatc/internal/carbon"
 	"ppatc/internal/units"
 )
 
@@ -24,7 +25,8 @@ type Distribution interface {
 	String() string
 }
 
-// Fixed is a degenerate distribution.
+// Point is a degenerate distribution that always yields the same value —
+// the way to hold one uncertain parameter fixed while others vary.
 type Point float64
 
 // Sample implements Distribution.
@@ -152,7 +154,7 @@ func MonteCarlo(m3d, allSi DesignPoint, s Scenario, model UncertaintyModel, n in
 		}
 
 		sc := s
-		sc.Profile = scaledProfile{base: s.Profile, factor: ciScale}
+		sc.Profile = carbon.Scaled(s.Profile, ciScale)
 
 		m3dVar := m3d
 		m3dVar.Embodied = units.Carbon(m3d.Embodied.Grams() * embScale * m3d.Yield / yieldM3D)

@@ -92,7 +92,8 @@ type Series struct {
 	Name string
 	// Months are the sample lifetimes (1..N).
 	Months []float64
-	// Embodied, Operational, TC are in gCO2e; TCDP in gCO2e·s.
+	// Embodied, Operational and TCSeries are in gCO2e; TCDPSeries is in
+	// gCO2e·s.
 	Embodied, Operational, TCSeries, TCDPSeries []float64
 }
 

@@ -334,7 +334,7 @@ func TestScaledProfileLinearity(t *testing.T) {
 	base := carbon.Flat(carbon.GridUS)
 	s := PaperScenario()
 	s3 := s
-	s3.Profile = scaledProfile{base: base, factor: 3}
+	s3.Profile = carbon.Scaled(base, 3)
 	d := siPoint()
 	tc1, err := TC(d, s, 24)
 	if err != nil {
