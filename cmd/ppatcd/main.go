@@ -6,6 +6,7 @@
 // Endpoints:
 //
 //	POST /v1/evaluate   {"system":"m3d","workload":"matmult-int","grid":"US"}
+//	POST /v1/batch      {"items":[{"system":"si","workload":"crc32"}, ...]}
 //	POST /v1/suite      {"grid":"US"}
 //	POST /v1/tcdp       {"workload":"matmult-int","grid":"US","months":24}
 //	POST /v1/sweeps     design-space sweep spec → async job (202 + job ID)
@@ -24,9 +25,11 @@
 // lands on the same job, and with -sweep-dir the daemon checkpoints
 // completed points so a restart resumes interrupted sweeps from disk.
 //
-// The daemon caches results (the pipeline is deterministic), coalesces
-// concurrent identical requests, bounds concurrency with a worker pool,
-// and drains in-flight requests on SIGTERM/SIGINT.
+// The daemon caches results (the pipeline is deterministic; the cache is
+// striped across -cache-shards locks), coalesces concurrent identical
+// requests, bounds concurrency with a worker pool, and drains in-flight
+// requests on SIGTERM/SIGINT. /v1/batch evaluates up to 256 tuples per
+// request through the same cache and pool.
 //
 // Observability: every request gets a trace ID (taken from an incoming
 // X-Request-ID header when present), echoed on the response and logged
@@ -74,6 +77,7 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "evaluation workers (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 64, "request queue depth before 503s")
 	cache := fs.Int("cache", 512, "LRU result-cache entries")
+	cacheShards := fs.Int("cache-shards", 16, "result-cache lock stripes (rounded up to a power of two)")
 	timeout := fs.Duration("timeout", 2*time.Minute, "per-request evaluation timeout")
 	drain := fs.Duration("drain", 30*time.Second, "shutdown drain window for in-flight requests")
 	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn, error")
@@ -83,7 +87,7 @@ func run(args []string) error {
 	sweepQueue := fs.Int("sweep-queue", 8, "queued sweep jobs before 503s")
 	sweepRunners := fs.Int("sweep-runners", 1, "sweep jobs executing concurrently")
 	sweepMaxPoints := fs.Int("sweep-max-points", 0, "largest accepted sweep plan (0 = 100000)")
-	call := fs.String("call", "", "client mode: endpoint to call (evaluate, suite, tcdp, sweep, sweeps, sweep-status, sweep-results, sweep-frontier, sweep-cancel, grids, workloads, health, metrics)")
+	call := fs.String("call", "", "client mode: endpoint to call (evaluate, batch, suite, tcdp, sweep, sweeps, sweep-status, sweep-results, sweep-frontier, sweep-cancel, grids, workloads, health, metrics)")
 	data := fs.String("data", "", "client mode: JSON request body ('@file' reads a file)")
 	jobID := fs.String("id", "", "client mode: sweep job ID for sweep-status/results/frontier/cancel")
 	if err := fs.Parse(args); err != nil {
@@ -100,6 +104,7 @@ func run(args []string) error {
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
+		CacheShards:    *cacheShards,
 		RequestTimeout: *timeout,
 		Logger:         logger,
 		EnablePprof:    *pprofOn,
@@ -183,6 +188,7 @@ func clientCall(addr, endpoint, data, jobID string) error {
 		method, path string
 	}{
 		"evaluate":       {http.MethodPost, "/v1/evaluate"},
+		"batch":          {http.MethodPost, "/v1/batch"},
 		"suite":          {http.MethodPost, "/v1/suite"},
 		"tcdp":           {http.MethodPost, "/v1/tcdp"},
 		"sweep":          {http.MethodPost, "/v1/sweeps"},

@@ -1,0 +1,416 @@
+// Command ppatcload is the reproducible load-bench harness for the
+// serving hot path: it drives a configurable mix of evaluate, batch,
+// tcdp and suite traffic against an in-process server (no sockets — the
+// handler is called directly, so numbers isolate the serving stack from
+// kernel networking) and reports per-endpoint latency percentiles,
+// throughput, and allocation rates.
+//
+// The canonical run behind BENCH_4.json:
+//
+//	go run ./cmd/ppatcload -duration 10s -workers 8 -out BENCH_4.json
+//
+// Runs are deterministic for a given -seed, worker count and duration
+// modulo scheduler timing: the request schedule is a seeded PRNG per
+// worker, and every request draws from a fixed tuple set that the
+// warmup phase fully populates in the cache, so the steady state
+// measures the cache-hit path. Pass -no-warmup to measure cold traffic.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ppatc/internal/server"
+)
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := rep.write(cfg.out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep.print(os.Stdout)
+}
+
+// benchConfig is one harness run's shape.
+type benchConfig struct {
+	duration  time.Duration
+	workers   int
+	seed      int64
+	batchSize int
+	mix       map[string]int
+	workloads []string
+	out       string
+	warmup    bool
+	// serverWorkers/cacheShards size the server under test.
+	serverWorkers int
+	cacheShards   int
+}
+
+func parseFlags(args []string) (benchConfig, error) {
+	fs := flag.NewFlagSet("ppatcload", flag.ContinueOnError)
+	cfg := benchConfig{}
+	var mix, workloads string
+	var noWarmup bool
+	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "measured load duration")
+	fs.IntVar(&cfg.workers, "workers", 8, "concurrent client workers")
+	fs.Int64Var(&cfg.seed, "seed", 1, "PRNG seed for the request schedule")
+	fs.IntVar(&cfg.batchSize, "batch-size", 16, "items per /v1/batch request")
+	fs.StringVar(&mix, "mix", "evaluate=60,batch=15,tcdp=15,suite=10", "endpoint weights")
+	fs.StringVar(&workloads, "workloads", "crc32,sieve,edn", "workloads to request")
+	fs.StringVar(&cfg.out, "out", "", "write the JSON report to this file")
+	fs.BoolVar(&noWarmup, "no-warmup", false, "skip cache warmup (measure cold traffic)")
+	fs.IntVar(&cfg.serverWorkers, "server-workers", runtime.GOMAXPROCS(0), "server worker-pool size")
+	fs.IntVar(&cfg.cacheShards, "cache-shards", 16, "server response-cache shards")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	cfg.warmup = !noWarmup
+	var err error
+	if cfg.mix, err = parseMix(mix); err != nil {
+		return cfg, err
+	}
+	cfg.workloads = strings.Split(workloads, ",")
+	if cfg.workers < 1 || cfg.batchSize < 1 || cfg.duration <= 0 {
+		return cfg, fmt.Errorf("ppatcload: workers, batch-size and duration must be positive")
+	}
+	return cfg, nil
+}
+
+var knownEndpoints = []string{"evaluate", "batch", "tcdp", "suite"}
+
+func parseMix(s string) (map[string]int, error) {
+	mix := make(map[string]int)
+	total := 0
+	for _, part := range strings.Split(s, ",") {
+		name, weight, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("ppatcload: mix entry %q is not name=weight", part)
+		}
+		known := false
+		for _, e := range knownEndpoints {
+			known = known || e == name
+		}
+		if !known {
+			return nil, fmt.Errorf("ppatcload: unknown mix endpoint %q (valid: %s)", name, strings.Join(knownEndpoints, ", "))
+		}
+		w, err := strconv.Atoi(weight)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("ppatcload: mix weight %q is not a non-negative integer", weight)
+		}
+		mix[name] = w
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("ppatcload: mix has zero total weight")
+	}
+	return mix, nil
+}
+
+// request is one prebuilt traffic unit: endpoint name, path and body.
+type request struct {
+	endpoint string
+	path     string
+	body     string
+}
+
+// buildRequests expands the tuple set into the request pool each worker
+// draws from.
+func buildRequests(cfg benchConfig) []request {
+	systems := []string{"si", "m3d"}
+	grids := []string{"US", "Coal"}
+	var reqs []request
+	var tuples []string
+	for _, sys := range systems {
+		for _, wl := range cfg.workloads {
+			for _, g := range grids {
+				body := fmt.Sprintf(`{"system":%q,"workload":%q,"grid":%q}`, sys, wl, g)
+				reqs = append(reqs, request{endpoint: "evaluate", path: "/v1/evaluate", body: body})
+				tuples = append(tuples, fmt.Sprintf(`{"system":%q,"workload":%q,"grid":%q}`, sys, wl, g))
+			}
+		}
+	}
+	if w := cfg.mix["batch"]; w > 0 {
+		// Batches cycle through the tuple set at a rotating offset so
+		// different batch requests still share cache entries.
+		for off := 0; off < len(tuples); off += 3 {
+			items := make([]string, 0, cfg.batchSize)
+			for i := 0; i < cfg.batchSize; i++ {
+				items = append(items, tuples[(off+i)%len(tuples)])
+			}
+			reqs = append(reqs, request{
+				endpoint: "batch",
+				path:     "/v1/batch",
+				body:     fmt.Sprintf(`{"items":[%s]}`, strings.Join(items, ",")),
+			})
+		}
+	}
+	if w := cfg.mix["tcdp"]; w > 0 {
+		for _, wl := range cfg.workloads {
+			reqs = append(reqs, request{
+				endpoint: "tcdp",
+				path:     "/v1/tcdp",
+				body:     fmt.Sprintf(`{"workload":%q,"grid":"US","months":24}`, wl),
+			})
+		}
+	}
+	if w := cfg.mix["suite"]; w > 0 {
+		reqs = append(reqs, request{endpoint: "suite", path: "/v1/suite", body: `{"grid":"US"}`})
+	}
+	return reqs
+}
+
+// endpointStats aggregates one endpoint's measured requests.
+type endpointStats struct {
+	Count     int     `json:"count"`
+	Errors    int     `json:"errors"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+	CacheHits int     `json:"cache_hits"`
+}
+
+// report is the ppatc-bench/v1 output document.
+type report struct {
+	Schema string `json:"schema"`
+	Config struct {
+		DurationS     float64        `json:"duration_s"`
+		Workers       int            `json:"workers"`
+		Seed          int64          `json:"seed"`
+		BatchSize     int            `json:"batch_size"`
+		Mix           map[string]int `json:"mix"`
+		Workloads     []string       `json:"workloads"`
+		Warmup        bool           `json:"warmup"`
+		ServerWorkers int            `json:"server_workers"`
+		CacheShards   int            `json:"cache_shards"`
+	} `json:"config"`
+	Totals struct {
+		Requests      int     `json:"requests"`
+		Errors        int     `json:"errors"`
+		ElapsedS      float64 `json:"elapsed_s"`
+		ThroughputRPS float64 `json:"throughput_rps"`
+		AllocsPerOp   float64 `json:"allocs_per_op"`
+		BytesPerOp    float64 `json:"bytes_per_op"`
+	} `json:"totals"`
+	Endpoints map[string]*endpointStats `json:"endpoints"`
+}
+
+// sample is one measured request.
+type sample struct {
+	endpoint string
+	latency  time.Duration
+	hit      bool
+	err      bool
+}
+
+func run(cfg benchConfig) (*report, error) {
+	srv := server.New(server.Config{
+		Workers:     cfg.serverWorkers,
+		QueueDepth:  cfg.workers * 4,
+		CacheShards: cfg.cacheShards,
+		// Request logging off: the harness measures the serving path,
+		// not the log encoder.
+		Logger: slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError})),
+	})
+	defer srv.Close()
+	h := srv.Handler()
+
+	reqs := buildRequests(cfg)
+	schedule := weightedSchedule(cfg.mix, reqs)
+
+	if cfg.warmup {
+		for _, r := range reqs {
+			if code, _ := issue(h, r); code != http.StatusOK {
+				return nil, fmt.Errorf("ppatcload: warmup %s returned %d", r.path, code)
+			}
+		}
+	}
+
+	var ms0 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+
+	deadline := time.Now().Add(cfg.duration)
+	perWorker := make([][]sample, cfg.workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < cfg.workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(wk)))
+			samples := make([]sample, 0, 4096)
+			for time.Now().Before(deadline) {
+				r := schedule.pick(rng)
+				start := time.Now()
+				code, hit := issue(h, r)
+				samples = append(samples, sample{
+					endpoint: r.endpoint,
+					latency:  time.Since(start),
+					hit:      hit,
+					err:      code != http.StatusOK,
+				})
+			}
+			perWorker[wk] = samples
+		}(wk)
+	}
+	wg.Wait()
+
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+
+	rep := &report{Schema: "ppatc-bench/v1", Endpoints: make(map[string]*endpointStats)}
+	rep.Config.DurationS = cfg.duration.Seconds()
+	rep.Config.Workers = cfg.workers
+	rep.Config.Seed = cfg.seed
+	rep.Config.BatchSize = cfg.batchSize
+	rep.Config.Mix = cfg.mix
+	rep.Config.Workloads = cfg.workloads
+	rep.Config.Warmup = cfg.warmup
+	rep.Config.ServerWorkers = cfg.serverWorkers
+	rep.Config.CacheShards = cfg.cacheShards
+
+	byEndpoint := make(map[string][]time.Duration)
+	total := 0
+	for _, samples := range perWorker {
+		for _, s := range samples {
+			st := rep.Endpoints[s.endpoint]
+			if st == nil {
+				st = &endpointStats{}
+				rep.Endpoints[s.endpoint] = st
+			}
+			st.Count++
+			if s.err {
+				st.Errors++
+				rep.Totals.Errors++
+			}
+			if s.hit {
+				st.CacheHits++
+			}
+			byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s.latency)
+			total++
+		}
+	}
+	for name, lats := range byEndpoint {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		st := rep.Endpoints[name]
+		st.P50Ms = percentile(lats, 50).Seconds() * 1e3
+		st.P95Ms = percentile(lats, 95).Seconds() * 1e3
+		st.P99Ms = percentile(lats, 99).Seconds() * 1e3
+		st.MaxMs = lats[len(lats)-1].Seconds() * 1e3
+	}
+	rep.Totals.Requests = total
+	rep.Totals.ElapsedS = cfg.duration.Seconds()
+	if total > 0 {
+		rep.Totals.ThroughputRPS = float64(total) / cfg.duration.Seconds()
+		// Allocation deltas cover harness and server together — an
+		// upper bound on the serving path, comparable across runs of
+		// the same harness version.
+		rep.Totals.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(total)
+		rep.Totals.BytesPerOp = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(total)
+	}
+	return rep, nil
+}
+
+// issue sends one in-process request and reports the status code and
+// whether the response was a cache hit.
+func issue(h http.Handler, r request) (code int, hit bool) {
+	req := httptest.NewRequest(http.MethodPost, r.path, strings.NewReader(r.body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Header().Get("X-Cache") == "HIT"
+}
+
+// weightedPool maps mix weights onto the request pool.
+type weightedPool struct {
+	byEndpoint map[string][]request
+	names      []string
+	cum        []int
+	total      int
+}
+
+func weightedSchedule(mix map[string]int, reqs []request) *weightedPool {
+	p := &weightedPool{byEndpoint: make(map[string][]request)}
+	for _, r := range reqs {
+		p.byEndpoint[r.endpoint] = append(p.byEndpoint[r.endpoint], r)
+	}
+	for _, name := range knownEndpoints {
+		w := mix[name]
+		if w == 0 || len(p.byEndpoint[name]) == 0 {
+			continue
+		}
+		p.total += w
+		p.names = append(p.names, name)
+		p.cum = append(p.cum, p.total)
+	}
+	return p
+}
+
+func (p *weightedPool) pick(rng *rand.Rand) request {
+	n := rng.Intn(p.total)
+	for i, c := range p.cum {
+		if n < c {
+			pool := p.byEndpoint[p.names[i]]
+			return pool[rng.Intn(len(pool))]
+		}
+	}
+	panic("unreachable")
+}
+
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx]
+}
+
+func (r *report) write(path string) error {
+	if path == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func (r *report) print(w io.Writer) {
+	fmt.Fprintf(w, "ppatcload: %d requests in %.1fs (%.0f req/s), %d errors, %.0f allocs/op, %.0f B/op\n",
+		r.Totals.Requests, r.Totals.ElapsedS, r.Totals.ThroughputRPS,
+		r.Totals.Errors, r.Totals.AllocsPerOp, r.Totals.BytesPerOp)
+	for _, name := range knownEndpoints {
+		st, ok := r.Endpoints[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "  %-9s %7d reqs  p50 %8.3fms  p95 %8.3fms  p99 %8.3fms  max %8.3fms  hits %d\n",
+			name, st.Count, st.P50Ms, st.P95Ms, st.P99Ms, st.MaxMs, st.CacheHits)
+	}
+}

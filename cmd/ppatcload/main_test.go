@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("evaluate=60,batch=15,tcdp=15,suite=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix["evaluate"] != 60 || mix["suite"] != 10 {
+		t.Errorf("mix parsed wrong: %v", mix)
+	}
+	for _, bad := range []string{"", "evaluate", "evaluate=-1", "nosuch=10", "evaluate=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("mix %q should be rejected", bad)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lats := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(lats, 50); got != 5 {
+		t.Errorf("p50 = %d, want 5", got)
+	}
+	if got := percentile(lats, 99); got != 10 {
+		t.Errorf("p99 = %d, want 10", got)
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("empty p50 = %d, want 0", got)
+	}
+}
+
+// TestHarnessSmoke runs a short real load and checks the report: every
+// endpoint of the mix served traffic without errors, and the warmed
+// evaluate path was overwhelmingly cache hits.
+func TestHarnessSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	cfg, err := parseFlags([]string{
+		"-duration", "300ms", "-workers", "2", "-seed", "7",
+		"-workloads", "crc32", "-batch-size", "4",
+		"-mix", "evaluate=70,batch=20,tcdp=10",
+		"-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Totals.Requests == 0 {
+		t.Fatal("harness issued no requests")
+	}
+	if rep.Totals.Errors != 0 {
+		t.Fatalf("%d errored requests", rep.Totals.Errors)
+	}
+	for _, name := range []string{"evaluate", "batch", "tcdp"} {
+		st, ok := rep.Endpoints[name]
+		if !ok || st.Count == 0 {
+			t.Errorf("endpoint %s got no traffic", name)
+			continue
+		}
+		if st.P50Ms <= 0 || st.P99Ms < st.P50Ms {
+			t.Errorf("%s percentiles implausible: p50 %.3f p99 %.3f", name, st.P50Ms, st.P99Ms)
+		}
+	}
+	if ev := rep.Endpoints["evaluate"]; ev != nil && ev.CacheHits < ev.Count*9/10 {
+		t.Errorf("warmed evaluate traffic only %d/%d cache hits", ev.CacheHits, ev.Count)
+	}
+
+	if err := rep.write(cfg.out); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round report
+	if err := json.Unmarshal(b, &round); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if round.Schema != "ppatc-bench/v1" {
+		t.Errorf("schema %q, want ppatc-bench/v1", round.Schema)
+	}
+	var sb strings.Builder
+	rep.print(&sb)
+	if !strings.Contains(sb.String(), "evaluate") {
+		t.Error("human-readable summary missing endpoint lines")
+	}
+}

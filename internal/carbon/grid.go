@@ -45,11 +45,13 @@ func CustomGrid(name string, intensity units.CarbonIntensity) Grid {
 
 // GridByName looks a canonical grid up by name, case-insensitively.
 func GridByName(name string) (Grid, error) {
-	names := make([]string, 0, 4)
 	for _, g := range Grids() {
 		if strings.EqualFold(g.Name, name) {
 			return g, nil
 		}
+	}
+	names := make([]string, 0, 4)
+	for _, g := range Grids() {
 		names = append(names, g.Name)
 	}
 	return Grid{}, fmt.Errorf("carbon: unknown grid %q (valid: %s)", name, strings.Join(names, ", "))

@@ -83,7 +83,7 @@ var PaperClock = units.Megahertz(500)
 func AllSiSystem() SystemDesign {
 	cell := edram.SiCellDesign()
 	return SystemDesign{
-		Name:       "all-Si",
+		Name:       AllSiName,
 		Flow:       process.AllSi7nm(),
 		Cell:       cell,
 		Array:      edram.PaperArray(),
@@ -101,7 +101,7 @@ func AllSiSystem() SystemDesign {
 func M3DSystem() SystemDesign {
 	cell := edram.M3DCellDesign()
 	return SystemDesign{
-		Name:       "M3D IGZO/CNFET/Si",
+		Name:       M3DName,
 		Flow:       process.M3D7nm(),
 		Cell:       cell,
 		Array:      edram.PaperArray(),
@@ -122,26 +122,45 @@ func Systems() []SystemDesign {
 	return []SystemDesign{AllSiSystem(), M3DSystem()}
 }
 
+// Canonical names of the bundled designs, as they appear in reports and
+// cache keys.
+const (
+	AllSiName = "all-Si"
+	M3DName   = "M3D IGZO/CNFET/Si"
+)
+
+// CanonicalSystemName resolves a design name or shorthand to its
+// canonical form without constructing the design. Request validation and
+// cache-key building on serving hot paths use this; the full (and much
+// more expensive) SystemByName construction is deferred to cache misses.
+func CanonicalSystemName(name string) (string, error) {
+	switch strings.ToLower(name) {
+	case "si", "all-si", "allsi":
+		return AllSiName, nil
+	case "m3d":
+		return M3DName, nil
+	}
+	if strings.EqualFold(name, AllSiName) {
+		return AllSiName, nil
+	}
+	if strings.EqualFold(name, M3DName) {
+		return M3DName, nil
+	}
+	return "", fmt.Errorf("core: unknown system %q (valid: %s, %s, or the shorthands si, m3d)",
+		name, AllSiName, M3DName)
+}
+
 // SystemByName looks up a bundled design by its full name, case-insensitively,
 // also accepting the shorthands "si", "all-si" and "m3d".
 func SystemByName(name string) (SystemDesign, error) {
-	switch strings.ToLower(name) {
-	case "si", "all-si", "allsi":
+	canonical, err := CanonicalSystemName(name)
+	if err != nil {
+		return SystemDesign{}, err
+	}
+	if canonical == AllSiName {
 		return AllSiSystem(), nil
-	case "m3d":
-		return M3DSystem(), nil
 	}
-	for _, s := range Systems() {
-		if strings.EqualFold(s.Name, name) {
-			return s, nil
-		}
-	}
-	names := make([]string, 0, 2)
-	for _, s := range Systems() {
-		names = append(names, s.Name)
-	}
-	return SystemDesign{}, fmt.Errorf("core: unknown system %q (valid: %s, or the shorthands si, m3d)",
-		name, strings.Join(names, ", "))
+	return M3DSystem(), nil
 }
 
 // Validate checks the design is complete.

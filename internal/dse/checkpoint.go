@@ -38,7 +38,10 @@ func OpenCheckpoint(path string, plan *Plan) (*Checkpoint, error) {
 	cp := &Checkpoint{path: path, Completed: make(map[int]Result)}
 	data, err := os.ReadFile(path)
 	switch {
-	case os.IsNotExist(err):
+	// A zero-length file is a crash between create and the header flush:
+	// nothing was recorded, so reinitialize it as a fresh checkpoint
+	// instead of refusing to resume forever.
+	case os.IsNotExist(err), err == nil && len(data) == 0:
 		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 		if err != nil {
 			return nil, err
@@ -79,16 +82,23 @@ func OpenCheckpoint(path string, plan *Plan) (*Checkpoint, error) {
 	if hdr.Total != len(plan.Points) {
 		return nil, fmt.Errorf("dse: checkpoint %s: %d points, plan has %d", path, hdr.Total, len(plan.Points))
 	}
+	// validEnd marks how many leading bytes of the file hold intact,
+	// newline-terminated records. A crash mid-append can leave a torn
+	// tail past it; appending after that tail would weld the next record
+	// onto the torn bytes and corrupt the file for every later resume,
+	// so the tail is truncated away before the file reopens for append.
+	validEnd := len(data)
 	for i, line := range lines[1:] {
-		line = strings.TrimSpace(line)
-		if line == "" {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
 			continue
 		}
 		var r Result
-		if err := json.Unmarshal([]byte(line), &r); err != nil {
+		if err := json.Unmarshal([]byte(trimmed), &r); err != nil {
 			// A torn trailing line is expected after a crash; a bad line
 			// in the middle means the file is corrupt.
 			if i == len(lines)-2 {
+				validEnd = len(data) - len(line)
 				break
 			}
 			return nil, fmt.Errorf("dse: checkpoint %s: corrupt line %d: %w", path, i+2, err)
@@ -98,11 +108,30 @@ func OpenCheckpoint(path string, plan *Plan) (*Checkpoint, error) {
 		}
 		cp.Completed[r.Index] = r
 	}
+	if validEnd < len(data) {
+		if err := os.Truncate(path, int64(validEnd)); err != nil {
+			return nil, fmt.Errorf("dse: checkpoint %s: dropping torn tail: %w", path, err)
+		}
+		data = data[:validEnd]
+	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	cp.f, cp.w = f, bufio.NewWriter(f)
+	// A file that ends without a newline (a flush cut exactly at a record
+	// boundary) still parses, but appending straight after it would merge
+	// two records onto one line; terminate it first.
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		if _, err := cp.w.WriteString("\n"); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := cp.Flush(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
 	return cp, nil
 }
 

@@ -1,0 +1,217 @@
+package dse
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// openTestPlan expands the shared test spec for checkpoint surgery.
+func openTestPlan(t *testing.T) *Plan {
+	t.Helper()
+	plan, err := Expand(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func recordPoint(t *testing.T, cp *Checkpoint, idx int) {
+	t.Helper()
+	if err := cp.Record(Result{Index: idx, System: "all-Si"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointZeroLengthFile covers a crash between file creation and
+// the header flush: the empty file must reinitialize as a fresh
+// checkpoint, not wedge every future resume with a header error.
+func TestCheckpointZeroLengthFile(t *testing.T) {
+	plan := openTestPlan(t)
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := OpenCheckpoint(path, plan)
+	if err != nil {
+		t.Fatalf("zero-length checkpoint: %v", err)
+	}
+	if len(cp.Completed) != 0 {
+		t.Fatalf("recovered %d points from an empty file", len(cp.Completed))
+	}
+	recordPoint(t, cp, 0)
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := OpenCheckpoint(path, plan)
+	if err != nil {
+		t.Fatalf("reopen after reinit: %v", err)
+	}
+	defer cp2.Close()
+	if len(cp2.Completed) != 1 {
+		t.Fatalf("recovered %d points, want 1", len(cp2.Completed))
+	}
+}
+
+// TestCheckpointHeaderOnly covers a crash right after the header: the
+// file resumes cleanly with nothing completed.
+func TestCheckpointHeaderOnly(t *testing.T) {
+	plan := openTestPlan(t)
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cp, err := OpenCheckpoint(path, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := OpenCheckpoint(path, plan)
+	if err != nil {
+		t.Fatalf("header-only checkpoint: %v", err)
+	}
+	defer cp2.Close()
+	if len(cp2.Completed) != 0 {
+		t.Fatalf("recovered %d points from a header-only file", len(cp2.Completed))
+	}
+}
+
+// TestCheckpointTornTailSurvivesTwoResumes pins the truncation fix: a
+// torn trailing line must not only be dropped on load — it must also be
+// removed from the file, or the next Record appends onto the torn bytes
+// and the SECOND resume finds a corrupt line mid-file.
+func TestCheckpointTornTailSurvivesTwoResumes(t *testing.T) {
+	plan := openTestPlan(t)
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+
+	cp, err := OpenCheckpoint(path, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordPoint(t, cp, 0)
+	recordPoint(t, cp, 1)
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: chop the last record in half, leaving no
+	// trailing newline.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := strings.TrimRight(string(data), "\n")
+	if err := os.WriteFile(path, []byte(body[:len(body)-8]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// First resume drops the torn record…
+	cp2, err := OpenCheckpoint(path, plan)
+	if err != nil {
+		t.Fatalf("first resume over torn tail: %v", err)
+	}
+	if len(cp2.Completed) != 1 {
+		t.Fatalf("first resume recovered %d points, want 1 (torn record dropped)", len(cp2.Completed))
+	}
+	// …and appending after it must start on a clean line.
+	recordPoint(t, cp2, 1)
+	recordPoint(t, cp2, 2)
+	if err := cp2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cp3, err := OpenCheckpoint(path, plan)
+	if err != nil {
+		t.Fatalf("second resume: %v (torn tail corrupted later appends)", err)
+	}
+	defer cp3.Close()
+	if len(cp3.Completed) != 3 {
+		t.Fatalf("second resume recovered %d points, want 3", len(cp3.Completed))
+	}
+}
+
+// TestCheckpointTornOnlyDataLine covers the file whose single data line
+// is torn: resume starts from zero and later appends stay intact.
+func TestCheckpointTornOnlyDataLine(t *testing.T) {
+	plan := openTestPlan(t)
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+
+	cp, err := OpenCheckpoint(path, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordPoint(t, cp, 0)
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2, err := OpenCheckpoint(path, plan)
+	if err != nil {
+		t.Fatalf("resume over torn-only-line: %v", err)
+	}
+	if len(cp2.Completed) != 0 {
+		t.Fatalf("recovered %d points, want 0", len(cp2.Completed))
+	}
+	recordPoint(t, cp2, 0)
+	if err := cp2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cp3, err := OpenCheckpoint(path, plan)
+	if err != nil {
+		t.Fatalf("second resume: %v", err)
+	}
+	defer cp3.Close()
+	if len(cp3.Completed) != 1 {
+		t.Fatalf("second resume recovered %d points, want 1", len(cp3.Completed))
+	}
+}
+
+// TestCheckpointUnterminatedLastLine covers a flush cut exactly at a
+// record boundary with no trailing newline: the record is intact and
+// must be kept, and the next append must not weld onto it.
+func TestCheckpointUnterminatedLastLine(t *testing.T) {
+	plan := openTestPlan(t)
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+
+	cp, err := OpenCheckpoint(path, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordPoint(t, cp, 0)
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(strings.TrimRight(string(data), "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2, err := OpenCheckpoint(path, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp2.Completed) != 1 {
+		t.Fatalf("recovered %d points, want 1 (complete unterminated record)", len(cp2.Completed))
+	}
+	recordPoint(t, cp2, 1)
+	if err := cp2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cp3, err := OpenCheckpoint(path, plan)
+	if err != nil {
+		t.Fatalf("resume after append to unterminated file: %v", err)
+	}
+	defer cp3.Close()
+	if len(cp3.Completed) != 2 {
+		t.Fatalf("recovered %d points, want 2", len(cp3.Completed))
+	}
+}

@@ -14,6 +14,7 @@ package embench
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"ppatc/internal/thumb"
 )
@@ -87,23 +88,44 @@ func Run(w Workload, maxCycles uint64) (Result, error) {
 	return res, nil
 }
 
-// Workloads returns the bundled suite, sorted by name.
-func Workloads() []Workload {
-	ws := []Workload{
+// The workload constructors compute each kernel's Expected checksum by
+// running the Go reference implementation — milliseconds of work that
+// must not be repaid on every lookup (the ppatcd daemon resolves a
+// workload per request). Build the suite once and serve copies.
+var (
+	workloadsOnce sync.Once
+	workloadsAll  []Workload
+	workloadsByID map[string]Workload
+)
+
+func buildWorkloads() {
+	workloadsAll = []Workload{
 		MatmultInt(), CRC32(), EDN(), Sieve(), StrSearch(), BlockMove(), Huff(), QSortInt(),
 	}
-	sort.Slice(ws, func(i, j int) bool { return ws[i].Name < ws[j].Name })
-	return ws
+	sort.Slice(workloadsAll, func(i, j int) bool { return workloadsAll[i].Name < workloadsAll[j].Name })
+	workloadsByID = make(map[string]Workload, len(workloadsAll))
+	for _, w := range workloadsAll {
+		workloadsByID[w.Name] = w
+	}
 }
 
-// ByName looks up a bundled workload.
+// Workloads returns the bundled suite, sorted by name. The returned slice
+// is the caller's to reorder; the Workload values themselves are shared,
+// immutable descriptors.
+func Workloads() []Workload {
+	workloadsOnce.Do(buildWorkloads)
+	return append([]Workload(nil), workloadsAll...)
+}
+
+// ByName looks up a bundled workload. The lookup is a memoized map read,
+// cheap enough for a per-request hot path.
 func ByName(name string) (Workload, error) {
-	for _, w := range Workloads() {
-		if w.Name == name {
-			return w, nil
-		}
+	workloadsOnce.Do(buildWorkloads)
+	w, ok := workloadsByID[name]
+	if !ok {
+		return Workload{}, fmt.Errorf("embench: unknown workload %q", name)
 	}
-	return Workload{}, fmt.Errorf("embench: unknown workload %q", name)
+	return w, nil
 }
 
 // lcgNext is the shared linear congruential generator used by every

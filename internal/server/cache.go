@@ -11,11 +11,14 @@ import (
 
 // The evaluation pipeline is deterministic — same system, workload and
 // grid always produce the same bytes — so the daemon caches encoded
-// responses keyed by a canonical request hash and coalesces concurrent
+// responses keyed by a canonical request string and coalesces concurrent
 // identical requests onto a single computation.
 
 // RequestKey builds the canonical cache key for an endpoint and its
-// resolved (canonical-cased) parameters.
+// resolved (canonical-cased) parameters. It hashes through fmt, which
+// boxes every part — fine for request shapes with open-ended parameters
+// (tcdp's float lists), too slow for the per-request hot path; evaluate
+// and suite use the direct concatenations below instead.
 func RequestKey(endpoint string, parts ...any) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s", endpoint)
@@ -25,9 +28,23 @@ func RequestKey(endpoint string, parts ...any) string {
 	return endpoint + ":" + hex.EncodeToString(h.Sum(nil)[:16])
 }
 
-// LRU is a mutex-guarded least-recently-used byte cache with a fixed
-// entry capacity.
-type LRU struct {
+// evaluateKey is the cache key of one (system, workload, grid) evaluation
+// tuple. Shared by /v1/evaluate and every /v1/batch item, so a batch item
+// hits the cache entry a plain evaluate warmed (and vice versa). The
+// names must already be canonical; a single concatenation keeps the
+// cache-hit path at one allocation.
+func evaluateKey(system, workload, grid string) string {
+	return "evaluate|" + system + "|" + workload + "|" + grid
+}
+
+// suiteKey is the cache key of the full-suite comparison on one grid.
+func suiteKey(grid string) string {
+	return "suite|" + grid
+}
+
+// lruShard is one mutex-guarded stripe of the LRU: a classic list+map
+// least-recently-used byte cache with a fixed entry capacity.
+type lruShard struct {
 	mu      sync.Mutex
 	cap     int
 	ll      *list.List
@@ -39,16 +56,14 @@ type lruEntry struct {
 	val []byte
 }
 
-// NewLRU builds a cache holding at most capacity entries (minimum 1).
-func NewLRU(capacity int) *LRU {
+func newLRUShard(capacity int) *lruShard {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &LRU{cap: capacity, ll: list.New(), entries: make(map[string]*list.Element)}
+	return &lruShard{cap: capacity, ll: list.New(), entries: make(map[string]*list.Element)}
 }
 
-// Get returns the cached bytes for key, marking the entry recently used.
-func (c *LRU) Get(key string) ([]byte, bool) {
+func (c *lruShard) get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
@@ -59,33 +74,104 @@ func (c *LRU) Get(key string) ([]byte, bool) {
 	return el.Value.(*lruEntry).val, true
 }
 
-// Put stores val under key, evicting the least recently used entry when
-// at capacity.
-func (c *LRU) Put(key string, val []byte) {
+func (c *lruShard) put(key string, val []byte) []byte {
+	// Copy: the cache must own its bytes. Callers reuse encode buffers
+	// (and may mutate what they handed in later); cached entries are
+	// immutable from the moment they are stored.
+	stored := make([]byte, len(val))
+	copy(stored, val)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*lruEntry).val = val
-		return
+		el.Value.(*lruEntry).val = stored
+		return stored
 	}
-	c.entries[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	c.entries[key] = c.ll.PushFront(&lruEntry{key: key, val: stored})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.entries, oldest.Value.(*lruEntry).key)
 	}
+	return stored
 }
 
-// Len reports the number of cached entries.
-func (c *LRU) Len() int {
+func (c *lruShard) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
 
+// LRU is the response cache: a least-recently-used byte cache striped
+// into mutex-guarded shards selected by a hash of the key, so concurrent
+// hot-path lookups from many request goroutines don't serialize on one
+// lock. Capacity is split evenly across shards (eviction is per shard).
+type LRU struct {
+	shards []*lruShard
+	mask   uint32
+}
+
+// NewLRU builds a single-shard cache holding at most capacity entries
+// (minimum 1) — exact global LRU order, for small caches and tests.
+func NewLRU(capacity int) *LRU { return NewShardedLRU(capacity, 1) }
+
+// NewShardedLRU builds a cache of roughly capacity entries striped over
+// shards mutex-guarded shards (rounded up to a power of two, minimum 1).
+func NewShardedLRU(capacity, shards int) *LRU {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	per := (capacity + n - 1) / n
+	c := &LRU{shards: make([]*lruShard, n), mask: uint32(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = newLRUShard(per)
+	}
+	return c
+}
+
+// shard selects the stripe for a key with inline FNV-1a (no allocation).
+func (c *LRU) shard(key string) *lruShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return c.shards[h&c.mask]
+}
+
+// Get returns the cached bytes for key, marking the entry recently used.
+// The returned slice is shared and MUST NOT be mutated — write it to the
+// response and let it go. The hit path is allocation-free.
+func (c *LRU) Get(key string) ([]byte, bool) {
+	return c.shard(key).get(key)
+}
+
+// Put copies val into the cache under key, evicting the least recently
+// used entry of the key's shard when at capacity. It returns the stored
+// copy, which callers may hand out (but, like Get's result, must not
+// mutate); val itself remains the caller's to reuse or scribble over.
+func (c *LRU) Put(key string, val []byte) []byte {
+	return c.shard(key).put(key, val)
+}
+
+// Len reports the number of cached entries across all shards.
+func (c *LRU) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.len()
+	}
+	return n
+}
+
+// Shards reports the shard count (used by tests and /healthz).
+func (c *LRU) Shards() int { return len(c.shards) }
+
 // flightGroup coalesces concurrent computations of the same key: the
-// first caller runs fn, later callers block until its result is ready
+// first caller starts fn, later callers block until its result is ready
 // (or their own context is done) and share it.
 type flightGroup struct {
 	mu    sync.Mutex
@@ -105,6 +191,14 @@ func newFlightGroup() *flightGroup {
 // Do returns fn's result for key, running fn at most once across
 // concurrent callers. shared reports whether this caller piggybacked on
 // another caller's computation.
+//
+// fn runs on its own goroutine, detached from every caller: a leader
+// whose context is cancelled mid-flight gets its ctx.Err() back
+// immediately, while the computation carries on and delivers the real
+// result to every surviving waiter (and, via fn's own side effects, to
+// the cache). Without the detachment a cancelled leader would either
+// poison coalesced waiters with its context.Canceled or hold its handler
+// goroutine hostage until the computation finished.
 func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, error)) (val []byte, shared bool, err error) {
 	g.mu.Lock()
 	if c, ok := g.calls[key]; ok {
@@ -120,11 +214,18 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, err
 	g.calls[key] = c
 	g.mu.Unlock()
 
-	c.val, c.err = fn()
+	go func() {
+		c.val, c.err = fn()
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
 
-	g.mu.Lock()
-	delete(g.calls, key)
-	g.mu.Unlock()
-	close(c.done)
-	return c.val, false, c.err
+	select {
+	case <-c.done:
+		return c.val, false, c.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
 }

@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
 	"time"
 
 	"ppatc/internal/carbon"
@@ -34,6 +35,10 @@ type Config struct {
 	QueueDepth int
 	// CacheEntries bounds the LRU result cache (default 512).
 	CacheEntries int
+	// CacheShards stripes the result cache across this many mutex-guarded
+	// shards, rounded up to a power of two (default 16), so hot-path cache
+	// lookups from concurrent requests don't serialize on one lock.
+	CacheShards int
 	// RequestTimeout caps one evaluation (default 2 minutes).
 	RequestTimeout time.Duration
 	// Logger receives structured request logs (default slog.Default()).
@@ -64,6 +69,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 512
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 2 * time.Minute
@@ -96,6 +104,11 @@ type Server struct {
 	base    context.Context
 	cancel  context.CancelFunc
 	started time.Time
+
+	// gridsBody and workloadsBody are the static discovery responses,
+	// encoded once at startup and written verbatim per request.
+	gridsBody     []byte
+	workloadsBody []byte
 }
 
 // New builds a server and starts its worker pool.
@@ -105,12 +118,13 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		pool:    NewPool(cfg.Workers, cfg.QueueDepth),
-		cache:   NewLRU(cfg.CacheEntries),
+		cache:   NewShardedLRU(cfg.CacheEntries, cfg.CacheShards),
 		flight:  newFlightGroup(),
 		metrics: NewMetrics(),
 		log:     cfg.Logger,
 		started: time.Now(),
 	}
+	s.encodeStaticBodies()
 	s.base, s.cancel = context.WithCancel(context.Background())
 	s.metrics.queueDepth = s.pool.QueueDepth
 	s.metrics.cacheLen = s.cache.Len
@@ -129,6 +143,7 @@ func New(cfg Config) *Server {
 	}
 
 	s.mux.HandleFunc("POST /v1/evaluate", s.instrument("evaluate", s.handleEvaluate))
+	s.mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
 	s.mux.HandleFunc("POST /v1/suite", s.instrument("suite", s.handleSuite))
 	s.mux.HandleFunc("POST /v1/tcdp", s.instrument("tcdp", s.handleTCDP))
 	s.mux.HandleFunc("POST /v1/sweeps", s.instrument("sweep_create", s.handleSweepCreate))
@@ -176,20 +191,16 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// requestIDKey carries the per-request trace ID through the handler
-// chain and into evaluation spans.
-type requestIDKey struct{}
-
-func requestIDFrom(ctx context.Context) string {
-	id, _ := ctx.Value(requestIDKey{}).(string)
-	return id
-}
-
 // instrument wraps a handler with the request's whole observability
 // story: it assigns (or adopts, via X-Request-ID) a trace ID, echoes it
 // on the response, and emits one log record carrying the endpoint,
 // status, latency, cache disposition and trace ID together — one line
 // tells the whole request story.
+//
+// The request ID lives on the response header (set before the handler
+// runs) rather than in a context value: handlers that need it read it
+// back from there, which spares the hot path a context allocation and a
+// request clone per request.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -198,20 +209,21 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 			rid = obs.NewID()
 		}
 		w.Header().Set("X-Request-ID", rid)
-		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, rid))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
 		d := time.Since(start)
 		s.metrics.Observe(endpoint, d)
-		s.log.Info("request",
-			"endpoint", endpoint,
-			"method", r.Method,
-			"path", r.URL.Path,
-			"status", sw.status,
-			"duration_ms", float64(d.Microseconds())/1e3,
-			"cache", sw.Header().Get("X-Cache"),
-			"request_id", rid,
-		)
+		if s.log.Enabled(r.Context(), slog.LevelInfo) {
+			s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("endpoint", endpoint),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Float64("duration_ms", float64(d.Microseconds())/1e3),
+				slog.String("cache", sw.Header().Get("X-Cache")),
+				slog.String("request_id", rid),
+			)
+		}
 	}
 }
 
@@ -235,39 +247,66 @@ func decodeBody(r *http.Request, v any) error {
 	return nil
 }
 
+// workFn is one evaluation's encoder: it computes under ctx and writes
+// the JSON body into buf, which the caller owns (it comes from a reused
+// buffer pool — implementations must not retain buf or its bytes).
+type workFn func(ctx context.Context, buf *bytes.Buffer) error
+
+// encodePool recycles the encode buffers that workFns write into; the
+// cache copies what it stores, so a buffer is free for reuse the moment
+// its computation returns.
+var encodePool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getEncodeBuf() *bytes.Buffer {
+	return encodePool.Get().(*bytes.Buffer)
+}
+
+func putEncodeBuf(buf *bytes.Buffer) {
+	// Don't let one multi-megabyte suite response pin its buffer forever.
+	if buf.Cap() > 1<<20 {
+		return
+	}
+	buf.Reset()
+	encodePool.Put(buf)
+}
+
 // compute serves key from the cache, or runs work on the worker pool
 // (coalescing concurrent identical requests) and caches the encoded
 // result. The returned bytes are exactly what was first computed, so
-// repeated requests are byte-identical. disposition reports how the
-// request was served: "HIT", "MISS" (this request led the computation)
-// or "COALESCED" (piggybacked on an identical in-flight computation).
-func (s *Server) compute(ctx context.Context, key string, work func(context.Context) ([]byte, error)) (body []byte, disposition string, err error) {
+// repeated requests are byte-identical; they are shared with the cache
+// and must not be mutated. disposition reports how the request was
+// served: "HIT", "MISS" (this request led the computation) or
+// "COALESCED" (piggybacked on an identical in-flight computation).
+func (s *Server) compute(ctx context.Context, key string, work workFn) (body []byte, disposition string, err error) {
 	if b, ok := s.cache.Get(key); ok {
 		s.metrics.CacheHits.Add(1)
 		return b, "HIT", nil
 	}
 	s.metrics.CacheMisses.Add(1)
 	b, shared, err := s.flight.Do(ctx, key, func() ([]byte, error) {
-		// The leader computes under the server's lifetime, not the
-		// leader's own request, so a canceled requester cannot poison
+		// The computation runs under the server's lifetime, not any
+		// requester's context, so a canceled requester cannot poison
 		// coalesced waiters; the pool enforces queue bounds.
 		jctx, cancel := context.WithTimeout(s.base, s.cfg.RequestTimeout)
 		defer cancel()
-		var out []byte
+		buf := getEncodeBuf()
+		defer putEncodeBuf(buf)
 		var werr error
 		// Every real computation runs under a trace so its stage spans
 		// feed the per-stage latency histograms; the trace itself is
 		// discarded (the ?trace=1 path returns one to the caller).
 		tr := obs.NewTrace("")
 		tctx := obs.WithTrace(jctx, tr)
-		if perr := s.pool.Do(jctx, func() { out, werr = work(tctx) }); perr != nil {
+		if perr := s.pool.Do(jctx, func() { werr = work(tctx, buf) }); perr != nil {
 			return nil, perr
 		}
 		s.metrics.ObserveStages(tr)
-		if werr == nil {
-			s.cache.Put(key, out)
+		if werr != nil {
+			return nil, werr
 		}
-		return out, werr
+		// Put copies buf's bytes and returns the cache-owned copy; the
+		// buffer itself goes straight back to the pool.
+		return s.cache.Put(key, buf.Bytes()), nil
 	})
 	if shared {
 		s.metrics.Coalesced.Add(1)
@@ -297,10 +336,14 @@ func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
 // ?trace=1 the request bypasses the cache, computes fresh under a trace
 // rooted at its request ID, and returns the span tree inline alongside
 // the result.
-func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, key string, work func(context.Context) ([]byte, error)) {
-	if q := r.URL.Query().Get("trace"); q == "1" || q == "true" {
-		s.serveTraced(w, r, work)
-		return
+func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, key string, work workFn) {
+	// Query() allocates its map; the common request has no query string
+	// at all, so don't parse one unless it's there.
+	if r.URL.RawQuery != "" {
+		if q := r.URL.Query().Get("trace"); q == "1" || q == "true" {
+			s.serveTraced(w, r, work)
+			return
+		}
 	}
 	body, disposition, err := s.compute(r.Context(), key, work)
 	if err != nil {
@@ -326,16 +369,18 @@ type tracedTrace struct {
 }
 
 // serveTraced computes fresh (no cache, no coalescing — timings are the
-// point) on the worker pool under a trace whose ID is the request ID.
-func (s *Server) serveTraced(w http.ResponseWriter, r *http.Request, work func(context.Context) ([]byte, error)) {
-	rid := requestIDFrom(r.Context())
+// point) on the worker pool under a trace whose ID is the request ID,
+// read back from the response header instrument set.
+func (s *Server) serveTraced(w http.ResponseWriter, r *http.Request, work workFn) {
+	rid := w.Header().Get("X-Request-ID")
 	jctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	tr := obs.NewTrace(rid)
 	tctx := obs.WithTrace(jctx, tr)
-	var out []byte
+	buf := getEncodeBuf()
+	defer putEncodeBuf(buf)
 	var werr error
-	if perr := s.pool.Do(jctx, func() { out, werr = work(tctx) }); perr != nil {
+	if perr := s.pool.Do(jctx, func() { werr = work(tctx, buf) }); perr != nil {
 		s.writeComputeError(w, perr)
 		return
 	}
@@ -347,7 +392,7 @@ func (s *Server) serveTraced(w http.ResponseWriter, r *http.Request, work func(c
 	w.Header().Set("X-Cache", "BYPASS")
 	writeJSON(w, tracedResponse{
 		RequestID: rid,
-		Result:    out,
+		Result:    buf.Bytes(),
 		Trace:     tracedTrace{ID: tr.ID, Spans: tr.Tree()},
 	})
 }
@@ -371,7 +416,10 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if req.Grid == "" {
 		req.Grid = "US"
 	}
-	sys, err := core.SystemByName(req.System)
+	// Resolve names only — building a core.System walks the whole design
+	// stack, which would be wasted work on a cache hit. The system is
+	// constructed inside the workFn, where a miss pays for it once.
+	sysName, err := core.CanonicalSystemName(req.System)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -386,18 +434,25 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	key := RequestKey("evaluate", sys.Name, wl.Name, grid.Name)
-	s.serveComputed(w, r, key, func(ctx context.Context) ([]byte, error) {
+	key := evaluateKey(sysName, wl.Name, grid.Name)
+	s.serveComputed(w, r, key, s.evaluateWork(sysName, wl, grid))
+}
+
+// evaluateWork builds the workFn computing one (system, workload, grid)
+// tuple — shared by /v1/evaluate and /v1/batch items so both populate
+// the same cache entries.
+func (s *Server) evaluateWork(sysName string, wl embench.Workload, grid carbon.Grid) workFn {
+	return func(ctx context.Context, buf *bytes.Buffer) error {
+		sys, err := core.SystemByName(sysName)
+		if err != nil {
+			return err
+		}
 		res, err := core.EvaluateContext(ctx, sys, wl, grid)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		var buf bytes.Buffer
-		if err := core.WriteJSONOne(&buf, res); err != nil {
-			return nil, err
-		}
-		return buf.Bytes(), nil
-	})
+		return core.WriteJSONOne(buf, res)
+	}
 }
 
 // suiteRequest asks for the full per-workload comparison suite.
@@ -420,17 +475,13 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	key := RequestKey("suite", grid.Name)
-	s.serveComputed(w, r, key, func(ctx context.Context) ([]byte, error) {
+	key := suiteKey(grid.Name)
+	s.serveComputed(w, r, key, func(ctx context.Context, buf *bytes.Buffer) error {
 		rows, err := core.SuiteContext(ctx, grid)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		var buf bytes.Buffer
-		if err := core.WriteSuiteJSON(&buf, rows); err != nil {
-			return nil, err
-		}
-		return buf.Bytes(), nil
+		return core.WriteSuiteJSON(buf, rows)
 	})
 }
 
@@ -519,19 +570,19 @@ func (s *Server) handleTCDP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := RequestKey("tcdp", wl.Name, grid.Name, req.Months, req.OpScales)
-	s.serveComputed(w, r, key, func(ctx context.Context) ([]byte, error) {
-		return computeTCDP(ctx, wl, grid, req.Months, req.OpScales)
+	s.serveComputed(w, r, key, func(ctx context.Context, buf *bytes.Buffer) error {
+		return computeTCDP(ctx, buf, wl, grid, req.Months, req.OpScales)
 	})
 }
 
-func computeTCDP(ctx context.Context, wl embench.Workload, grid carbon.Grid, months float64, opScales []float64) ([]byte, error) {
+func computeTCDP(ctx context.Context, buf *bytes.Buffer, wl embench.Workload, grid carbon.Grid, months float64, opScales []float64) error {
 	si, err := core.EvaluateContext(ctx, core.AllSiSystem(), wl, grid)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m3d, err := core.EvaluateContext(ctx, core.M3DSystem(), wl, grid)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	sc := tcdp.PaperScenario()
 	life := units.Months(months)
@@ -539,7 +590,7 @@ func computeTCDP(ctx context.Context, wl embench.Workload, grid carbon.Grid, mon
 
 	ratio, err := tcdp.Ratio(a, b, sc, life)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	resp := tcdpResponse{
 		Workload:  wl.Name,
@@ -553,15 +604,15 @@ func computeTCDP(ctx context.Context, wl embench.Workload, grid carbon.Grid, mon
 	}{{a, &resp.Si}, {b, &resp.M3D}} {
 		tc, err := tcdp.TC(d.pt, sc, life)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prod, err := tcdp.TCDP(d.pt, sc, life)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cross, err := tcdp.EmbodiedOperationalCrossover(d.pt, sc)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		*d.out = tcdpDesign{
 			System:            d.pt.Name,
@@ -578,18 +629,14 @@ func computeTCDP(ctx context.Context, wl embench.Workload, grid carbon.Grid, mon
 	}
 	iso, err := tcdp.Isoline(b, a, sc, life)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for _, y := range opScales {
 		resp.Isoline = append(resp.Isoline, isolinePoint{OpScale: y, EmbodiedScale: iso(y)})
 	}
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
+	enc := json.NewEncoder(buf)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(resp); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	return enc.Encode(resp)
 }
 
 // gridInfo is one entry of the /v1/grids discovery response.
@@ -598,27 +645,47 @@ type gridInfo struct {
 	IntensityGPerKWh float64 `json:"intensity_g_per_kwh"`
 }
 
-func (s *Server) handleGrids(w http.ResponseWriter, r *http.Request) {
-	out := make([]gridInfo, 0, 4)
-	for _, g := range carbon.Grids() {
-		out = append(out, gridInfo{Name: g.Name, IntensityGPerKWh: g.Intensity.GramsPerKilowattHour()})
-	}
-	writeJSON(w, out)
-}
-
 // workloadInfo is one entry of the /v1/workloads discovery response.
 type workloadInfo struct {
 	Name        string `json:"name"`
 	Description string `json:"description"`
 }
 
-func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
-	ws := embench.Workloads()
-	out := make([]workloadInfo, 0, len(ws))
-	for _, wl := range ws {
-		out = append(out, workloadInfo{Name: wl.Name, Description: wl.Description})
+// encodeStaticBodies renders the discovery responses once at startup:
+// grids and workloads are compiled in, so their bodies never change and
+// per-request encoding would be pure waste.
+func (s *Server) encodeStaticBodies() {
+	grids := make([]gridInfo, 0, 4)
+	for _, g := range carbon.Grids() {
+		grids = append(grids, gridInfo{Name: g.Name, IntensityGPerKWh: g.Intensity.GramsPerKilowattHour()})
 	}
-	writeJSON(w, out)
+	ws := embench.Workloads()
+	wls := make([]workloadInfo, 0, len(ws))
+	for _, wl := range ws {
+		wls = append(wls, workloadInfo{Name: wl.Name, Description: wl.Description})
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(grids); err != nil {
+		panic(fmt.Sprintf("server: encoding static grids body: %v", err))
+	}
+	s.gridsBody = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := enc.Encode(wls); err != nil {
+		panic(fmt.Sprintf("server: encoding static workloads body: %v", err))
+	}
+	s.workloadsBody = append([]byte(nil), buf.Bytes()...)
+}
+
+func (s *Server) handleGrids(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(s.gridsBody)
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(s.workloadsBody)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -630,9 +697,10 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
-		"status":      "ok",
-		"uptime_s":    time.Since(s.started).Seconds(),
-		"queue_depth": s.pool.QueueDepth(),
+		"status":       "ok",
+		"uptime_s":     time.Since(s.started).Seconds(),
+		"queue_depth":  s.pool.QueueDepth(),
+		"cache_shards": s.cache.Shards(),
 	})
 }
 

@@ -156,6 +156,13 @@ var (
 )
 
 // GoodDies applies a model to a die count: floor(N · Y).
+//
+// The floor carries an epsilon of a few ulps: N·Y is a rounded binary
+// product of a rounded binary yield (itself often the output of exp/pow),
+// so a mathematically integral count can land a couple of ulps below the
+// integer (100 × 0.29 = 28.999999999999996) and a bare int() truncation
+// under-counts the good dies. Products within the accumulated rounding
+// error below an integer are credited to it.
 func GoodDies(n int, die units.Area, m Model) (int, error) {
 	if n < 0 {
 		return 0, errors.New("yield: die count must be non-negative")
@@ -164,5 +171,13 @@ func GoodDies(n int, die units.Area, m Model) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return int(float64(n) * y), nil
+	p := float64(n) * y
+	if p <= 0 {
+		return 0, nil
+	}
+	// 4 ulps cover the worst case: half an ulp each from representing Y,
+	// from the model's exp/pow evaluation, and from the product rounding,
+	// amplified once by the multiply.
+	eps := 4 * (math.Nextafter(p, math.Inf(1)) - p)
+	return int(math.Floor(p + eps)), nil
 }

@@ -116,6 +116,59 @@ func TestGoodDies(t *testing.T) {
 	}
 }
 
+// TestGoodDiesTruncation pins the epsilon floor: N·Y products that land a
+// couple of ulps below an integer (binary rounding of a non-dyadic yield)
+// must be credited to that integer, not truncated one die short. Every
+// case here failed with the bare int(float64(n) * y) conversion.
+func TestGoodDiesTruncation(t *testing.T) {
+	cm2 := units.SquareCentimeters(1)
+	cases := []struct {
+		name string
+		m    Model
+		die  units.Area
+		n    int
+		want int
+	}{
+		// 100 × 0.29 = 28.999999999999996 → truncates to 28.
+		{"fixed 0.29", Fixed{Value: 0.29}, testDie, 100, 29},
+		{"fixed 0.29 scaled", Fixed{Value: 0.29}, testDie, 800, 232},
+		// Poisson with D0·A = -ln(0.7): Y is one ulp under 0.7,
+		// 10 × Y = 6.999999999999998 → truncates to 6.
+		{"poisson Y≈0.7", Poisson{D0: 0.35667494393873245}, cm2, 10, 7},
+		// Poisson with D0·A = -ln(0.58): 50 × Y = 28.999999999999996.
+		{"poisson Y≈0.58", Poisson{D0: 0.54472717544167204}, cm2, 50, 29},
+		// Murphy with x solving ((1-e^-x)/x)² = 0.7: 10 × Y just under 7.
+		{"murphy Y≈0.7", Murphy{D0: 0.36794415128135116}, cm2, 10, 7},
+		// Murphy, Y ≈ 0.617: 1000 × Y = 616.9999999999999.
+		{"murphy Y≈0.617", Murphy{D0: 0.50401050519810719}, cm2, 1000, 617},
+		// Negative binomial with D0·A = 2(0.29^-½ − 1), α = 2: Y ≈ 0.29,
+		// 100 × Y = 28.999999999999993.
+		{"negbinomial Y≈0.29", NegativeBinomial{D0: 1.7139067635410377, Alpha: 2}, cm2, 100, 29},
+		// Negative binomial, Y ≈ 0.87: 100 × Y just under 87.
+		{"negbinomial Y≈0.87", NegativeBinomial{D0: 0.14422506967558979, Alpha: 2}, cm2, 100, 87},
+	}
+	for _, c := range cases {
+		got, err := GoodDies(c.n, c.die, c.m)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: GoodDies(%d) = %d, want %d", c.name, c.n, got, c.want)
+		}
+	}
+	// The epsilon must only rescue near-integer products, never round a
+	// clearly fractional one up.
+	got, err := GoodDies(100, testDie, Fixed{Value: 0.299})
+	if err != nil || got != 29 {
+		t.Errorf("GoodDies(100, Y=0.299) = %d, %v; want 29 (floor of 29.9)", got, err)
+	}
+	got, err = GoodDies(3, testDie, Fixed{Value: 0.5})
+	if err != nil || got != 1 {
+		t.Errorf("GoodDies(3, Y=0.5) = %d, %v; want 1 (floor of 1.5)", got, err)
+	}
+}
+
 func TestNames(t *testing.T) {
 	models := []Model{
 		Fixed{0.9}, Poisson{0.1}, Murphy{0.1},
