@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ppatc/internal/analysis"
+)
+
+func TestListPrintsEveryAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != len(analysis.Analyzers()) {
+		t.Fatalf("-list printed %d lines, want %d:\n%s", len(lines), len(analysis.Analyzers()), out)
+	}
+	for _, a := range analysis.Analyzers() {
+		if !strings.Contains(out, a.Name) || !strings.Contains(out, a.Doc) {
+			t.Errorf("-list output missing %s / its doc:\n%s", a.Name, out)
+		}
+	}
+}
+
+// TestJSONRoundTrip pins the -json contract: the output parses as a
+// JSON array of analysis.Diagnostic and survives a re-encode without
+// losing a field.
+func TestJSONRoundTrip(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "./internal/analysis/testdata/src/yield"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("fixture run exited %d, want 1: %s", code, stderr.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output does not parse as []Diagnostic: %v\n%s", err, stdout.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	for _, d := range diags {
+		if d.Analyzer == "" || d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("diagnostic lost a field in JSON: %+v", d)
+		}
+	}
+	again, err := json.Marshal(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []analysis.Diagnostic
+	if err := json.Unmarshal(again, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(diags, back) {
+		t.Errorf("diagnostics changed across a re-encode:\n%v\nvs\n%v", diags, back)
+	}
+}
+
+// TestJSONEmptyIsArray checks a clean run still emits valid JSON ([]),
+// so CI consumers never see "null".
+func TestJSONEmptyIsArray(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./internal/units"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean package exited %d: %s\n%s", code, stderr.String(), stdout.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("clean -json output = %q, want []", got)
+	}
+}
+
+// TestFixtureExitCodes pins the exit-status contract on each
+// analyzer's fixture.
+func TestFixtureExitCodes(t *testing.T) {
+	for _, fixture := range []string{"unitcast", "dse", "core", "yield", "hotpath", "directives"} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"./internal/analysis/testdata/src/" + fixture}, &stdout, &stderr)
+		if code != 1 {
+			t.Errorf("fixture %s exited %d, want 1\nstdout: %s\nstderr: %s",
+				fixture, code, stdout.String(), stderr.String())
+		}
+	}
+}
+
+func TestDisableFlagSilencesAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-floatcmp=false", "./internal/analysis/testdata/src/yield"}, &stdout, &stderr)
+	if code != 0 {
+		t.Errorf("yield fixture with floatcmp disabled exited %d\n%s%s",
+			code, stdout.String(), stderr.String())
+	}
+	// The fixture's in-source suppression must not be reported stale
+	// while its analyzer is disabled.
+	if strings.Contains(stdout.String(), "suppresses nothing") {
+		t.Errorf("disabled analyzer's suppression reported stale:\n%s", stdout.String())
+	}
+}
+
+func TestUsageAndLoadErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./no/such/dir"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad pattern exited %d, want 2", code)
+	}
+	if code := run([]string{"-nosuchflag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag exited %d, want 2", code)
+	}
+	if code := run([]string{"-unitcast=false", "-determinism=false", "-floatcmp=false", "-hotpath=false"}, &stdout, &stderr); code != 2 {
+		t.Errorf("all-disabled exited %d, want 2", code)
+	}
+}

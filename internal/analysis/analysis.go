@@ -1,0 +1,83 @@
+// Package analysis is ppatc's domain-specific static-analysis layer: a
+// stdlib-only (go/ast, go/parser, go/types) driver plus a suite of
+// analyzers that enforce the invariants the carbon/energy model rests
+// on — dimensional correctness of the units math, deterministic output
+// in the export/encode paths, no exact float comparisons in the yield
+// and carbon math, and no allocation-heavy calls in functions marked
+// //ppatc:hotpath.
+//
+// The suite runs as `go run ./cmd/ppatcvet ./...` and exits nonzero on
+// any unsuppressed finding. Deliberate violations are suppressed in
+// place with a reasoned directive:
+//
+//	//ppatcvet:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// A directive covers its own source line and the line immediately
+// below it, so it works both as a trailing comment and as a comment on
+// the line above the flagged code. Directives without a reason, naming
+// an unknown analyzer, or suppressing nothing are themselves findings.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// An Analyzer checks one domain invariant over a loaded package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, enable/disable
+	// flags, and //ppatcvet:ignore directives.
+	Name string
+	// Doc is the one-line description printed by `ppatcvet -list`.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// A Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in its canonical order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		UnitCast,
+		Determinism,
+		FloatCmp,
+		HotPath,
+	}
+}
+
+// ByName resolves an analyzer name; ok is false for unknown names.
+func ByName(name string) (*Analyzer, bool) {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// inspect walks every file of the pass's package in source order.
+func (p *Pass) inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point values in the math
+// packages (yield, carbon, tcdp). Exact float equality already bit
+// this codebase once — yield.GoodDies truncated N·Y products landing
+// ulps under an integer — and the paper's Eqs. 1–8 flow through long
+// float chains where "equal" is almost never exact. Comparisons
+// against the literal 0 are exempt (division guards and zero-value
+// sentinels), as is the x != x NaN idiom.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag exact float equality comparisons in the yield/carbon/tcdp math packages",
+	Run:  runFloatCmp,
+}
+
+// floatCmpPackages scopes the analyzer by package-path tail.
+var floatCmpPackages = map[string]bool{
+	"yield":  true,
+	"carbon": true,
+	"tcdp":   true,
+}
+
+func runFloatCmp(pass *Pass) {
+	if !floatCmpPackages[pathTail(pass.Pkg.ImportPath)] {
+		return
+	}
+	info := pass.Pkg.Info
+	pass.inspect(func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		xt, yt := info.Types[bin.X], info.Types[bin.Y]
+		if !isFloatType(xt.Type) || !isFloatType(yt.Type) {
+			return true
+		}
+		if isZeroConstant(xt) || isZeroConstant(yt) {
+			return true // division guards and zero-value sentinels
+		}
+		if sameObject(info, bin.X, bin.Y) {
+			return true // x != x is the NaN idiom
+		}
+		pass.Reportf(bin.OpPos, "exact float comparison (%s); compare with a tolerance or suppress with a reason", bin.Op)
+		return true
+	})
+}
+
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isZeroConstant reports whether the expression is a compile-time
+// constant equal to zero.
+func isZeroConstant(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// sameObject reports whether x and y are uses of one identifier.
+func sameObject(info *types.Info, x, y ast.Expr) bool {
+	xi, ok1 := ast.Unparen(x).(*ast.Ident)
+	yi, ok2 := ast.Unparen(y).(*ast.Ident)
+	if !ok1 || !ok2 {
+		return false
+	}
+	xo, yo := info.Uses[xi], info.Uses[yi]
+	return xo != nil && xo == yo
+}

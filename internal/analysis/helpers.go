@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pathTail returns the last slash-separated element of an import path.
+func pathTail(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// calleeFunc resolves the static callee of a call expression: a
+// package-level function, a method, or nil for indirect calls,
+// conversions and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isConversion reports whether call is a type conversion and returns
+// the target type.
+func isConversion(info *types.Info, call *ast.CallExpr) (types.Type, bool) {
+	if len(call.Args) != 1 {
+		return nil, false
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+// unitNamed returns t as a defined unit type — a named type whose
+// underlying type is a float and whose defining package is the units
+// package — or nil.
+func unitNamed(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || pathTail(obj.Pkg().Path()) != "units" {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsFloat == 0 {
+		return nil
+	}
+	return named
+}
+
+// isFloat64 reports whether t is the plain (unnamed) float64 type.
+func isFloat64(t types.Type) bool {
+	basic, ok := t.(*types.Basic)
+	return ok && basic.Kind() == types.Float64
+}
+
+// exprType returns the type recorded for e, or nil.
+func exprType(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// funcPkgPath returns the import path of the package defining fn, or
+// "" when fn is nil or has no package.
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// HotPath flags allocation- and reflection-heavy calls inside
+// functions annotated //ppatc:hotpath. The server's cache-hit path is
+// budgeted at 43 allocations per request (TestCacheHitAllocBudget);
+// one stray fmt.Sprintf or reflect-driven json.Marshal on that path
+// blows the budget silently until the benchmark regresses. The
+// annotation goes in the function's doc comment:
+//
+//	// evaluateKey is the cache key of one evaluation tuple.
+//	//
+//	//ppatc:hotpath
+//	func evaluateKey(system, workload, grid string) string { … }
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "flag fmt/sha256/reflect/json calls inside functions annotated //ppatc:hotpath",
+	Run:  runHotPath,
+}
+
+const hotPathMarker = "//ppatc:hotpath"
+
+// hotPathPackages maps offending import paths to the reason the call
+// family is banned on annotated paths.
+var hotPathPackages = map[string]string{
+	"fmt":           "boxes operands and allocates",
+	"crypto/sha256": "hashes are overkill for hot-path keys",
+	"crypto/sha1":   "hashes are overkill for hot-path keys",
+	"crypto/md5":    "hashes are overkill for hot-path keys",
+	"reflect":       "reflection defeats the allocation budget",
+	"encoding/json": "reflect-driven encoding allocates heavily",
+}
+
+func runHotPath(pass *Pass) {
+	info := pass.Pkg.Info
+	pass.inspect(func(n ast.Node) bool {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !isHotPath(fd) {
+			return true
+		}
+		name := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			path := funcPkgPath(fn)
+			if reason, banned := hotPathPackages[path]; banned {
+				pass.Reportf(call.Pos(), "%s.%s on //ppatc:hotpath function %s: %s",
+					pathTail(path), fn.Name(), name, reason)
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// isHotPath reports whether the function's doc comment carries the
+// //ppatc:hotpath marker.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == hotPathMarker {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+const ignorePrefix = "//ppatcvet:ignore"
+
+// pseudoAnalyzer names the findings the driver itself emits about
+// malformed or stale //ppatcvet:ignore directives.
+const pseudoAnalyzer = "ppatcvet"
+
+// An ignoreDirective is one parsed //ppatcvet:ignore comment. It
+// suppresses the named analyzers on its own line and the line
+// immediately below, so it can trail the flagged statement or sit on
+// the line above it.
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers []string
+	used      bool
+}
+
+// covers reports whether the directive suppresses analyzer a at line.
+func (d *ignoreDirective) covers(a string, line int) bool {
+	if line != d.line && line != d.line+1 {
+		return false
+	}
+	for _, name := range d.analyzers {
+		if name == a {
+			return true
+		}
+	}
+	return false
+}
+
+// collectIgnores parses every //ppatcvet:ignore directive in the
+// package. Malformed directives (no analyzer, no reason, or an unknown
+// analyzer name) are reported as findings immediately — a suppression
+// that silently failed to parse would otherwise hide the very
+// diagnostics it looks like it addresses.
+func collectIgnores(pkg *Package, report func(Diagnostic)) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				d := parseIgnore(pkg, c, report)
+				if d != nil {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func parseIgnore(pkg *Package, c *ast.Comment, report func(Diagnostic)) *ignoreDirective {
+	pos := pkg.Fset.Position(c.Pos())
+	bad := func(msg string) *ignoreDirective {
+		report(Diagnostic{
+			Analyzer: pseudoAnalyzer,
+			File:     pos.Filename, Line: pos.Line, Col: pos.Column,
+			Message: msg,
+		})
+		return nil
+	}
+	rest := strings.TrimPrefix(c.Text, ignorePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// e.g. //ppatcvet:ignoreX — not ours.
+		return nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return bad("malformed ignore directive: missing analyzer name (want //ppatcvet:ignore <analyzer> <reason>)")
+	}
+	names := strings.Split(fields[0], ",")
+	for _, n := range names {
+		if _, ok := ByName(n); !ok {
+			return bad(fmt.Sprintf("ignore directive names unknown analyzer %q", n))
+		}
+	}
+	if len(fields) < 2 {
+		return bad("ignore directive for " + fields[0] + " has no reason (want //ppatcvet:ignore <analyzer> <reason>)")
+	}
+	return &ignoreDirective{file: pos.Filename, line: pos.Line, analyzers: names}
+}
+
+// applyIgnores drops the diagnostics covered by a directive and marks
+// the directives that earned their keep. enabled guards the staleness
+// check: a directive naming only disabled analyzers cannot prove
+// itself used, so it is left alone.
+func applyIgnores(diags []Diagnostic, directives []*ignoreDirective, enabled map[string]bool, report func(Diagnostic)) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range directives {
+			if dir.file == d.File && dir.covers(d.Analyzer, d.Line) {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, dir := range directives {
+		if dir.used {
+			continue
+		}
+		allEnabled := true
+		for _, name := range dir.analyzers {
+			if !enabled[name] {
+				allEnabled = false
+			}
+		}
+		if !allEnabled {
+			continue
+		}
+		report(Diagnostic{
+			Analyzer: pseudoAnalyzer,
+			File:     dir.file, Line: dir.line, Col: 1,
+			Message: "ignore directive for " + strings.Join(dir.analyzers, ",") + " suppresses nothing; delete it",
+		})
+	}
+	return kept
+}

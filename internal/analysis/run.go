@@ -1,0 +1,32 @@
+package analysis
+
+// Run executes the given analyzers over the loaded packages, applies
+// //ppatcvet:ignore suppressions, and returns the surviving findings
+// in a stable file/line order. Malformed and stale ignore directives
+// surface as findings under the "ppatcvet" pseudo-analyzer.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	enabled := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = true
+	}
+
+	var diags []Diagnostic
+	collect := func(d Diagnostic) { diags = append(diags, d) }
+
+	var meta []Diagnostic
+	collectMeta := func(d Diagnostic) { meta = append(meta, d) }
+
+	var directives []*ignoreDirective
+	for _, pkg := range pkgs {
+		directives = append(directives, collectIgnores(pkg, collectMeta)...)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, report: collect}
+			a.Run(pass)
+		}
+	}
+
+	diags = applyIgnores(diags, directives, enabled, collectMeta)
+	diags = append(diags, meta...)
+	sortDiagnostics(diags)
+	return diags
+}

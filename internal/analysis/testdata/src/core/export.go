@@ -1,0 +1,10 @@
+// Package core is the determinism analyzer's file-scope fixture: only
+// export.go of a package whose import-path tail is "core" is in scope.
+package core
+
+import "time"
+
+// ExportStamp reads the wall clock inside the export path: flagged.
+func ExportStamp() int64 {
+	return time.Now().Unix()
+}

@@ -1,0 +1,8 @@
+package core
+
+import "time"
+
+// Uptime reads the wall clock outside export.go: not in scope.
+func Uptime() time.Time {
+	return time.Now()
+}

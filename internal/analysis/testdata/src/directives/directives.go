@@ -1,0 +1,27 @@
+// Package directives exercises //ppatcvet:ignore parsing: trailing and
+// line-above suppression, malformed forms, unknown analyzers, and
+// stale directives.
+package directives
+
+import "ppatc/internal/units"
+
+// Trailing suppresses a finding on its own line.
+func Trailing() units.Energy {
+	p := units.Watts(1)
+	return units.Energy(p) //ppatcvet:ignore unitcast fixture: rebrand is the point of this test
+}
+
+// Above suppresses a finding on the next line.
+func Above() units.Energy {
+	p := units.Watts(1)
+	//ppatcvet:ignore unitcast fixture: rebrand on the next line is intentional
+	return units.Energy(p)
+}
+
+// Broken holds the malformed and stale forms; each is itself a finding.
+func Broken() {
+	//ppatcvet:ignore
+	//ppatcvet:ignore floatcmp
+	//ppatcvet:ignore nosuch because the analyzer name is wrong
+	//ppatcvet:ignore unitcast stale: nothing below needs suppressing
+}

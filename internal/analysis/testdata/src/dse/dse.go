@@ -1,0 +1,71 @@
+// Package dse is the determinism analyzer's fixture. Its import-path
+// tail "dse" puts every file in the reproducible-output scope.
+package dse
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Stamp reads the wall clock inside a reproducible-output package.
+func Stamp() int64 {
+	return time.Now().Unix()
+}
+
+// Jitter draws from the process-global, unseeded rand source.
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// Seeded draws from an explicitly seeded source: allowed.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// EncodeCounts writes output from inside a map iteration.
+func EncodeCounts(w *strings.Builder, counts map[string]int) {
+	for k, v := range counts {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Keys builds a key slice in map order and returns it unsorted.
+func Keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys collects then sorts: the canonical fix, not flagged.
+func SortedKeys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sum is commutative aggregation over a map: order washes out.
+func Sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// BuildKey concatenates a cache key in map order.
+func BuildKey(m map[string]string) string {
+	key := ""
+	for k, v := range m {
+		key += k + "=" + v + ";"
+	}
+	return key
+}

@@ -1,0 +1,29 @@
+// Package hotpath is the hotpath analyzer's fixture.
+package hotpath
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"reflect"
+)
+
+// key builds a cache key on the request hot path.
+//
+//ppatc:hotpath
+func key(a, b string) string {
+	k := fmt.Sprintf("%s|%s", a, b)
+	sum := sha256.Sum256([]byte(k))
+	blob, _ := json.Marshal(k)
+	_ = reflect.TypeOf(a)
+	_ = blob
+	return k + string(sum[:])
+}
+
+// slowKey is unannotated and may allocate freely.
+func slowKey(a, b string) string {
+	return fmt.Sprintf("%s|%s", a, b)
+}
+
+var _ = key("a", "b")
+var _ = slowKey("a", "b")

@@ -1,0 +1,40 @@
+// Package unitcast is the unitcast analyzer's fixture: every construct
+// the analyzer must flag, next to the legitimate patterns it must not.
+package unitcast
+
+import "ppatc/internal/units"
+
+// setPowerMW has a unit-suffixed float64 parameter; bare literals fed
+// to it lose their scale.
+func setPowerMW(powerMW float64) float64 { return powerMW }
+
+// setBudget has no unit suffix; literals are fine.
+func setBudget(budget float64) float64 { return budget }
+
+func bad() {
+	p := units.Watts(5)
+	e := units.Joules(10)
+
+	_ = units.Energy(p)              // direct cross-dimension rebrand
+	_ = units.Joules(float64(p))     // cross-dimension through float64
+	_ = units.Joules(float64(e))     // redundant constructor round-trip
+	_ = units.Energy(float64(p))     // conversion round-trip, cross
+	_ = units.Energy(float64(e))     // conversion round-trip, same
+	_ = units.Joules(p.Watts())      // accessor feeds wrong dimension
+	_ = units.Joules(e.Picojoules()) // accessor/constructor scale mismatch
+	_ = units.Joules(e.Joules())     // redundant accessor round-trip
+	_ = p * p                        // W² typed as Power
+	_ = e / e                        // dimensionless ratio typed as Energy
+	_ = setPowerMW(3.5)              // bare literal for unit-suffixed param
+}
+
+func good() {
+	p := units.Watts(5)
+	e := units.Joules(10)
+
+	_ = p * 2                        // constant scaling keeps the dimension
+	_ = units.Watts(e.Joules() / 60) // derived expression, not a bare accessor
+	_ = setPowerMW(p.Milliwatts())   // accessor names the scale at the call site
+	_ = setBudget(7)                 // no unit suffix on the parameter
+	_ = float64(e) * 0.5             // erasure inside arithmetic is not a round-trip
+}

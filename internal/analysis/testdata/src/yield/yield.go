@@ -1,0 +1,45 @@
+// Package yield is the floatcmp analyzer's fixture. Its import-path
+// tail "yield" puts it in the math-package scope.
+package yield
+
+import "math"
+
+// Equalish compares two computed floats exactly: flagged.
+func Equalish(a, b float64) bool {
+	return a == b
+}
+
+// Different is the != form: flagged.
+func Different(a, b float64) bool {
+	return a != b
+}
+
+// Guard compares against the literal zero: a division guard, exempt.
+func Guard(x float64) bool {
+	return x == 0
+}
+
+// IsNaN is the x != x idiom: exempt.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// Whole tests integrality with an exact comparison: flagged.
+func Whole(v float64) bool {
+	return v == math.Trunc(v)
+}
+
+// Sentinel compares against a nonzero constant: flagged.
+func Sentinel(v float64) bool {
+	return v == -1
+}
+
+// Narrow shows float32 is covered too: flagged.
+func Narrow(a, b float32) bool {
+	return a == b
+}
+
+// Suppressed carries a reasoned ignore: not reported.
+func Suppressed(a, b float64) bool {
+	return a == b //ppatcvet:ignore floatcmp exact tie-break semantics are intended here
+}

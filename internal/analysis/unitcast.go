@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// UnitCast flags float64 round-trips and conversions that cross the
+// dimensions of the internal/units defined types. The defined types
+// make unit errors a compile failure only while values stay typed; a
+// single float64(x) cast erases the dimension, and these casts are
+// exactly where the carbon/energy math (Eqs. 1–8) goes silently wrong.
+var UnitCast = &Analyzer{
+	Name: "unitcast",
+	Doc:  "flag float64 casts, conversions and literals that cross units dimensions",
+	Run:  runUnitCast,
+}
+
+func runUnitCast(pass *Pass) {
+	info := pass.Pkg.Info
+	pass.inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkUnitConversion(pass, n)
+			checkUnitConstructor(pass, n)
+			checkUnitSuffixedParams(pass, n)
+		case *ast.BinaryExpr:
+			checkUnitArithmetic(pass, info, n)
+		}
+		return true
+	})
+}
+
+// checkUnitConversion flags T(x) and T(float64(x)) where T and the
+// type of x are distinct unit dimensions, plus the pointless
+// same-dimension float64 round-trip.
+func checkUnitConversion(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	target, ok := isConversion(info, call)
+	if !ok {
+		return
+	}
+	to := unitNamed(target)
+	if to == nil {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+
+	// Direct rebrand: units.Energy(p) where p is a units.Power.
+	if from := unitNamed(exprType(info, arg)); from != nil && from != to {
+		pass.Reportf(call.Pos(), "conversion rebrands %s as %s without an accessor; dimensions differ",
+			typeName(from), typeName(to))
+		return
+	}
+
+	// Round-trip through float64: units.Energy(float64(x)).
+	if inner, ok := arg.(*ast.CallExpr); ok {
+		if innerTarget, ok := isConversion(info, inner); ok && isFloat64(innerTarget) {
+			if from := unitNamed(exprType(info, ast.Unparen(inner.Args[0]))); from != nil {
+				if from != to {
+					pass.Reportf(call.Pos(), "float64 round-trip erases the %s dimension and rebrands it as %s",
+						typeName(from), typeName(to))
+				} else {
+					pass.Reportf(call.Pos(), "redundant float64 round-trip on %s; use the value directly",
+						typeName(to))
+				}
+			}
+		}
+	}
+}
+
+// checkUnitConstructor flags units constructor calls — Joules, Watts,
+// GramsCO2e, … — whose argument is a dimension-erasing cast or an
+// accessor of the wrong dimension or scale.
+func checkUnitConstructor(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || pathTail(fn.Pkg().Path()) != "units" {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return
+	}
+	if !isFloat64(sig.Params().At(0).Type()) {
+		return
+	}
+	to := unitNamed(sig.Results().At(0).Type())
+	if to == nil || len(call.Args) != 1 {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+
+	// units.Joules(float64(x)) — the cast erased x's dimension.
+	if inner, ok := arg.(*ast.CallExpr); ok {
+		if innerTarget, ok := isConversion(info, inner); ok && isFloat64(innerTarget) {
+			if from := unitNamed(exprType(info, ast.Unparen(inner.Args[0]))); from != nil {
+				if from != to {
+					pass.Reportf(call.Pos(), "units.%s(float64(…)) feeds a %s value across dimensions into %s",
+						fn.Name(), typeName(from), typeName(to))
+				} else {
+					pass.Reportf(call.Pos(), "units.%s(float64(…)) round-trips a %s through float64; use the value directly",
+						fn.Name(), typeName(to))
+				}
+				return
+			}
+		}
+		// units.Joules(p.Watts()) — accessor of the wrong dimension or
+		// scale feeds the constructor.
+		if acc := unitAccessor(info, inner); acc != nil {
+			from := unitNamed(acc.recv)
+			switch {
+			case from != to:
+				pass.Reportf(call.Pos(), "units.%s(%s.%s()) crosses dimensions: %s accessor feeds a %s constructor",
+					fn.Name(), typeName(from), acc.name, typeName(from), typeName(to))
+			case acc.name != fn.Name():
+				pass.Reportf(call.Pos(), "units.%s(%s.%s()) mixes scales: accessor yields %s, constructor expects %s",
+					fn.Name(), typeName(from), acc.name, scaleWord(acc.name), scaleWord(fn.Name()))
+			default:
+				pass.Reportf(call.Pos(), "units.%s(x.%s()) is a redundant round-trip; use x directly",
+					fn.Name(), acc.name)
+			}
+		}
+	}
+}
+
+// accessor describes a no-argument float64-returning method on a unit
+// type (Joules(), Watts(), Picojoules(), …).
+type accessor struct {
+	recv types.Type
+	name string
+}
+
+func unitAccessor(info *types.Info, call *ast.CallExpr) *accessor {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return nil
+	}
+	if !isFloat64(sig.Results().At(0).Type()) {
+		return nil
+	}
+	if unitNamed(sig.Recv().Type()) == nil {
+		return nil
+	}
+	return &accessor{recv: sig.Recv().Type(), name: fn.Name()}
+}
+
+// checkUnitArithmetic flags x*y and x/y where both operands carry the
+// same unit type: the result is typed as that unit but its dimension
+// is the square (or a dimensionless ratio), so the type no longer
+// tells the truth. Scaling by a constant is fine.
+func checkUnitArithmetic(pass *Pass, info *types.Info, bin *ast.BinaryExpr) {
+	if bin.Op != token.MUL && bin.Op != token.QUO {
+		return
+	}
+	xt, yt := info.Types[bin.X], info.Types[bin.Y]
+	if xt.Value != nil || yt.Value != nil { // constant scaling
+		return
+	}
+	xu, yu := unitNamed(xt.Type), unitNamed(yt.Type)
+	if xu == nil || xu != yu {
+		return
+	}
+	what := "their squared dimension"
+	if bin.Op == token.QUO {
+		what = "a dimensionless ratio"
+	}
+	pass.Reportf(bin.OpPos, "%s %s %s yields %s but stays typed %s; convert through accessors",
+		typeName(xu), bin.Op, typeName(yu), what, typeName(xu))
+}
+
+// unitParamSuffixes maps lowercase parameter-name suffixes to the
+// units type the parameter should probably be.
+var unitParamSuffixes = map[string]string{
+	"joules": "Energy", "pj": "Energy", "kwh": "Energy",
+	"watts": "Power", "mw": "Power",
+	"grams": "Carbon", "gco2e": "Carbon",
+	"hz": "Frequency", "mhz": "Frequency", "ghz": "Frequency",
+	"mm2": "Area", "um2": "Area",
+}
+
+// checkUnitSuffixedParams flags bare numeric literals passed for
+// float64 parameters whose names carry a unit suffix (powerMW,
+// epaKWh, …) in functions outside the units package — the literal's
+// scale is unchecked where a units value would have carried it.
+func checkUnitSuffixedParams(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || pathTail(fn.Pkg().Path()) == "units" {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Variadic() {
+		return
+	}
+	n := sig.Params().Len()
+	if n != len(call.Args) {
+		return
+	}
+	for i := 0; i < n; i++ {
+		param := sig.Params().At(i)
+		if !isFloat64(param.Type()) {
+			continue
+		}
+		suffix, unit := unitSuffix(param.Name())
+		if unit == "" {
+			continue
+		}
+		if !isBareNumericLiteral(call.Args[i]) {
+			continue
+		}
+		pass.Reportf(call.Args[i].Pos(),
+			"bare literal for unit-suffixed parameter %q (%s); build a units.%s and pass an accessor",
+			param.Name(), suffix, unit)
+	}
+}
+
+// unitSuffix matches a parameter name against unitParamSuffixes,
+// honoring word boundaries: powerMW and epa_kwh match, growthz does
+// not.
+func unitSuffix(name string) (suffix, unit string) {
+	lower := strings.ToLower(name)
+	for s, u := range unitParamSuffixes {
+		if !strings.HasSuffix(lower, s) {
+			continue
+		}
+		if len(name) == len(s) {
+			return s, u
+		}
+		boundary := len(name) - len(s)
+		prev := rune(name[boundary-1])
+		first := rune(name[boundary])
+		if prev == '_' || (unicode.IsUpper(first) && !unicode.IsUpper(prev)) {
+			return s, u
+		}
+	}
+	return "", ""
+}
+
+func isBareNumericLiteral(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && (u.Op == token.SUB || u.Op == token.ADD) {
+		e = ast.Unparen(u.X)
+	}
+	lit, ok := e.(*ast.BasicLit)
+	return ok && (lit.Kind == token.INT || lit.Kind == token.FLOAT)
+}
+
+// typeName renders a unit type as units.Name.
+func typeName(named *types.Named) string {
+	if named == nil {
+		return "<nil>"
+	}
+	return "units." + named.Obj().Name()
+}
+
+// scaleWord renders a constructor/accessor name for the scale-mismatch
+// message.
+func scaleWord(name string) string { return strings.ToLower(name[:1]) + name[1:] }

@@ -288,6 +288,48 @@ func TestMeanWindowWrapsAndMatchesNumeric(t *testing.T) {
 	}
 }
 
+func TestMeanWindowToleratesHourDrift(t *testing.T) {
+	// Regression for the exact == math.Trunc whole-hour gate flagged by
+	// ppatcvet's floatcmp: window bounds computed arithmetically land a
+	// few ulps off the integer and used to fall onto the 2400-step
+	// numeric path. Drifted bounds must now hit the exact hourly
+	// average, byte-identical to the clean-integer call.
+	prof := EveningPeak(units.GramsPerKilowattHour(500))
+	exact := MeanWindow(prof, 18, 22)
+	const drift = 3e-12
+	for _, bounds := range [][2]float64{
+		{18 + drift, 22 - drift},
+		{18 - drift, 22 + drift},
+		{6 * 3.0, 22}, // product that may not be exactly 18
+	} {
+		got := MeanWindow(prof, bounds[0], bounds[1])
+		if got != exact {
+			t.Errorf("MeanWindow(%v, %v) = %v, want exact-path %v",
+				bounds[0], bounds[1], got, exact)
+		}
+	}
+	// Genuinely fractional bounds still take the numeric path.
+	if frac := MeanWindow(prof, 18.5, 22); frac == exact {
+		t.Errorf("fractional window unexpectedly matched the exact path")
+	}
+}
+
+func TestPeakHoursTieBreakDeterministic(t *testing.T) {
+	// Pins the suppressed exact comparison in PeakHours' sort: on a
+	// flat profile every window ties, and the tie-break must pick the
+	// earliest start rather than whatever order sort.Slice visits.
+	flat := &HourlyProfile{Name: "flat"}
+	for i := range flat.Hours {
+		flat.Hours[i] = units.GramsPerKilowattHour(400)
+	}
+	for n := 1; n <= 4; n++ {
+		start, end := PeakHours(flat, n)
+		if start != 0 || end != n%24 {
+			t.Errorf("PeakHours(flat, %d) = (%d, %d), want (0, %d)", n, start, end, n%24)
+		}
+	}
+}
+
 func TestPeakHours(t *testing.T) {
 	prof := EveningPeak(units.GramsPerKilowattHour(380))
 	start, end := PeakHours(prof, 2)

@@ -154,11 +154,25 @@ func meanWindow(p Profile, startHour, endHour float64) units.CarbonIntensity {
 	return units.CarbonIntensity(sum / steps)
 }
 
+// wholeHour reports h as an integral hour when it is one up to the
+// float drift of callers that compute window bounds arithmetically
+// (month offsets, wrapped windows). An exact == math.Trunc gate here
+// used to bounce 17.999999999… onto the 2400-step numeric path.
+func wholeHour(h float64) (int, bool) {
+	r := math.Round(h)
+	if math.Abs(h-r) < 1e-9 {
+		return int(r), true
+	}
+	return 0, false
+}
+
 // MeanWindow averages an arbitrary profile over a daily window.
 func MeanWindow(p Profile, startHour, endHour float64) units.CarbonIntensity {
-	if hp, ok := p.(*HourlyProfile); ok && startHour == math.Trunc(startHour) && endHour == math.Trunc(endHour) {
+	hp, hourly := p.(*HourlyProfile)
+	s, sOK := wholeHour(startHour)
+	e, eOK := wholeHour(endHour)
+	if hourly && sOK && eOK {
 		// Exact average over whole-hour windows.
-		s, e := int(startHour), int(endHour)
 		n := e - s
 		if n <= 0 {
 			n += 24
@@ -229,6 +243,7 @@ func PeakHours(p Profile, n int) (start, end int) {
 		wins = append(wins, window{s, m})
 	}
 	sort.Slice(wins, func(i, j int) bool {
+		//ppatcvet:ignore floatcmp sort tie-break: exact inequality only chooses between equally valid orders
 		if wins[i].mean != wins[j].mean {
 			return wins[i].mean > wins[j].mean
 		}

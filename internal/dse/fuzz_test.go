@@ -1,0 +1,86 @@
+package dse
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzCheckpoint throws arbitrary checkpoint-file contents — torn
+// tails, binary garbage, missing newlines — at OpenCheckpoint and
+// checks the resume contract: opening either fails cleanly or yields a
+// checkpoint that can record a point, close, and reopen with every
+// recovered point intact. The seed corpus is the set of states the
+// PR-4 hardening covered: zero-length files, header-only files,
+// unterminated tails, torn trailing lines, and mid-file corruption.
+func FuzzCheckpoint(f *testing.F) {
+	plan, err := Expand(testSpec())
+	if err != nil {
+		f.Fatal(err)
+	}
+	hdr, err := json.Marshal(checkpointHeader{Version: checkpointVersion, SpecSHA256: plan.Hash, Total: len(plan.Points)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	line := func(r Result) []byte {
+		b, err := r.MarshalLine()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	full := line(Result{Index: 1, System: "all-Si"})
+
+	f.Add([]byte{})                                     // crash before the header flush
+	f.Add(append(bytes.Clone(hdr), '\n'))               // header only
+	f.Add(bytes.Clone(hdr))                             // header without its newline
+	f.Add(append(append(bytes.Clone(hdr), '\n'), full...))                  // one intact record
+	f.Add(append(append(bytes.Clone(hdr), '\n'), full[:len(full)-1]...))    // record missing its newline
+	f.Add(append(append(bytes.Clone(hdr), '\n'), full[:len(full)/2]...))    // torn trailing record
+	f.Add(append(append(bytes.Clone(hdr), '\n'), []byte("{\"index\":9e99}\n")...)) // out-of-range index
+	f.Add(append(append(bytes.Clone(hdr), '\n'), []byte("garbage\n{}\n")...))      // corrupt middle line
+	f.Add([]byte("\x00\x01\x02\xff\xfe\n"))             // binary garbage
+	f.Add([]byte("{\"version\":99}\n"))                 // wrong version header
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "sweep.ckpt")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cp, err := OpenCheckpoint(path, plan)
+		if err != nil {
+			return // rejecting a mangled file is always acceptable
+		}
+		recovered := make(map[int]bool, len(cp.Completed))
+		for idx := range cp.Completed {
+			if idx < 0 || idx >= len(plan.Points) {
+				t.Fatalf("recovered out-of-range point index %d", idx)
+			}
+			recovered[idx] = true
+		}
+		// The resume contract: appending after recovery must leave a
+		// file that reopens with every point — recovered and new —
+		// intact, whatever the tail looked like before.
+		if err := cp.Record(Result{Index: 0, System: "fuzz"}); err != nil {
+			t.Fatalf("recording after recovery: %v", err)
+		}
+		if err := cp.Close(); err != nil {
+			t.Fatal(err)
+		}
+		cp2, err := OpenCheckpoint(path, plan)
+		if err != nil {
+			t.Fatalf("reopen after append: %v", err)
+		}
+		defer cp2.Close()
+		if got := cp2.Completed[0].System; got != "fuzz" {
+			t.Fatalf("recorded point lost or overwritten: Completed[0].System = %q", got)
+		}
+		for idx := range recovered {
+			if _, ok := cp2.Completed[idx]; !ok {
+				t.Fatalf("recovered point %d lost after append+reopen", idx)
+			}
+		}
+	})
+}

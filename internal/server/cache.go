@@ -33,11 +33,15 @@ func RequestKey(endpoint string, parts ...any) string {
 // hits the cache entry a plain evaluate warmed (and vice versa). The
 // names must already be canonical; a single concatenation keeps the
 // cache-hit path at one allocation.
+//
+//ppatc:hotpath
 func evaluateKey(system, workload, grid string) string {
 	return "evaluate|" + system + "|" + workload + "|" + grid
 }
 
 // suiteKey is the cache key of the full-suite comparison on one grid.
+//
+//ppatc:hotpath
 func suiteKey(grid string) string {
 	return "suite|" + grid
 }
@@ -63,6 +67,7 @@ func newLRUShard(capacity int) *lruShard {
 	return &lruShard{cap: capacity, ll: list.New(), entries: make(map[string]*list.Element)}
 }
 
+//ppatc:hotpath
 func (c *lruShard) get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -134,6 +139,8 @@ func NewShardedLRU(capacity, shards int) *LRU {
 }
 
 // shard selects the stripe for a key with inline FNV-1a (no allocation).
+//
+//ppatc:hotpath
 func (c *LRU) shard(key string) *lruShard {
 	h := uint32(2166136261)
 	for i := 0; i < len(key); i++ {
@@ -146,6 +153,8 @@ func (c *LRU) shard(key string) *lruShard {
 // Get returns the cached bytes for key, marking the entry recently used.
 // The returned slice is shared and MUST NOT be mutated — write it to the
 // response and let it go. The hit path is allocation-free.
+//
+//ppatc:hotpath
 func (c *LRU) Get(key string) ([]byte, bool) {
 	return c.shard(key).get(key)
 }

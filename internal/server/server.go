@@ -277,6 +277,8 @@ func putEncodeBuf(buf *bytes.Buffer) {
 // and must not be mutated. disposition reports how the request was
 // served: "HIT", "MISS" (this request led the computation) or
 // "COALESCED" (piggybacked on an identical in-flight computation).
+//
+//ppatc:hotpath
 func (s *Server) compute(ctx context.Context, key string, work workFn) (body []byte, disposition string, err error) {
 	if b, ok := s.cache.Get(key); ok {
 		s.metrics.CacheHits.Add(1)
