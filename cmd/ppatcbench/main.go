@@ -1,0 +1,214 @@
+// Command ppatcbench turns committed load-bench reports (BENCH_*.json,
+// written by cmd/ppatcload) into continuous benchmark reporting:
+//
+//	ppatcbench report [-dir .] [-out BENCHMARK.md]
+//	    regenerates BENCHMARK.md from every BENCH_*.json in -dir —
+//	    per-endpoint latency percentiles sorted best-first, throughput,
+//	    allocation rates, and regression deltas against the previous
+//	    bench in the sequence. The output is a pure function of the
+//	    input files (no timestamps), so CI verifies the committed
+//	    BENCHMARK.md is in sync by regenerating and diffing.
+//
+//	ppatcbench check [-dir .] [-old a.json -new b.json]
+//	               [-max-p95-regress 10] [-max-allocs-regress 10]
+//	    compares two reports (explicit files, or the two newest
+//	    sequence numbers in -dir) and exits nonzero when any endpoint's
+//	    p95 or the run's allocs/op regressed beyond the thresholds —
+//	    the CI gate. Latency thresholds only mean something between
+//	    runs on the same engine; the tool warns when engines differ.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"ppatc/internal/bench"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: ppatcbench <report|check> [flags]")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "report":
+		err = reportCmd(os.Args[2:], os.Stdout)
+	case "check":
+		var failed bool
+		failed, err = checkCmd(os.Args[2:], os.Stdout)
+		if err == nil && failed {
+			os.Exit(1)
+		}
+	default:
+		err = fmt.Errorf("ppatcbench: unknown subcommand %q (want report or check)", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+// loadDir parses every BENCH_*.json in dir, ordered by sequence number
+// (ties broken by filename, so the order — and the rendered report —
+// is deterministic).
+func loadDir(dir string) ([]*bench.Report, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	reports := make([]*bench.Report, 0, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bench.Parse(data, p)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, r)
+	}
+	sort.SliceStable(reports, func(i, j int) bool { return reports[i].Seq < reports[j].Seq })
+	return reports, nil
+}
+
+func reportCmd(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("ppatcbench report", flag.ContinueOnError)
+	dir := fs.String("dir", ".", "directory holding BENCH_*.json reports")
+	out := fs.String("out", "", "output path (default <dir>/BENCHMARK.md; - for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reports, err := loadDir(*dir)
+	if err != nil {
+		return err
+	}
+	if len(reports) == 0 {
+		return fmt.Errorf("ppatcbench: no BENCH_*.json reports in %s", *dir)
+	}
+	md := renderMarkdown(reports)
+	if *out == "-" {
+		_, err = stdout.WriteString(md)
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = filepath.Join(*dir, "BENCHMARK.md")
+	}
+	if err := os.WriteFile(path, []byte(md), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "ppatcbench: wrote %s from %d report(s), latest seq %d\n",
+		path, len(reports), reports[len(reports)-1].Seq)
+	return nil
+}
+
+func checkCmd(args []string, stdout *os.File) (failed bool, err error) {
+	fs := flag.NewFlagSet("ppatcbench check", flag.ContinueOnError)
+	dir := fs.String("dir", ".", "directory holding BENCH_*.json reports")
+	oldPath := fs.String("old", "", "baseline report (overrides -dir selection)")
+	newPath := fs.String("new", "", "candidate report (overrides -dir selection)")
+	maxP95 := fs.Float64("max-p95-regress", 10, "max tolerated p95 regression, percent")
+	maxAllocs := fs.Float64("max-allocs-regress", 10, "max tolerated allocs/op regression, percent")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	var oldRep, newRep *bench.Report
+	switch {
+	case *oldPath != "" && *newPath != "":
+		if oldRep, err = loadFile(*oldPath); err != nil {
+			return false, err
+		}
+		if newRep, err = loadFile(*newPath); err != nil {
+			return false, err
+		}
+	case *oldPath == "" && *newPath == "":
+		reports, err := loadDir(*dir)
+		if err != nil {
+			return false, err
+		}
+		if len(reports) < 2 {
+			return false, fmt.Errorf("ppatcbench: need two reports to check, found %d in %s", len(reports), *dir)
+		}
+		oldRep, newRep = reports[len(reports)-2], reports[len(reports)-1]
+	default:
+		return false, fmt.Errorf("ppatcbench: -old and -new must be given together")
+	}
+	findings := compare(oldRep, newRep, *maxP95, *maxAllocs)
+	fmt.Fprintf(stdout, "ppatcbench: %s (seq %d) vs %s (seq %d)\n",
+		oldRep.File, oldRep.Seq, newRep.File, newRep.Seq)
+	if oldRep.Engine.String() != newRep.Engine.String() {
+		fmt.Fprintf(stdout, "  warning: engines differ (%s vs %s); latency thresholds are unreliable\n",
+			oldRep.Engine, newRep.Engine)
+	}
+	for _, f := range findings {
+		fmt.Fprintf(stdout, "  %s\n", f.String())
+		failed = failed || f.Regression
+	}
+	if !failed {
+		fmt.Fprintln(stdout, "  ok: no regression beyond thresholds")
+	}
+	return failed, nil
+}
+
+func loadFile(path string) (*bench.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return bench.Parse(data, path)
+}
+
+// finding is one compared metric.
+type finding struct {
+	Metric     string
+	Old, New   float64
+	DeltaPct   float64
+	Regression bool
+}
+
+func (f finding) String() string {
+	verdict := "ok"
+	if f.Regression {
+		verdict = "REGRESSION"
+	}
+	return fmt.Sprintf("%-22s %12.3f -> %12.3f  (%+7.1f%%)  %s",
+		f.Metric, f.Old, f.New, f.DeltaPct, verdict)
+}
+
+func deltaPct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+// compare builds the regression findings: per-endpoint p95 (endpoints
+// present in both reports) and whole-run allocs/op, each against its
+// threshold.
+func compare(oldRep, newRep *bench.Report, maxP95, maxAllocs float64) []finding {
+	var out []finding
+	for _, name := range newRep.SortedEndpoints() {
+		n := newRep.Endpoints[name]
+		o, ok := oldRep.Endpoints[name]
+		if !ok {
+			continue
+		}
+		d := deltaPct(o.P95Ms, n.P95Ms)
+		out = append(out, finding{
+			Metric: name + " p95 ms", Old: o.P95Ms, New: n.P95Ms,
+			DeltaPct: d, Regression: d > maxP95,
+		})
+	}
+	d := deltaPct(oldRep.Totals.AllocsPerOp, newRep.Totals.AllocsPerOp)
+	out = append(out, finding{
+		Metric: "allocs/op", Old: oldRep.Totals.AllocsPerOp, New: newRep.Totals.AllocsPerOp,
+		DeltaPct: d, Regression: d > maxAllocs,
+	})
+	return out
+}

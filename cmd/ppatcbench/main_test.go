@@ -1,0 +1,209 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ppatc/internal/bench"
+)
+
+// fixtureV1 mimics a committed pre-versioning report: no seq (derived
+// from the filename), no engine stamp.
+const fixtureV1 = `{
+  "schema": "ppatc-bench/v1",
+  "config": {"duration_s": 10, "workers": 8, "seed": 1, "batch_size": 16,
+    "mix": {"evaluate": 60, "batch": 15, "tcdp": 15, "suite": 10},
+    "workloads": ["crc32", "sieve", "edn"], "warmup": true,
+    "server_workers": 8, "cache_shards": 16},
+  "totals": {"requests": 100000, "errors": 0, "elapsed_s": 10,
+    "throughput_rps": 10000, "allocs_per_op": 100, "bytes_per_op": 9000},
+  "endpoints": {
+    "evaluate": {"count": 60000, "errors": 0, "p50_ms": 0.010, "p95_ms": 0.050,
+      "p99_ms": 0.100, "max_ms": 1.0, "cache_hits": 59990},
+    "suite": {"count": 10000, "errors": 0, "p50_ms": 0.020, "p95_ms": 0.080,
+      "p99_ms": 0.200, "max_ms": 2.0, "cache_hits": 9990}
+  }
+}`
+
+func fixtureV2(seq int, evalP95, allocs float64) string {
+	return fmt.Sprintf(`{
+  "schema": "ppatc-bench/v2",
+  "seq": %d,
+  "engine": {"go_version": "go1.23", "goos": "linux", "goarch": "amd64",
+    "gomaxprocs": 8, "num_cpu": 8},
+  "config": {"duration_s": 10, "workers": 8, "seed": 1, "batch_size": 16,
+    "mix": {"evaluate": 60, "suite": 10},
+    "workloads": ["crc32"], "warmup": true,
+    "server_workers": 8, "cache_shards": 16},
+  "totals": {"requests": 120000, "errors": 0, "elapsed_s": 10,
+    "throughput_rps": 12000, "allocs_per_op": %g, "bytes_per_op": 8000},
+  "endpoints": {
+    "evaluate": {"count": 70000, "errors": 0, "p50_ms": 0.010, "p95_ms": %g,
+      "p99_ms": 0.090, "max_ms": 0.9, "cache_hits": 69990},
+    "suite": {"count": 10000, "errors": 0, "p50_ms": 0.018, "p95_ms": 0.070,
+      "p99_ms": 0.150, "max_ms": 1.5, "cache_hits": 9995}
+  }
+}`, seq, allocs, evalP95)
+}
+
+func writeFixtures(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, body := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadDirOrdersBySeq(t *testing.T) {
+	dir := writeFixtures(t, map[string]string{
+		"BENCH_10.json": fixtureV2(10, 0.045, 90),
+		"BENCH_4.json":  fixtureV1,
+		"BENCH_7.json":  fixtureV2(7, 0.048, 95),
+	})
+	reports, err := loadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs []int
+	for _, r := range reports {
+		seqs = append(seqs, r.Seq)
+	}
+	if len(seqs) != 3 || seqs[0] != 4 || seqs[1] != 7 || seqs[2] != 10 {
+		t.Fatalf("order = %v, want [4 7 10]", seqs)
+	}
+	// The v1 report's seq came from its filename.
+	if reports[0].Schema != bench.SchemaV1 || reports[0].Engine != nil {
+		t.Errorf("v1 report parsed wrong: %+v", reports[0])
+	}
+}
+
+func TestRenderMarkdownDeterministic(t *testing.T) {
+	dir := writeFixtures(t, map[string]string{
+		"BENCH_4.json": fixtureV1,
+		"BENCH_7.json": fixtureV2(7, 0.045, 90),
+	})
+	reports, err := loadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := renderMarkdown(reports)
+	// Byte-identical across repeated renders and reloads — the property
+	// CI's git-diff gate relies on.
+	for i := 0; i < 5; i++ {
+		again, err := loadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if renderMarkdown(again) != md {
+			t.Fatal("regenerated BENCHMARK.md differs between runs")
+		}
+	}
+	for _, want := range []string{
+		"## Latest: seq 7 (`BENCH_7.json`)",
+		"### Delta vs seq 4 (`BENCH_4.json`)",
+		"## History",
+		"| 4 | `BENCH_4.json` | ppatc-bench/v1 |",
+		"Engines differ", // v1 has no stamp, v2 does
+		"evaluate=60",    // mix rendered in sorted order
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("BENCHMARK.md missing %q", want)
+		}
+	}
+	// Endpoints sorted best-first by p95: evaluate (0.045) before suite.
+	if strings.Index(md, "| evaluate |") > strings.Index(md, "| suite |") {
+		t.Error("endpoint table not sorted best-first by p95")
+	}
+}
+
+func TestCompareRegressions(t *testing.T) {
+	old, err := bench.Parse([]byte(fixtureV2(7, 0.050, 100)), "BENCH_7.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(t *testing.T, newBody string, wantFail bool) {
+		t.Helper()
+		cur, err := bench.Parse([]byte(newBody), "BENCH_8.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		failed := false
+		for _, f := range compare(old, cur, 10, 10) {
+			failed = failed || f.Regression
+		}
+		if failed != wantFail {
+			t.Errorf("failed = %v, want %v", failed, wantFail)
+		}
+	}
+	t.Run("within thresholds", func(t *testing.T) {
+		check(t, fixtureV2(8, 0.052, 105), false) // +4%, +5%
+	})
+	t.Run("p95 regression", func(t *testing.T) {
+		check(t, fixtureV2(8, 0.060, 100), true) // +20% p95
+	})
+	t.Run("allocs regression", func(t *testing.T) {
+		check(t, fixtureV2(8, 0.050, 120), true) // +20% allocs/op
+	})
+	t.Run("improvement", func(t *testing.T) {
+		check(t, fixtureV2(8, 0.030, 50), false)
+	})
+}
+
+func TestCheckCmdFiles(t *testing.T) {
+	dir := writeFixtures(t, map[string]string{
+		"BENCH_1.json": fixtureV2(1, 0.050, 100),
+		"BENCH_2.json": fixtureV2(2, 0.090, 100), // 80% p95 regression
+	})
+	failed, err := checkCmd([]string{
+		"-old", filepath.Join(dir, "BENCH_1.json"),
+		"-new", filepath.Join(dir, "BENCH_2.json"),
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Error("80% p95 regression not flagged")
+	}
+	// The same pair passes with a generous threshold.
+	failed, err = checkCmd([]string{"-dir", dir, "-max-p95-regress", "100"}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Error("regression flagged despite 100% threshold")
+	}
+}
+
+func TestReportCmdWritesFile(t *testing.T) {
+	dir := writeFixtures(t, map[string]string{
+		"BENCH_4.json": fixtureV1,
+		"BENCH_7.json": fixtureV2(7, 0.045, 90),
+	})
+	if err := reportCmd([]string{"-dir", dir}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "BENCHMARK.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "# Benchmark report\n") {
+		t.Errorf("unexpected document head: %.60s", b)
+	}
+	// A second run must reproduce the file byte-identically.
+	if err := reportCmd([]string{"-dir", dir}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(filepath.Join(dir, "BENCHMARK.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Error("report regeneration is not byte-identical")
+	}
+}

@@ -15,6 +15,8 @@
 //	GET  /v1/sweeps/{id}/results   NDJSON result stream (follows live jobs)
 //	GET  /v1/sweeps/{id}/frontier  Pareto/sensitivity/winner analyses
 //	DELETE /v1/sweeps/{id}         cancel
+//	GET  /v1/results    stored-result listing (?prefix= filters; needs -store-dir)
+//	GET  /v1/results/{key}         one stored result, byte-identical (URL-escaped key)
 //	GET  /v1/grids      grid discovery
 //	GET  /v1/workloads  workload discovery
 //	GET  /healthz       liveness
@@ -24,6 +26,14 @@
 // Sweep jobs are keyed by the spec hash: POSTing the same spec twice
 // lands on the same job, and with -sweep-dir the daemon checkpoints
 // completed points so a restart resumes interrupted sweeps from disk.
+//
+// With -store-dir the daemon additionally persists every computed
+// result — evaluate/suite/tcdp responses, sweep points and finished
+// sweeps — to an on-disk store (-store-backend segment or cas). A
+// restarted daemon warms its cache from the store, replays finished
+// sweeps under their old IDs, and adopts already-computed points into
+// new sweep jobs, so historical work is never re-evaluated. Store
+// failures degrade to compute-on-miss and are surfaced on /healthz.
 //
 // The daemon caches results (the pipeline is deterministic; the cache is
 // striped across -cache-shards locks), coalesces concurrent identical
@@ -54,6 +64,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"sort"
@@ -87,14 +98,18 @@ func run(args []string) error {
 	sweepQueue := fs.Int("sweep-queue", 8, "queued sweep jobs before 503s")
 	sweepRunners := fs.Int("sweep-runners", 1, "sweep jobs executing concurrently")
 	sweepMaxPoints := fs.Int("sweep-max-points", 0, "largest accepted sweep plan (0 = 100000)")
-	call := fs.String("call", "", "client mode: endpoint to call (evaluate, batch, suite, tcdp, sweep, sweeps, sweep-status, sweep-results, sweep-frontier, sweep-cancel, grids, workloads, health, metrics)")
+	storeDir := fs.String("store-dir", "", "persistent result-store directory (results survive restarts)")
+	storeBackend := fs.String("store-backend", "segment", "result-store layout: segment or cas")
+	storeMaxSegment := fs.Int64("store-max-segment-bytes", 0, "segment-store file size cap (0 = 8 MiB)")
+	call := fs.String("call", "", "client mode: endpoint to call (evaluate, batch, suite, tcdp, sweep, sweeps, sweep-status, sweep-results, sweep-frontier, sweep-cancel, results, result, grids, workloads, health, metrics)")
 	data := fs.String("data", "", "client mode: JSON request body ('@file' reads a file)")
 	jobID := fs.String("id", "", "client mode: sweep job ID for sweep-status/results/frontier/cancel")
+	key := fs.String("key", "", "client mode: stored-result key for -call result")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *call != "" {
-		return clientCall(*addr, *call, *data, *jobID)
+		return clientCall(*addr, *call, *data, *jobID, *key)
 	}
 	logger, err := buildLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
@@ -112,6 +127,10 @@ func run(args []string) error {
 		SweepQueue:     *sweepQueue,
 		SweepRunners:   *sweepRunners,
 		SweepMaxPoints: *sweepMaxPoints,
+
+		StoreDir:             *storeDir,
+		StoreBackend:         *storeBackend,
+		StoreMaxSegmentBytes: *storeMaxSegment,
 	}, *drain)
 }
 
@@ -174,8 +193,9 @@ func serve(addr string, cfg server.Config, drain time.Duration) error {
 }
 
 // clientCall posts to (or gets from) a running daemon and streams the
-// response to stdout. Paths containing {id} substitute the -id flag.
-func clientCall(addr, endpoint, data, jobID string) error {
+// response to stdout. Paths containing {id} substitute the -id flag;
+// {key} substitutes the -key flag, escaped (store keys contain "|").
+func clientCall(addr, endpoint, data, jobID, key string) error {
 	base := addr
 	if !strings.Contains(base, "://") {
 		if strings.HasPrefix(base, ":") {
@@ -197,6 +217,8 @@ func clientCall(addr, endpoint, data, jobID string) error {
 		"sweep-results":  {http.MethodGet, "/v1/sweeps/{id}/results"},
 		"sweep-frontier": {http.MethodGet, "/v1/sweeps/{id}/frontier"},
 		"sweep-cancel":   {http.MethodDelete, "/v1/sweeps/{id}"},
+		"results":        {http.MethodGet, "/v1/results"},
+		"result":         {http.MethodGet, "/v1/results/{key}"},
 		"grids":          {http.MethodGet, "/v1/grids"},
 		"workloads":      {http.MethodGet, "/v1/workloads"},
 		"health":         {http.MethodGet, "/healthz"},
@@ -216,6 +238,12 @@ func clientCall(addr, endpoint, data, jobID string) error {
 			return fmt.Errorf("-call %s needs -id <job id>", endpoint)
 		}
 		rt.path = strings.Replace(rt.path, "{id}", jobID, 1)
+	}
+	if strings.Contains(rt.path, "{key}") {
+		if key == "" {
+			return fmt.Errorf("-call %s needs -key <stored-result key>", endpoint)
+		}
+		rt.path = strings.Replace(rt.path, "{key}", url.PathEscape(key), 1)
 	}
 	body := io.Reader(nil)
 	if rt.method == http.MethodPost {

@@ -17,7 +17,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"ppatc/internal/bench"
 	"ppatc/internal/server"
 )
 
@@ -47,11 +47,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if err := rep.write(cfg.out); err != nil {
+	if err := writeReport(rep, cfg.out); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	rep.print(os.Stdout)
+	printReport(os.Stdout, rep)
 }
 
 // benchConfig is one harness run's shape.
@@ -63,6 +63,7 @@ type benchConfig struct {
 	mix       map[string]int
 	workloads []string
 	out       string
+	seq       int
 	warmup    bool
 	// serverWorkers/cacheShards size the server under test.
 	serverWorkers int
@@ -81,6 +82,7 @@ func parseFlags(args []string) (benchConfig, error) {
 	fs.StringVar(&mix, "mix", "evaluate=60,batch=15,tcdp=15,suite=10", "endpoint weights")
 	fs.StringVar(&workloads, "workloads", "crc32,sieve,edn", "workloads to request")
 	fs.StringVar(&cfg.out, "out", "", "write the JSON report to this file")
+	fs.IntVar(&cfg.seq, "seq", 0, "bench sequence number (0 derives it from -out, e.g. BENCH_7.json → 7)")
 	fs.BoolVar(&noWarmup, "no-warmup", false, "skip cache warmup (measure cold traffic)")
 	fs.IntVar(&cfg.serverWorkers, "server-workers", runtime.GOMAXPROCS(0), "server worker-pool size")
 	fs.IntVar(&cfg.cacheShards, "cache-shards", 16, "server response-cache shards")
@@ -95,6 +97,9 @@ func parseFlags(args []string) (benchConfig, error) {
 	cfg.workloads = strings.Split(workloads, ",")
 	if cfg.workers < 1 || cfg.batchSize < 1 || cfg.duration <= 0 {
 		return cfg, fmt.Errorf("ppatcload: workers, batch-size and duration must be positive")
+	}
+	if cfg.seq == 0 && cfg.out != "" {
+		cfg.seq = bench.SeqFromFilename(cfg.out)
 	}
 	return cfg, nil
 }
@@ -182,42 +187,6 @@ func buildRequests(cfg benchConfig) []request {
 	return reqs
 }
 
-// endpointStats aggregates one endpoint's measured requests.
-type endpointStats struct {
-	Count     int     `json:"count"`
-	Errors    int     `json:"errors"`
-	P50Ms     float64 `json:"p50_ms"`
-	P95Ms     float64 `json:"p95_ms"`
-	P99Ms     float64 `json:"p99_ms"`
-	MaxMs     float64 `json:"max_ms"`
-	CacheHits int     `json:"cache_hits"`
-}
-
-// report is the ppatc-bench/v1 output document.
-type report struct {
-	Schema string `json:"schema"`
-	Config struct {
-		DurationS     float64        `json:"duration_s"`
-		Workers       int            `json:"workers"`
-		Seed          int64          `json:"seed"`
-		BatchSize     int            `json:"batch_size"`
-		Mix           map[string]int `json:"mix"`
-		Workloads     []string       `json:"workloads"`
-		Warmup        bool           `json:"warmup"`
-		ServerWorkers int            `json:"server_workers"`
-		CacheShards   int            `json:"cache_shards"`
-	} `json:"config"`
-	Totals struct {
-		Requests      int     `json:"requests"`
-		Errors        int     `json:"errors"`
-		ElapsedS      float64 `json:"elapsed_s"`
-		ThroughputRPS float64 `json:"throughput_rps"`
-		AllocsPerOp   float64 `json:"allocs_per_op"`
-		BytesPerOp    float64 `json:"bytes_per_op"`
-	} `json:"totals"`
-	Endpoints map[string]*endpointStats `json:"endpoints"`
-}
-
 // sample is one measured request.
 type sample struct {
 	endpoint string
@@ -226,7 +195,7 @@ type sample struct {
 	err      bool
 }
 
-func run(cfg benchConfig) (*report, error) {
+func run(cfg benchConfig) (*bench.Report, error) {
 	srv := server.New(server.Config{
 		Workers:     cfg.serverWorkers,
 		QueueDepth:  cfg.workers * 4,
@@ -281,7 +250,16 @@ func run(cfg benchConfig) (*report, error) {
 	var ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms1)
 
-	rep := &report{Schema: "ppatc-bench/v1", Endpoints: make(map[string]*endpointStats)}
+	// The report is self-describing (ppatc-bench/v2): it carries its
+	// place in the bench sequence and the engine it ran on, so the
+	// reporting tooling can order history and refuse apples-to-oranges
+	// latency comparisons.
+	rep := &bench.Report{
+		Schema:    bench.SchemaV2,
+		Seq:       cfg.seq,
+		Engine:    bench.CurrentEngine(),
+		Endpoints: make(map[string]*bench.EndpointStats),
+	}
 	rep.Config.DurationS = cfg.duration.Seconds()
 	rep.Config.Workers = cfg.workers
 	rep.Config.Seed = cfg.seed
@@ -298,7 +276,7 @@ func run(cfg benchConfig) (*report, error) {
 		for _, s := range samples {
 			st := rep.Endpoints[s.endpoint]
 			if st == nil {
-				st = &endpointStats{}
+				st = &bench.EndpointStats{}
 				rep.Endpoints[s.endpoint] = st
 			}
 			st.Count++
@@ -390,18 +368,18 @@ func percentile(sorted []time.Duration, p int) time.Duration {
 	return sorted[idx]
 }
 
-func (r *report) write(path string) error {
+func writeReport(r *bench.Report, path string) error {
 	if path == "" {
 		return nil
 	}
-	b, err := json.MarshalIndent(r, "", "  ")
+	b, err := r.Marshal()
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	return os.WriteFile(path, b, 0o644)
 }
 
-func (r *report) print(w io.Writer) {
+func printReport(w io.Writer, r *bench.Report) {
 	fmt.Fprintf(w, "ppatcload: %d requests in %.1fs (%.0f req/s), %d errors, %.0f allocs/op, %.0f B/op\n",
 		r.Totals.Requests, r.Totals.ElapsedS, r.Totals.ThroughputRPS,
 		r.Totals.Errors, r.Totals.AllocsPerOp, r.Totals.BytesPerOp)

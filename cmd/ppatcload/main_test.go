@@ -1,12 +1,13 @@
 package main
 
 import (
-	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"ppatc/internal/bench"
 )
 
 func TestParseMix(t *testing.T) {
@@ -41,7 +42,7 @@ func TestPercentile(t *testing.T) {
 // endpoint of the mix served traffic without errors, and the warmed
 // evaluate path was overwhelmingly cache hits.
 func TestHarnessSmoke(t *testing.T) {
-	out := filepath.Join(t.TempDir(), "bench.json")
+	out := filepath.Join(t.TempDir(), "BENCH_9.json")
 	cfg, err := parseFlags([]string{
 		"-duration", "300ms", "-workers", "2", "-seed", "7",
 		"-workloads", "crc32", "-batch-size", "4",
@@ -75,22 +76,28 @@ func TestHarnessSmoke(t *testing.T) {
 		t.Errorf("warmed evaluate traffic only %d/%d cache hits", ev.CacheHits, ev.Count)
 	}
 
-	if err := rep.write(cfg.out); err != nil {
+	if err := writeReport(rep, cfg.out); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var round report
-	if err := json.Unmarshal(b, &round); err != nil {
-		t.Fatalf("report is not valid JSON: %v", err)
+	round, err := bench.Parse(b, out)
+	if err != nil {
+		t.Fatalf("report does not round-trip through the bench parser: %v", err)
 	}
-	if round.Schema != "ppatc-bench/v1" {
-		t.Errorf("schema %q, want ppatc-bench/v1", round.Schema)
+	if round.Schema != bench.SchemaV2 {
+		t.Errorf("schema %q, want %s", round.Schema, bench.SchemaV2)
+	}
+	if round.Seq != 9 {
+		t.Errorf("seq %d, want 9 (derived from BENCH_9.json)", round.Seq)
+	}
+	if round.Engine == nil || round.Engine.GoVersion == "" {
+		t.Error("v2 report missing engine stamp")
 	}
 	var sb strings.Builder
-	rep.print(&sb)
+	printReport(&sb, rep)
 	if !strings.Contains(sb.String(), "evaluate") {
 		t.Error("human-readable summary missing endpoint lines")
 	}

@@ -1,0 +1,174 @@
+// Package bench defines the load-bench report document shared by the
+// harness that writes it (cmd/ppatcload) and the tooling that reads it
+// back (cmd/ppatcbench): the schema constants, the report structure,
+// and version-aware parsing of committed BENCH_*.json files.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Report schema versions. V1 reports carry config, totals and
+// per-endpoint stats; V2 adds the bench sequence number and the engine
+// stamp, so a report is self-describing about where and in what order
+// it was taken.
+const (
+	SchemaV1 = "ppatc-bench/v1"
+	SchemaV2 = "ppatc-bench/v2"
+)
+
+// Engine identifies the toolchain and machine shape behind a report.
+// Latency numbers only compare meaningfully between reports with equal
+// engines; the check tool warns (but does not fail) across engines.
+type Engine struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// CurrentEngine stamps the running process's engine.
+func CurrentEngine() *Engine {
+	return &Engine{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
+// String renders the engine as one comparable token.
+func (e *Engine) String() string {
+	if e == nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%s %s/%s maxprocs=%d cpus=%d",
+		e.GoVersion, e.GOOS, e.GOARCH, e.GOMAXPROCS, e.NumCPU)
+}
+
+// Config records the harness knobs that shaped a run.
+type Config struct {
+	DurationS     float64        `json:"duration_s"`
+	Workers       int            `json:"workers"`
+	Seed          int64          `json:"seed"`
+	BatchSize     int            `json:"batch_size"`
+	Mix           map[string]int `json:"mix"`
+	Workloads     []string       `json:"workloads"`
+	Warmup        bool           `json:"warmup"`
+	ServerWorkers int            `json:"server_workers"`
+	CacheShards   int            `json:"cache_shards"`
+}
+
+// Totals aggregates the whole run.
+type Totals struct {
+	Requests      int     `json:"requests"`
+	Errors        int     `json:"errors"`
+	ElapsedS      float64 `json:"elapsed_s"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+}
+
+// EndpointStats aggregates one endpoint's measured requests.
+type EndpointStats struct {
+	Count     int     `json:"count"`
+	Errors    int     `json:"errors"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+	CacheHits int     `json:"cache_hits"`
+}
+
+// Report is one load-bench run's output document (BENCH_<seq>.json).
+type Report struct {
+	Schema string `json:"schema"`
+	// Seq orders reports in the bench history. V1 reports don't carry
+	// it; Parse derives it from the filename.
+	Seq int `json:"seq,omitempty"`
+	// Engine stamps the toolchain/machine (V2; nil on V1 reports).
+	Engine *Engine `json:"engine,omitempty"`
+	// File is the basename the report was parsed from (not serialized).
+	File string `json:"-"`
+
+	Config    Config                    `json:"config"`
+	Totals    Totals                    `json:"totals"`
+	Endpoints map[string]*EndpointStats `json:"endpoints"`
+}
+
+// SeqFromFilename extracts the trailing integer of a report filename:
+// BENCH_4.json → 4. Returns 0 when there is none.
+func SeqFromFilename(name string) int {
+	base := strings.TrimSuffix(filepath.Base(name), filepath.Ext(name))
+	i := len(base)
+	for i > 0 && base[i-1] >= '0' && base[i-1] <= '9' {
+		i--
+	}
+	n, err := strconv.Atoi(base[i:])
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Parse decodes one report, accepting both schema versions. V1 reports
+// (and V2 reports missing a sequence) get their Seq derived from the
+// filename, so pre-versioning BENCH files stay first-class history.
+func Parse(data []byte, filename string) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", filename, err)
+	}
+	switch r.Schema {
+	case SchemaV1, SchemaV2:
+	case "":
+		return nil, fmt.Errorf("bench: %s: missing schema (want %s or %s)", filename, SchemaV1, SchemaV2)
+	default:
+		return nil, fmt.Errorf("bench: %s: unsupported schema %q (want %s or %s)", filename, r.Schema, SchemaV1, SchemaV2)
+	}
+	if r.Seq == 0 {
+		r.Seq = SeqFromFilename(filename)
+	}
+	if r.File = filepath.Base(filename); r.File == "." {
+		r.File = filename
+	}
+	if len(r.Endpoints) == 0 {
+		return nil, fmt.Errorf("bench: %s: no endpoint stats", filename)
+	}
+	return &r, nil
+}
+
+// SortedEndpoints returns the report's endpoint names ordered
+// best-first by p95 (ties by name) — the ordering BENCHMARK.md uses.
+func (r *Report) SortedEndpoints() []string {
+	names := make([]string, 0, len(r.Endpoints))
+	for name := range r.Endpoints {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := r.Endpoints[names[i]], r.Endpoints[names[j]]
+		if a.P95Ms != b.P95Ms {
+			return a.P95Ms < b.P95Ms
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// Marshal renders the report as the canonical committed file form:
+// two-space indent, trailing newline.
+func (r *Report) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeqFromFilename(t *testing.T) {
+	cases := map[string]int{
+		"BENCH_4.json":            4,
+		"/some/dir/BENCH_17.json": 17,
+		"bench.json":              0,
+		"BENCH_.json":             0,
+		"BENCH_007.json":          7,
+	}
+	for name, want := range cases {
+		if got := SeqFromFilename(name); got != want {
+			t.Errorf("SeqFromFilename(%q) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestParseVersions(t *testing.T) {
+	v1 := []byte(`{"schema":"ppatc-bench/v1","config":{},"totals":{},
+		"endpoints":{"evaluate":{"count":1,"p95_ms":0.05}}}`)
+	r, err := Parse(v1, "BENCH_4.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seq != 4 || r.Engine != nil || r.File != "BENCH_4.json" {
+		t.Errorf("v1 parse: %+v", r)
+	}
+
+	v2 := []byte(`{"schema":"ppatc-bench/v2","seq":9,
+		"engine":{"go_version":"go1.23","goos":"linux","goarch":"amd64","gomaxprocs":4,"num_cpu":4},
+		"config":{},"totals":{},
+		"endpoints":{"evaluate":{"count":1,"p95_ms":0.05}}}`)
+	r, err = Parse(v2, "whatever.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seq != 9 || r.Engine == nil {
+		t.Errorf("v2 parse: %+v", r)
+	}
+
+	for name, bad := range map[string]string{
+		"missing schema": `{"endpoints":{"e":{}}}`,
+		"future schema":  `{"schema":"ppatc-bench/v9","endpoints":{"e":{}}}`,
+		"no endpoints":   `{"schema":"ppatc-bench/v2"}`,
+		"not json":       `nope`,
+	} {
+		if _, err := Parse([]byte(bad), "x.json"); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSortedEndpointsBestFirst(t *testing.T) {
+	r := &Report{Endpoints: map[string]*EndpointStats{
+		"slow":   {P95Ms: 0.9},
+		"fast":   {P95Ms: 0.1},
+		"mid-b":  {P95Ms: 0.5},
+		"mid-a":  {P95Ms: 0.5}, // tie broken by name
+		"fast2":  {P95Ms: 0.1},
+		"fast2b": {P95Ms: 0.2},
+	}}
+	got := strings.Join(r.SortedEndpoints(), ",")
+	want := "fast,fast2,fast2b,mid-a,mid-b,slow"
+	if got != want {
+		t.Errorf("order %s, want %s", got, want)
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	var e *Engine
+	if e.String() != "unknown" {
+		t.Errorf("nil engine = %q", e.String())
+	}
+	if cur := CurrentEngine(); cur.GoVersion == "" || cur.NumCPU < 1 {
+		t.Errorf("current engine incomplete: %+v", cur)
+	}
+}

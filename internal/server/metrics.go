@@ -32,11 +32,17 @@ type Metrics struct {
 	SweepJobs    *obs.CounterVec
 	SweepSeconds *obs.HistogramVec
 
-	// queueDepth, cacheLen and sweepQueue are gauge hooks wired by the
-	// server.
+	// StoreHits counts cache misses served from the persistent result
+	// store; StoreWrites counts successful write-throughs; StoreErrors
+	// counts store operations that failed and degraded to compute.
+	StoreHits, StoreWrites, StoreErrors *obs.Counter
+
+	// queueDepth, cacheLen, sweepQueue and storeKeys are gauge hooks
+	// wired by the server.
 	queueDepth func() int64
 	cacheLen   func() int
 	sweepQueue func() int
+	storeKeys  func() int
 }
 
 // sweepBuckets span the sweep-duration range: seconds for smoke sweeps
@@ -51,6 +57,7 @@ func NewMetrics() *Metrics {
 		queueDepth: func() int64 { return 0 },
 		cacheLen:   func() int { return 0 },
 		sweepQueue: func() int { return 0 },
+		storeKeys:  func() int { return 0 },
 	}
 	m.requests = reg.CounterVec("ppatcd_requests_total", "Requests served, by endpoint.", "endpoint")
 	m.CacheHits = reg.Counter("ppatcd_cache_hits_total", "Result-cache hits.")
@@ -68,6 +75,11 @@ func NewMetrics() *Metrics {
 	m.SweepSeconds = reg.HistogramVec("ppatcd_sweep_seconds", "Sweep job duration, by terminal status.", "status", sweepBuckets)
 	reg.GaugeFunc("ppatcd_sweep_queue_depth", "Sweep jobs waiting for a runner.",
 		func() float64 { return float64(m.sweepQueue()) })
+	m.StoreHits = reg.Counter("ppatcd_store_hits_total", "Cache misses served from the persistent result store.")
+	m.StoreWrites = reg.Counter("ppatcd_store_writes_total", "Results written through to the persistent store.")
+	m.StoreErrors = reg.Counter("ppatcd_store_errors_total", "Persistent store operations that failed (degraded to compute).")
+	reg.GaugeFunc("ppatcd_store_keys", "Live keys in the persistent result store.",
+		func() float64 { return float64(m.storeKeys()) })
 	return m
 }
 

@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"ppatc/internal/core"
 	"ppatc/internal/embench"
 	"ppatc/internal/obs"
+	"ppatc/internal/store"
 	"ppatc/internal/tcdp"
 	"ppatc/internal/units"
 )
@@ -58,6 +60,21 @@ type Config struct {
 	// SweepMaxPoints rejects sweep specs expanding beyond this many
 	// points (default 100000).
 	SweepMaxPoints int
+
+	// StoreDir, when set, opens a persistent result store under this
+	// directory: evaluate/suite/tcdp responses, sweep point sets and
+	// per-point results write through and survive restarts.
+	StoreDir string
+	// StoreBackend selects the on-disk layout: "segment" (default,
+	// append-only NDJSON segments) or "cas" (content-addressed, dedups
+	// identical results across keys).
+	StoreBackend string
+	// StoreMaxSegmentBytes caps one segment file of the segment backend
+	// (0 = 8 MiB).
+	StoreMaxSegmentBytes int64
+	// Store injects a caller-built ResultStore (tests, embedding); it
+	// takes precedence over StoreDir and is closed with the server.
+	Store store.ResultStore
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +116,8 @@ type Server struct {
 	cache   *LRU
 	flight  *flightGroup
 	sweeps  *sweepManager
+	store   store.ResultStore
+	persist persistStatus
 	metrics *Metrics
 	log     *slog.Logger
 	base    context.Context
@@ -129,13 +148,20 @@ func New(cfg Config) *Server {
 	s.metrics.queueDepth = s.pool.QueueDepth
 	s.metrics.cacheLen = s.cache.Len
 
+	s.persist.SweepDir = "ok"
+	if cfg.SweepDir == "" {
+		s.persist.SweepDir = "disabled"
+	}
 	if err := ensureSweepDir(cfg.SweepDir); err != nil {
 		// A broken checkpoint path shouldn't keep the daemon down —
-		// sweeps degrade to checkpoint-free.
+		// sweeps degrade to checkpoint-free, and /healthz carries the
+		// degradation so operators see it (silent clearing hid it).
 		s.log.Error("sweep checkpoint dir unavailable; checkpointing disabled",
 			"dir", cfg.SweepDir, "error", err)
+		s.persist.SweepDir = "degraded: " + err.Error()
 		s.cfg.SweepDir = ""
 	}
+	s.openStore(cfg)
 	s.sweeps = newSweepManager(cfg.SweepQueue)
 	s.metrics.sweepQueue = func() int { return len(s.sweeps.queue) }
 	for i := 0; i < cfg.SweepRunners; i++ {
@@ -152,6 +178,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.instrument("sweep_results", s.handleSweepResults))
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/frontier", s.instrument("sweep_frontier", s.handleSweepFrontier))
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.instrument("sweep_cancel", s.handleSweepCancel))
+	s.mux.HandleFunc("GET /v1/results", s.instrument("result_list", s.handleResultList))
+	s.mux.HandleFunc("GET /v1/results/{key}", s.instrument("result_get", s.handleResultGet))
 	s.mux.HandleFunc("GET /v1/grids", s.instrument("grids", s.handleGrids))
 	s.mux.HandleFunc("GET /v1/workloads", s.instrument("workloads", s.handleWorkloads))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -173,11 +201,17 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // the /metrics endpoint).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Close drains the worker pool and cancels any computation still keyed to
-// the server's base context. Call after the HTTP listener has shut down.
+// Close drains the worker pool, cancels any computation still keyed to
+// the server's base context, and closes the result store. Call after
+// the HTTP listener has shut down.
 func (s *Server) Close() {
 	s.cancel()
 	s.pool.Close()
+	if s.store != nil {
+		if err := s.store.Close(); err != nil {
+			s.log.Error("result store close", "error", err)
+		}
+	}
 }
 
 // statusWriter captures the status code for logging and metrics.
@@ -275,8 +309,10 @@ func putEncodeBuf(buf *bytes.Buffer) {
 // result. The returned bytes are exactly what was first computed, so
 // repeated requests are byte-identical; they are shared with the cache
 // and must not be mutated. disposition reports how the request was
-// served: "HIT", "MISS" (this request led the computation) or
-// "COALESCED" (piggybacked on an identical in-flight computation).
+// served: "HIT", "MISS" (this request led the computation),
+// "COALESCED" (piggybacked on an identical in-flight computation) or
+// "STORE" (served from the persistent result store after eviction or a
+// restart, without recomputation).
 //
 //ppatc:hotpath
 func (s *Server) compute(ctx context.Context, key string, work workFn) (body []byte, disposition string, err error) {
@@ -285,6 +321,9 @@ func (s *Server) compute(ctx context.Context, key string, work workFn) (body []b
 		return b, "HIT", nil
 	}
 	s.metrics.CacheMisses.Add(1)
+	if b, ok := s.storeLookup(key); ok {
+		return b, "STORE", nil
+	}
 	b, shared, err := s.flight.Do(ctx, key, func() ([]byte, error) {
 		// The computation runs under the server's lifetime, not any
 		// requester's context, so a canceled requester cannot poison
@@ -307,8 +346,12 @@ func (s *Server) compute(ctx context.Context, key string, work workFn) (body []b
 			return nil, werr
 		}
 		// Put copies buf's bytes and returns the cache-owned copy; the
-		// buffer itself goes straight back to the pool.
-		return s.cache.Put(key, buf.Bytes()), nil
+		// buffer itself goes straight back to the pool. The stored copy
+		// also writes through to the persistent store, so the result
+		// survives both eviction and restart.
+		stored := s.cache.Put(key, buf.Bytes())
+		s.persistResult(key, stored)
+		return stored, nil
 	})
 	if shared {
 		s.metrics.Coalesced.Add(1)
@@ -698,11 +741,16 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if strings.HasPrefix(s.persist.SweepDir, "degraded") || strings.HasPrefix(s.persist.Store, "degraded") {
+		status = "degraded"
+	}
 	writeJSON(w, map[string]any{
-		"status":       "ok",
+		"status":       status,
 		"uptime_s":     time.Since(s.started).Seconds(),
 		"queue_depth":  s.pool.QueueDepth(),
 		"cache_shards": s.cache.Shards(),
+		"persistence":  s.persist,
 	})
 }
 

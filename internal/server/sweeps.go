@@ -180,6 +180,10 @@ func (s *Server) runSweep(j *sweepJob) {
 			return nil
 		},
 	}
+	// Adopt every point some earlier job already computed and persisted
+	// — cross-job, cross-restart dedup by coordinate identity. A
+	// job-local checkpoint (same spec, interrupted run) overlays it.
+	completed := dse.StoredCompleted(s.store, j.plan)
 	var cp *dse.Checkpoint
 	if s.cfg.SweepDir != "" {
 		var err error
@@ -189,16 +193,35 @@ func (s *Server) runSweep(j *sweepJob) {
 			return
 		}
 		defer cp.Close()
-		opts.Completed = cp.Completed
+		for i, r := range cp.Completed {
+			if completed == nil {
+				completed = make(map[int]dse.Result, len(cp.Completed))
+			}
+			completed[i] = r
+		}
 		opts.OnComplete = cp.Record
-		j.mu.Lock()
-		j.resumed = len(cp.Completed)
-		j.mu.Unlock()
+	}
+	opts.Completed = completed
+	j.mu.Lock()
+	j.resumed = len(completed)
+	j.mu.Unlock()
+	// Fresh evaluations write through to the store after checkpointing;
+	// a persist failure degrades (metered) rather than failing the sweep.
+	checkpoint := opts.OnComplete
+	opts.OnComplete = func(r dse.Result) error {
+		if checkpoint != nil {
+			if err := checkpoint(r); err != nil {
+				return err
+			}
+		}
+		s.persistPoint(j.plan, r)
+		return nil
 	}
 
-	_, err := dse.RunPlan(ctx, j.plan, opts)
+	results, err := dse.RunPlan(ctx, j.plan, opts)
 	switch {
 	case err == nil:
+		s.persistSweep(j.id, results)
 		s.finishSweep(j, SweepDone, nil, start)
 	case errors.Is(err, errSweepCancelled):
 		s.finishSweep(j, SweepCancelled, nil, start)
@@ -237,9 +260,12 @@ type sweepStatus struct {
 	Completed int     `json:"completed"`
 	Resumed   int     `json:"resumed,omitempty"`
 	Error     string  `json:"error,omitempty"`
-	SpecSHA   string  `json:"spec_sha256"`
-	CreatedAt string  `json:"created_at"`
+	SpecSHA   string  `json:"spec_sha256,omitempty"`
+	CreatedAt string  `json:"created_at,omitempty"`
 	Elapsed   float64 `json:"elapsed_s"`
+	// Stored marks a status reconstructed from the persistent store: the
+	// job finished in an earlier process life and only its results remain.
+	Stored bool `json:"stored,omitempty"`
 }
 
 func (j *sweepJob) snapshot() sweepStatus {
@@ -319,18 +345,23 @@ func (s *Server) sweepByPath(w http.ResponseWriter, r *http.Request) *sweepJob {
 }
 
 func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
-	if j := s.sweepByPath(w, r); j != nil {
+	if j := s.sweeps.get(r.PathValue("id")); j != nil {
 		writeJSON(w, j.snapshot())
+		return
 	}
+	s.serveStoredSweepStatus(w, r)
 }
 
 // handleSweepResults streams the job's results as NDJSON, in plan order,
 // following the sweep live until it reaches a terminal state (or the
 // client goes away). A done job replays instantly — and byte-identically,
-// per the engine's determinism contract.
+// per the engine's determinism contract. An ID the in-memory table no
+// longer knows (the daemon restarted since the sweep ran) replays from
+// the persistent store.
 func (s *Server) handleSweepResults(w http.ResponseWriter, r *http.Request) {
-	j := s.sweepByPath(w, r)
+	j := s.sweeps.get(r.PathValue("id"))
 	if j == nil {
+		s.serveStoredSweepResults(w, r)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")

@@ -1,0 +1,315 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// CASStore is the content-addressed ResultStore: bodies live once per
+// distinct SHA-256 under objects/<aa>/<hash>, and an append-only
+// index.ndjson log maps keys to hashes. Identical results written under
+// different keys — the same design point computed by two sweep jobs,
+// say — share one object on disk; the index line is the only per-key
+// cost. The determinism of the pipeline makes this dedup exact: equal
+// coordinates produce byte-equal bodies, so hash equality is result
+// equality.
+//
+// Crash safety: objects are written to a temp file and renamed into
+// place (readers never see a partial object), and the index log reopens
+// with the torn-trailing-line truncation discipline of
+// dse.OpenCheckpoint. An index line whose object is missing (a crash
+// between index append and a later reread, or manual tampering) fails
+// the Get that touches it, not the open.
+type CASStore struct {
+	dir string
+
+	mu     sync.Mutex
+	index  map[string]casEntry // key -> entry
+	refs   map[string]int      // hash -> live key count
+	f      *os.File
+	w      *bufio.Writer
+	st     Stats
+	closed bool
+}
+
+// casEntry is one index mapping.
+type casEntry struct {
+	Key    string `json:"key"`
+	Kind   string `json:"kind,omitempty"`
+	SHA256 string `json:"sha256"`
+	Bytes  int    `json:"bytes"`
+}
+
+// indexHeader is the first line of the index log.
+type indexHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+}
+
+const (
+	casFormat  = "ppatc-store-cas"
+	casVersion = 1
+)
+
+// OpenCASStore opens (or creates) the content-addressed store at dir.
+func OpenCASStore(dir string) (*CASStore, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: cas dir: %w", err)
+	}
+	s := &CASStore{
+		dir:   dir,
+		index: make(map[string]casEntry),
+		refs:  make(map[string]int),
+	}
+	path := s.indexPath()
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err), err == nil && len(data) == 0:
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		s.f, s.w = f, bufio.NewWriter(f)
+		hdr, err := json.Marshal(indexHeader{Format: casFormat, Version: casVersion})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := s.w.Write(append(hdr, '\n')); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := s.w.Flush(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return s, nil
+	case err != nil:
+		return nil, err
+	}
+
+	lines := bytes.Split(data, []byte("\n"))
+	var hdr indexHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		return nil, fmt.Errorf("store: cas index %s: bad header: %w", path, err)
+	}
+	if hdr.Format != casFormat || hdr.Version != casVersion {
+		return nil, fmt.Errorf("store: cas index %s: format %q v%d, want %q v%d",
+			path, hdr.Format, hdr.Version, casFormat, casVersion)
+	}
+	validEnd := len(data)
+	for i, line := range lines[1:] {
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			continue
+		}
+		var e casEntry
+		if err := json.Unmarshal(trimmed, &e); err != nil || e.Key == "" || len(e.SHA256) != 64 {
+			if i == len(lines)-2 { // torn trailing line: crash mid-append
+				validEnd = len(data) - len(line)
+				break
+			}
+			if err == nil {
+				err = fmt.Errorf("missing key or hash")
+			}
+			return nil, fmt.Errorf("store: cas index %s: corrupt line %d: %w", path, i+2, err)
+		}
+		s.adoptLocked(e)
+	}
+	if validEnd < len(data) {
+		if err := os.Truncate(path, int64(validEnd)); err != nil {
+			return nil, fmt.Errorf("store: cas index %s: dropping torn tail: %w", path, err)
+		}
+		data = data[:validEnd]
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s.f, s.w = f, bufio.NewWriter(f)
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		if _, err := s.w.WriteString("\n"); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := s.w.Flush(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *CASStore) indexPath() string { return filepath.Join(s.dir, "index.ndjson") }
+
+func (s *CASStore) objectPath(hash string) string {
+	return filepath.Join(s.dir, "objects", hash[:2], hash)
+}
+
+// adoptLocked applies one index entry to the in-memory maps (later
+// entries for a key win, replaying the log's append order).
+func (s *CASStore) adoptLocked(e casEntry) {
+	if old, ok := s.index[e.Key]; ok {
+		s.refs[old.SHA256]--
+		if s.refs[old.SHA256] == 0 {
+			delete(s.refs, old.SHA256)
+		}
+		s.st.LiveBytes -= int64(old.Bytes)
+	}
+	s.index[e.Key] = e
+	s.refs[e.SHA256]++
+	s.st.LiveBytes += int64(e.Bytes)
+}
+
+// Put hashes the body, writes the object if it is new (temp file +
+// rename, so readers never observe a partial object), and appends the
+// key→hash mapping to the index log.
+func (s *CASStore) Put(rec Record) error {
+	if err := validate(rec); err != nil {
+		return err
+	}
+	sum := sha256.Sum256(rec.Body)
+	hash := hex.EncodeToString(sum[:])
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: put on closed store")
+	}
+	_, known := s.refs[hash]
+	if !known {
+		// The hash may still exist on disk from an earlier process whose
+		// index references were all overwritten; rewriting is harmless
+		// (same content) but skippable.
+		if _, err := os.Stat(s.objectPath(hash)); err == nil {
+			known = true
+		}
+	}
+	if !known {
+		if err := s.writeObject(hash, rec.Body); err != nil {
+			return err
+		}
+	} else {
+		s.st.Dedups++
+	}
+	e := casEntry{Key: rec.Key, Kind: rec.Kind, SHA256: hash, Bytes: len(rec.Body)}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := s.w.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	s.adoptLocked(e)
+	s.st.Puts++
+	return nil
+}
+
+// writeObject lands the body at its content address via temp + rename.
+func (s *CASStore) writeObject(hash string, body []byte) error {
+	path := s.objectPath(hash)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "obj-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(body); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Get resolves key through the index and reads its object.
+func (s *CASStore) Get(key string) (Record, bool, error) {
+	s.mu.Lock()
+	s.st.Gets++
+	e, ok := s.index[key]
+	if ok {
+		s.st.Hits++
+	}
+	s.mu.Unlock()
+	if !ok {
+		return Record{}, false, nil
+	}
+	body, err := os.ReadFile(s.objectPath(e.SHA256))
+	if err != nil {
+		return Record{}, false, fmt.Errorf("store: object %s for key %q: %w", e.SHA256[:12], key, err)
+	}
+	return Record{Key: e.Key, Kind: e.Kind, Body: body}, true, nil
+}
+
+// Scan visits live records whose key starts with prefix, in sorted key
+// order, reading each object outside the lock.
+func (s *CASStore) Scan(prefix string, fn func(Record) error) error {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		rec, ok, err := s.Get(k)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats reports the store's counters. Segments counts distinct live
+// objects (the measure of how much dedup saved).
+func (s *CASStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.st
+	st.Keys = len(s.index)
+	st.Segments = len(s.refs)
+	return st
+}
+
+// Close flushes and closes the index log.
+func (s *CASStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
