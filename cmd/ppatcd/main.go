@@ -21,7 +21,12 @@
 //	GET  /v1/workloads  workload discovery
 //	GET  /healthz       liveness
 //	GET  /metrics       Prometheus-style counters and latency histograms
-//	                    (request + per-pipeline-stage + ppatcd_sweep_*)
+//	                    (request + per-pipeline-stage + ppatcd_sweep_* +
+//	                    endpoint×disposition + slowest-request exemplars)
+//	GET  /v1/metrics/stream  Server-Sent Events: completed-request flight
+//	                    events plus periodic counter snapshots
+//	GET  /debug/flight  flight-recorder dump, NDJSON, one event per line
+//	                    (?ring=recent|slow|all, ?n= newest n)
 //
 // Sweep jobs are keyed by the spec hash: POSTing the same spec twice
 // lands on the same job, and with -sweep-dir the daemon checkpoints
@@ -48,6 +53,13 @@
 // -pprof mounts net/http/pprof at /debug/pprof/. Logs are structured
 // slog records; -log-level and -log-format select verbosity and
 // text/JSON encoding.
+//
+// Every request additionally records a latency attribution — wall clock
+// split into queue_wait / cache_lookup / compute / encode / store_write
+// — into an always-on flight recorder retaining the last -flight-slots
+// completed requests plus everything slower than -slow-ms (those are
+// also logged at warn with their stage breakdown). Dump it with
+// -call flight or GET /debug/flight.
 //
 // Client mode drives a running daemon without curl:
 //
@@ -101,7 +113,9 @@ func run(args []string) error {
 	storeDir := fs.String("store-dir", "", "persistent result-store directory (results survive restarts)")
 	storeBackend := fs.String("store-backend", "segment", "result-store layout: segment or cas")
 	storeMaxSegment := fs.Int64("store-max-segment-bytes", 0, "segment-store file size cap (0 = 8 MiB)")
-	call := fs.String("call", "", "client mode: endpoint to call (evaluate, batch, suite, tcdp, sweep, sweeps, sweep-status, sweep-results, sweep-frontier, sweep-cancel, results, result, grids, workloads, health, metrics)")
+	slowMS := fs.Int("slow-ms", 100, "slow-request threshold in milliseconds (retained in the flight recorder's slow ring and logged at warn; 0 disables)")
+	flightSlots := fs.Int("flight-slots", 1024, "flight-recorder recent-events ring size (rounded up to a power of two)")
+	call := fs.String("call", "", "client mode: endpoint to call (evaluate, batch, suite, tcdp, sweep, sweeps, sweep-status, sweep-results, sweep-frontier, sweep-cancel, results, result, grids, workloads, health, metrics, flight)")
 	data := fs.String("data", "", "client mode: JSON request body ('@file' reads a file)")
 	jobID := fs.String("id", "", "client mode: sweep job ID for sweep-status/results/frontier/cancel")
 	key := fs.String("key", "", "client mode: stored-result key for -call result")
@@ -131,7 +145,20 @@ func run(args []string) error {
 		StoreDir:             *storeDir,
 		StoreBackend:         *storeBackend,
 		StoreMaxSegmentBytes: *storeMaxSegment,
+
+		FlightRecentSlots: *flightSlots,
+		SlowThreshold:     slowThreshold(*slowMS),
 	}, *drain)
+}
+
+// slowThreshold converts the -slow-ms flag to a Config value: 0 means
+// "disable", which Config spells as a negative duration (zero selects
+// the default).
+func slowThreshold(ms int) time.Duration {
+	if ms <= 0 {
+		return -1
+	}
+	return time.Duration(ms) * time.Millisecond
 }
 
 // buildLogger assembles the daemon's slog.Logger from the -log-level and
@@ -223,6 +250,7 @@ func clientCall(addr, endpoint, data, jobID, key string) error {
 		"workloads":      {http.MethodGet, "/v1/workloads"},
 		"health":         {http.MethodGet, "/healthz"},
 		"metrics":        {http.MethodGet, "/metrics"},
+		"flight":         {http.MethodGet, "/debug/flight"},
 	}
 	rt, ok := routes[endpoint]
 	if !ok {

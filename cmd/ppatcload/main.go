@@ -14,9 +14,17 @@
 // worker, and every request draws from a fixed tuple set that the
 // warmup phase fully populates in the cache, so the steady state
 // measures the cache-hit path. Pass -no-warmup to measure cold traffic.
+//
+// -attribution additionally subscribes to the server's flight recorder
+// and folds per-endpoint stage breakdowns (queue_wait / cache_lookup /
+// compute / encode / store_write / other, mean ms per request) into the
+// report's "attribution" section; -flight-out writes the post-run
+// flight-recorder dump as NDJSON, the same format GET /debug/flight
+// serves.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +41,7 @@ import (
 	"time"
 
 	"ppatc/internal/bench"
+	"ppatc/internal/obs/flight"
 	"ppatc/internal/server"
 )
 
@@ -65,6 +74,11 @@ type benchConfig struct {
 	out       string
 	seq       int
 	warmup    bool
+	// attribution subscribes to the flight recorder and folds
+	// per-endpoint stage breakdowns into the report; flightOut
+	// additionally dumps the recorder's retained events as NDJSON.
+	attribution bool
+	flightOut   string
 	// serverWorkers/cacheShards size the server under test.
 	serverWorkers int
 	cacheShards   int
@@ -84,12 +98,17 @@ func parseFlags(args []string) (benchConfig, error) {
 	fs.StringVar(&cfg.out, "out", "", "write the JSON report to this file")
 	fs.IntVar(&cfg.seq, "seq", 0, "bench sequence number (0 derives it from -out, e.g. BENCH_7.json → 7)")
 	fs.BoolVar(&noWarmup, "no-warmup", false, "skip cache warmup (measure cold traffic)")
+	fs.BoolVar(&cfg.attribution, "attribution", false, "aggregate flight-recorder latency attributions into the report")
+	fs.StringVar(&cfg.flightOut, "flight-out", "", "write the post-run flight-recorder dump (NDJSON) to this file (implies -attribution)")
 	fs.IntVar(&cfg.serverWorkers, "server-workers", runtime.GOMAXPROCS(0), "server worker-pool size")
 	fs.IntVar(&cfg.cacheShards, "cache-shards", 16, "server response-cache shards")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
 	cfg.warmup = !noWarmup
+	if cfg.flightOut != "" {
+		cfg.attribution = true
+	}
 	var err error
 	if cfg.mix, err = parseMix(mix); err != nil {
 		return cfg, err
@@ -218,6 +237,30 @@ func run(cfg benchConfig) (*bench.Report, error) {
 		}
 	}
 
+	// Attribution mode subscribes to the flight recorder's live stream
+	// after warmup, so the aggregation covers exactly the measured
+	// requests. The consumer only adds integers, so it keeps up with the
+	// hub's buffer; anything it still misses is counted as dropped.
+	var agg *attributionAgg
+	stopAgg := func() {}
+	if cfg.attribution {
+		events, cancel := srv.Recorder().Hub().Subscribe(8192)
+		agg = newAttributionAgg()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for e := range events {
+				agg.add(&e)
+			}
+		}()
+		// cancel closes the subscription; the consumer then drains
+		// whatever is still buffered before done closes.
+		stopAgg = func() {
+			cancel()
+			<-done
+		}
+	}
+
 	var ms0 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&ms0)
@@ -249,6 +292,7 @@ func run(cfg benchConfig) (*bench.Report, error) {
 
 	var ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms1)
+	stopAgg()
 
 	// The report is self-describing (ppatc-bench/v2): it carries its
 	// place in the bench sequence and the engine it ran on, so the
@@ -299,6 +343,15 @@ func run(cfg benchConfig) (*bench.Report, error) {
 		st.P99Ms = percentile(lats, 99).Seconds() * 1e3
 		st.MaxMs = lats[len(lats)-1].Seconds() * 1e3
 	}
+	if agg != nil {
+		rep.Config.Attribution = true
+		rep.Attribution = agg.finish()
+	}
+	if cfg.flightOut != "" {
+		if err := writeFlightDump(srv, cfg.flightOut); err != nil {
+			return nil, err
+		}
+	}
 	rep.Totals.Requests = total
 	rep.Totals.ElapsedS = cfg.duration.Seconds()
 	if total > 0 {
@@ -310,6 +363,76 @@ func run(cfg benchConfig) (*bench.Report, error) {
 		rep.Totals.BytesPerOp = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(total)
 	}
 	return rep, nil
+}
+
+// attributionAgg accumulates per-endpoint stage sums from the flight
+// recorder's event stream. It is written by exactly one consumer
+// goroutine; finish() is only called after that goroutine exits (the
+// channel-close edge orders the accesses).
+type attributionAgg struct {
+	byEndpoint map[string]*stageSums
+}
+
+type stageSums struct {
+	events                            int
+	queueWait, cacheLookup, compute   int64
+	encode, storeWrite, other, totals int64
+}
+
+func newAttributionAgg() *attributionAgg {
+	return &attributionAgg{byEndpoint: make(map[string]*stageSums)}
+}
+
+func (a *attributionAgg) add(e *flight.Event) {
+	s := a.byEndpoint[e.Endpoint]
+	if s == nil {
+		s = &stageSums{}
+		a.byEndpoint[e.Endpoint] = s
+	}
+	s.events++
+	s.queueWait += e.QueueWaitNS
+	s.cacheLookup += e.CacheLookupNS
+	s.compute += e.ComputeNS
+	s.encode += e.EncodeNS
+	s.storeWrite += e.StoreWriteNS
+	s.other += e.OtherNS
+	s.totals += e.TotalNS
+}
+
+func (a *attributionAgg) finish() map[string]*bench.StageAttribution {
+	out := make(map[string]*bench.StageAttribution, len(a.byEndpoint))
+	for name, s := range a.byEndpoint {
+		n := float64(s.events) * 1e6 // ns sums → mean ms
+		out[name] = &bench.StageAttribution{
+			Events:        s.events,
+			QueueWaitMs:   float64(s.queueWait) / n,
+			CacheLookupMs: float64(s.cacheLookup) / n,
+			ComputeMs:     float64(s.compute) / n,
+			EncodeMs:      float64(s.encode) / n,
+			StoreWriteMs:  float64(s.storeWrite) / n,
+			OtherMs:       float64(s.other) / n,
+			TotalMs:       float64(s.totals) / n,
+		}
+	}
+	return out
+}
+
+// writeFlightDump writes the recorder's retained events as NDJSON, the
+// same format GET /debug/flight serves.
+func writeFlightDump(srv *server.Server, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	evs := srv.Recorder().Dump(flight.RingAll, 0)
+	for i := range evs {
+		if err := enc.Encode(&evs[i]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }
 
 // issue sends one in-process request and reports the status code and
@@ -390,5 +513,17 @@ func printReport(w io.Writer, r *bench.Report) {
 		}
 		fmt.Fprintf(w, "  %-9s %7d reqs  p50 %8.3fms  p95 %8.3fms  p99 %8.3fms  max %8.3fms  hits %d\n",
 			name, st.Count, st.P50Ms, st.P95Ms, st.P99Ms, st.MaxMs, st.CacheHits)
+	}
+	if len(r.Attribution) > 0 {
+		fmt.Fprintln(w, "  attribution (mean ms/request):")
+		for _, name := range knownEndpoints {
+			at, ok := r.Attribution[name]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "    %-9s %7d events  queue %8.4f  lookup %8.4f  compute %8.4f  encode %8.4f  store %8.4f  other %8.4f\n",
+				name, at.Events, at.QueueWaitMs, at.CacheLookupMs, at.ComputeMs,
+				at.EncodeMs, at.StoreWriteMs, at.OtherMs)
+		}
 	}
 }

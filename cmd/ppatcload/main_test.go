@@ -102,3 +102,80 @@ func TestHarnessSmoke(t *testing.T) {
 		t.Error("human-readable summary missing endpoint lines")
 	}
 }
+
+// TestAttributionSmoke runs the harness in -attribution mode and checks
+// the report's stage breakdowns: every endpoint that served traffic has
+// an attribution whose stage means re-add to its mean latency, and
+// -flight-out wrote a parseable NDJSON dump.
+func TestAttributionSmoke(t *testing.T) {
+	dir := t.TempDir()
+	flightOut := filepath.Join(dir, "flight.ndjson")
+	cfg, err := parseFlags([]string{
+		"-duration", "300ms", "-workers", "2", "-seed", "7",
+		"-workloads", "crc32", "-batch-size", "4",
+		"-mix", "evaluate=80,batch=20",
+		"-flight-out", flightOut, // implies -attribution
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.attribution {
+		t.Fatal("-flight-out should imply -attribution")
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Config.Attribution {
+		t.Error("report config does not record attribution mode")
+	}
+	for _, name := range []string{"evaluate", "batch"} {
+		at := rep.Attribution[name]
+		if at == nil || at.Events == 0 {
+			t.Fatalf("no attribution for %s: %+v", name, rep.Attribution)
+		}
+		sum := at.QueueWaitMs + at.CacheLookupMs + at.ComputeMs +
+			at.EncodeMs + at.StoreWriteMs + at.OtherMs
+		diff := sum - at.TotalMs
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.01*at.TotalMs {
+			t.Errorf("%s stage means %.6fms don't re-add to total %.6fms", name, sum, at.TotalMs)
+		}
+	}
+
+	b, err := os.ReadFile(flightOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("flight dump is empty")
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, `"total_ns"`) || !strings.Contains(line, `"endpoint"`) {
+			t.Fatalf("flight dump line missing attribution fields: %s", line)
+		}
+	}
+
+	// The attribution section must survive the report round trip and
+	// show up in the human-readable summary.
+	raw, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	round, err := bench.Parse(raw, "BENCH_9.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(round.Attribution) != len(rep.Attribution) {
+		t.Errorf("attribution lost in round trip: %d vs %d endpoints",
+			len(round.Attribution), len(rep.Attribution))
+	}
+	var sb strings.Builder
+	printReport(&sb, rep)
+	if !strings.Contains(sb.String(), "attribution (mean ms/request):") {
+		t.Error("summary missing the attribution table")
+	}
+}

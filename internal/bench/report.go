@@ -65,6 +65,25 @@ type Config struct {
 	Warmup        bool           `json:"warmup"`
 	ServerWorkers int            `json:"server_workers"`
 	CacheShards   int            `json:"cache_shards"`
+	// Attribution marks runs that aggregated the flight recorder's
+	// latency attributions into the report (ppatcload -attribution).
+	Attribution bool `json:"attribution,omitempty"`
+}
+
+// StageAttribution aggregates the flight recorder's per-request latency
+// attributions for one endpoint over a run: mean milliseconds spent in
+// each stage, over Events completed requests. The stage means re-add to
+// the endpoint's mean end-to-end latency — the same partition invariant
+// each individual flight event carries.
+type StageAttribution struct {
+	Events        int     `json:"events"`
+	QueueWaitMs   float64 `json:"queue_wait_ms"`
+	CacheLookupMs float64 `json:"cache_lookup_ms"`
+	ComputeMs     float64 `json:"compute_ms"`
+	EncodeMs      float64 `json:"encode_ms"`
+	StoreWriteMs  float64 `json:"store_write_ms"`
+	OtherMs       float64 `json:"other_ms"`
+	TotalMs       float64 `json:"total_ms"`
 }
 
 // Totals aggregates the whole run.
@@ -102,6 +121,9 @@ type Report struct {
 	Config    Config                    `json:"config"`
 	Totals    Totals                    `json:"totals"`
 	Endpoints map[string]*EndpointStats `json:"endpoints"`
+	// Attribution holds per-endpoint stage breakdowns when the run was
+	// taken with -attribution (absent otherwise; still ppatc-bench/v2).
+	Attribution map[string]*StageAttribution `json:"attribution,omitempty"`
 }
 
 // SeqFromFilename extracts the trailing integer of a report filename:

@@ -1,0 +1,71 @@
+package flight
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Hub fans completed events out to live stream subscribers
+// (GET /v1/metrics/stream). The no-subscriber fast path — the steady
+// state — is a single atomic load, so the hub costs the request path
+// nothing until someone is actually watching. Publishes never block:
+// a subscriber whose buffer is full misses events rather than stalling
+// the recorder.
+type Hub struct {
+	n    atomic.Int64
+	mu   sync.Mutex
+	subs map[int]chan Event
+	next int
+}
+
+// Subscribe registers a listener with the given channel buffer
+// (minimum 1) and returns its event channel plus a cancel function.
+// Cancel is idempotent and closes the channel, so a draining range
+// loop terminates.
+func (h *Hub) Subscribe(buf int) (<-chan Event, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan Event, buf)
+	h.mu.Lock()
+	if h.subs == nil {
+		h.subs = make(map[int]chan Event)
+	}
+	id := h.next
+	h.next++
+	h.subs[id] = ch
+	h.mu.Unlock()
+	h.n.Add(1)
+
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			h.mu.Lock()
+			delete(h.subs, id)
+			h.mu.Unlock()
+			h.n.Add(-1)
+			close(ch)
+		})
+	}
+	return ch, cancel
+}
+
+// Subscribers reports the number of live subscriptions.
+func (h *Hub) Subscribers() int64 { return h.n.Load() }
+
+// publish delivers e to every subscriber that has buffer room.
+//
+//ppatc:hotpath
+func (h *Hub) publish(e Event) {
+	if h.n.Load() == 0 {
+		return
+	}
+	h.mu.Lock()
+	for _, ch := range h.subs {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+	h.mu.Unlock()
+}

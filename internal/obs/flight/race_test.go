@@ -1,0 +1,189 @@
+package flight
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRingConcurrentWritersAndReaders hammers the recorder from 32
+// writer goroutines while readers continuously dump it, asserting the
+// two guarantees the latch design makes: no torn events (every dumped
+// event is internally consistent) and unique, in-range sequence
+// numbers in every strictly ascending dump. Run under -race in CI.
+func TestRingConcurrentWritersAndReaders(t *testing.T) {
+	const (
+		writers  = 32
+		perW     = 500
+		readers  = 4
+		slowEach = 50 // every 50th event per writer is slow
+	)
+	r := NewRecorder(256, 256, time.Millisecond)
+
+	// Writers stamp redundant fields from one value; a torn event would
+	// mix fields from two writers and break the equalities below.
+	torn := func(e Event) bool {
+		return e.TotalNS != e.ComputeNS+e.OtherNS ||
+			e.QueueWaitNS != e.ComputeNS ||
+			int64(e.Status) != e.ComputeNS%1000
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan string, readers+writers)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				v := int64(w*perW + i)
+				e := Event{
+					Endpoint:    "/v1/evaluate",
+					Disposition: "HIT",
+					Status:      int(v % 1000),
+					QueueWaitNS: v,
+					ComputeNS:   v,
+					OtherNS:     1,
+					TotalNS:     v + 1,
+				}
+				if i%slowEach == 0 {
+					e.TotalNS = (2 * time.Millisecond).Nanoseconds()
+					e.OtherNS = e.TotalNS - e.ComputeNS
+				}
+				r.Record(e)
+			}
+		}(w)
+	}
+
+	var rwg sync.WaitGroup
+	for rd := 0; rd < readers; rd++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, ring := range []string{RingRecent, RingSlow, RingAll} {
+					evs := r.Dump(ring, 0)
+					var last uint64
+					for _, e := range evs {
+						if torn(e) {
+							errs <- "torn event in dump"
+							return
+						}
+						if e.Seq <= last {
+							errs <- "dump sequence not strictly ascending"
+							return
+						}
+						last = e.Seq
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+
+	total := uint64(writers * perW)
+	if got := r.Seq(); got != total {
+		t.Fatalf("recorded seq = %d, want %d", got, total)
+	}
+	// Everything still present must be consistent and unique.
+	evs := r.Dump(RingAll, 0)
+	seen := make(map[uint64]bool, len(evs))
+	for _, e := range evs {
+		if torn(e) {
+			t.Fatalf("torn event after quiesce: %+v", e)
+		}
+		if e.Seq == 0 || e.Seq > total {
+			t.Fatalf("seq %d out of range [1,%d]", e.Seq, total)
+		}
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d in deduplicated dump", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+	if len(evs) == 0 {
+		t.Fatal("quiesced dump is empty")
+	}
+	// Drops are possible under contention but must be accounted for.
+	if d := r.Dropped(); d < 0 {
+		t.Fatalf("negative drop count %d", d)
+	}
+}
+
+func TestHubSubscribePublishCancel(t *testing.T) {
+	var h Hub
+	if h.Subscribers() != 0 {
+		t.Fatal("fresh hub should have no subscribers")
+	}
+	h.publish(Event{Seq: 1}) // no subscribers: must be a no-op
+
+	ch, cancel := h.Subscribe(4)
+	if h.Subscribers() != 1 {
+		t.Fatalf("subscribers = %d, want 1", h.Subscribers())
+	}
+	h.publish(Event{Seq: 2})
+	select {
+	case e := <-ch:
+		if e.Seq != 2 {
+			t.Fatalf("received seq %d, want 2", e.Seq)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("published event not delivered")
+	}
+
+	// A full buffer drops rather than blocking the publisher.
+	for i := 0; i < 10; i++ {
+		h.publish(Event{Seq: uint64(10 + i)})
+	}
+
+	cancel()
+	cancel() // idempotent
+	if h.Subscribers() != 0 {
+		t.Fatalf("subscribers after cancel = %d, want 0", h.Subscribers())
+	}
+	// Channel is closed: a drain loop terminates.
+	for range ch {
+	}
+	h.publish(Event{Seq: 99}) // must not panic on closed subscription
+}
+
+func TestHubConcurrentSubscribersUnderLoad(t *testing.T) {
+	r := NewRecorder(64, 64, 0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch, cancel := r.Hub().Subscribe(8)
+			defer cancel()
+			for {
+				select {
+				case <-ch:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		r.Record(Event{Seq: 0, TotalNS: int64(i)})
+	}
+	close(stop)
+	wg.Wait()
+	if r.Hub().Subscribers() != 0 {
+		t.Fatalf("subscribers = %d after all cancels", r.Hub().Subscribers())
+	}
+}

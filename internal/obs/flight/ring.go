@@ -1,0 +1,191 @@
+package flight
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// ring is a fixed-size event buffer written from many request
+// goroutines without blocking any of them. Slots are claimed by an
+// atomic cursor; each slot is guarded by a one-word try-latch, so a
+// writer that collides with a reader (or with a writer that lapped the
+// whole ring mid-copy) drops its event — metered, never torn, never
+// blocked. Readers copy slots out under the same latch, so a dump can
+// run concurrently with full-load recording and every event it returns
+// is internally consistent.
+type ring struct {
+	mask    uint64
+	cursor  atomic.Uint64
+	dropped atomic.Int64
+	slots   []slot
+}
+
+type slot struct {
+	// latch is the slot's try-acquire guard: 0 free, 1 held. Writers
+	// and readers both go through it, so slot data accesses are always
+	// ordered by the latch's acquire/release edges.
+	latch atomic.Uint32
+	ev    Event
+}
+
+// newRing sizes a ring to the next power of two ≥ n (minimum 1).
+func newRing(n int) *ring {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &ring{mask: uint64(size - 1), slots: make([]slot, size)}
+}
+
+// record claims the next slot and copies e into it. It never blocks:
+// if the slot is momentarily held (a reader copying it, or a writer
+// that lapped the ring), the event is dropped and counted.
+//
+//ppatc:hotpath
+func (r *ring) record(e Event) {
+	t := r.cursor.Add(1) - 1
+	s := &r.slots[t&r.mask]
+	if !s.latch.CompareAndSwap(0, 1) {
+		r.dropped.Add(1)
+		return
+	}
+	s.ev = e
+	s.latch.Store(0)
+}
+
+// snapshot appends a consistent copy of every written slot to dst.
+// Slots momentarily held by a writer are skipped — the dump is a
+// best-effort copy-on-read view, which is exactly what a live flight
+// recorder can promise under load.
+func (r *ring) snapshot(dst []Event) []Event {
+	for i := range r.slots {
+		s := &r.slots[i]
+		if !s.latch.CompareAndSwap(0, 1) {
+			continue
+		}
+		e := s.ev
+		s.latch.Store(0)
+		if e.Seq != 0 {
+			dst = append(dst, e)
+		}
+	}
+	return dst
+}
+
+// Recorder is the flight recorder: a recent-events ring holding the
+// last N completed requests of any speed, plus a slow ring retaining
+// requests at or above the slow threshold (which would otherwise be
+// evicted quickly by high-rate fast traffic). All methods are safe for
+// concurrent use; Record makes no allocations.
+type Recorder struct {
+	seq    atomic.Uint64
+	slowNS int64
+	recent *ring
+	slow   *ring
+	hub    Hub
+}
+
+// NewRecorder builds a recorder with the given ring capacities
+// (rounded up to powers of two; minimums of 1) and slow threshold.
+// A zero or negative threshold disables the slow ring.
+func NewRecorder(recentSlots, slowSlots int, slowThreshold time.Duration) *Recorder {
+	if recentSlots < 1 {
+		recentSlots = 1
+	}
+	if slowSlots < 1 {
+		slowSlots = 1
+	}
+	return &Recorder{
+		slowNS: slowThreshold.Nanoseconds(),
+		recent: newRing(recentSlots),
+		slow:   newRing(slowSlots),
+	}
+}
+
+// SlowThreshold reports the configured slow-request threshold
+// (0 when disabled).
+func (r *Recorder) SlowThreshold() time.Duration {
+	return time.Duration(r.slowNS)
+}
+
+// Record assigns the event its sequence number and stores it: always
+// in the recent ring, and additionally in the slow ring when it meets
+// the slow threshold. Completed events are also published to any live
+// stream subscribers (non-blocking; slow consumers miss events rather
+// than stalling the request path).
+//
+//ppatc:hotpath
+func (r *Recorder) Record(e Event) {
+	e.Seq = r.seq.Add(1)
+	if r.slowNS > 0 && e.TotalNS >= r.slowNS {
+		e.Slow = true
+	}
+	r.recent.record(e)
+	if e.Slow {
+		r.slow.record(e)
+	}
+	r.hub.publish(e)
+}
+
+// IsSlow reports whether a latency meets the slow threshold.
+//
+//ppatc:hotpath
+func (r *Recorder) IsSlow(d time.Duration) bool {
+	return r.slowNS > 0 && d.Nanoseconds() >= r.slowNS
+}
+
+// Dropped counts events lost to slot contention across both rings —
+// at sane ring sizes this stays zero even under heavy load.
+func (r *Recorder) Dropped() int64 {
+	return r.recent.dropped.Load() + r.slow.dropped.Load()
+}
+
+// Seq reports the number of events recorded so far.
+func (r *Recorder) Seq() uint64 { return r.seq.Load() }
+
+// Hub returns the recorder's live-stream hub.
+func (r *Recorder) Hub() *Hub { return &r.hub }
+
+// Ring names accepted by Dump.
+const (
+	RingRecent = "recent"
+	RingSlow   = "slow"
+	RingAll    = "all"
+)
+
+// Dump returns a consistent copy of the named ring's events ("recent",
+// "slow", or "all" for the union), deduplicated by sequence number and
+// sorted in ascending sequence order. max > 0 keeps only the newest
+// max events. Unknown ring names return nil.
+func (r *Recorder) Dump(ring string, max int) []Event {
+	var out []Event
+	switch ring {
+	case RingRecent:
+		out = r.recent.snapshot(nil)
+	case RingSlow:
+		out = r.slow.snapshot(nil)
+	case RingAll, "":
+		out = r.recent.snapshot(nil)
+		out = r.slow.snapshot(out)
+	default:
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	// The union can contain a slow event twice (once per ring); the
+	// rings never reuse sequence numbers, so adjacent dedup is exact.
+	dedup := out[:0]
+	var last uint64
+	for _, e := range out {
+		if e.Seq == last {
+			continue
+		}
+		dedup = append(dedup, e)
+		last = e.Seq
+	}
+	out = dedup
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}

@@ -13,7 +13,8 @@ import (
 // registry shared by every serving surface (the daemon today; any future
 // backend the same way), so instruments are declared once and rendered
 // uniformly. Supports counters, function gauges, and fixed-bucket latency
-// histograms, each either plain or with a single label dimension.
+// histograms, each either plain or with a single label dimension —
+// histograms can also carry two (e.g. endpoint × cache disposition).
 
 // DefaultLatencyBuckets are histogram upper bounds in seconds spanning
 // sub-millisecond cache hits to multi-second suite evaluations.
@@ -66,19 +67,25 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindHistogram
+	kindHistogram2
 )
 
-// family is one named metric with an optional single label dimension.
+// family is one named metric with up to two label dimensions.
 type family struct {
 	name, help string
 	kind       metricKind
-	label      string // label key; "" when unlabeled
+	label      string // first label key; "" when unlabeled
+	label2     string // second label key (kindHistogram2 only)
 
 	mu       sync.Mutex
 	counters map[string]*Counter
 	hists    map[string]*Histogram
-	buckets  []float64
-	gauge    func() float64
+	// hists2 nests the second label under the first, so two-label
+	// lookups never build a concatenated key (keeps the hot path
+	// allocation-free).
+	hists2  map[string]map[string]*Histogram
+	buckets []float64
+	gauge   func() float64
 }
 
 func (f *family) labelValues() []string {
@@ -123,6 +130,30 @@ func (v *HistogramVec) With(label string) *Histogram {
 	return h
 }
 
+// HistogramVec2 is a histogram family with two label dimensions
+// (e.g. endpoint × cache disposition).
+type HistogramVec2 struct{ f *family }
+
+// With returns the histogram for a label-value pair, creating it on
+// first use. Steady-state lookups are allocation-free.
+//
+//ppatc:hotpath
+func (v *HistogramVec2) With(v1, v2 string) *Histogram {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	inner, ok := v.f.hists2[v1]
+	if !ok {
+		inner = make(map[string]*Histogram)
+		v.f.hists2[v1] = inner
+	}
+	h, ok := inner[v2]
+	if !ok {
+		h = newHistogram(v.f.buckets)
+		inner[v2] = h
+	}
+	return h
+}
+
 // Registry holds named instruments and renders them in Prometheus text
 // exposition format. Register instruments up front (registration takes a
 // lock); observation is lock-free for counters and histograms.
@@ -137,19 +168,20 @@ func NewRegistry() *Registry {
 	return &Registry{byName: make(map[string]*family)}
 }
 
-func (r *Registry) register(name, help string, kind metricKind, label string) *family {
+func (r *Registry) register(name, help string, kind metricKind, label, label2 string) *family {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if f, ok := r.byName[name]; ok {
-		if f.kind != kind || f.label != label {
+		if f.kind != kind || f.label != label || f.label2 != label2 {
 			panic(fmt.Sprintf("obs: metric %q re-registered with a different shape", name))
 		}
 		return f
 	}
 	f := &family{
-		name: name, help: help, kind: kind, label: label,
+		name: name, help: help, kind: kind, label: label, label2: label2,
 		counters: make(map[string]*Counter),
 		hists:    make(map[string]*Histogram),
+		hists2:   make(map[string]map[string]*Histogram),
 	}
 	r.families = append(r.families, f)
 	r.byName[name] = f
@@ -158,7 +190,7 @@ func (r *Registry) register(name, help string, kind metricKind, label string) *f
 
 // Counter registers (or returns) an unlabeled counter.
 func (r *Registry) Counter(name, help string) *Counter {
-	f := r.register(name, help, kindCounter, "")
+	f := r.register(name, help, kindCounter, "", "")
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	c, ok := f.counters[""]
@@ -171,12 +203,12 @@ func (r *Registry) Counter(name, help string) *Counter {
 
 // CounterVec registers (or returns) a counter family labeled by key.
 func (r *Registry) CounterVec(name, help, key string) *CounterVec {
-	return &CounterVec{f: r.register(name, help, kindCounter, key)}
+	return &CounterVec{f: r.register(name, help, kindCounter, key, "")}
 }
 
 // GaugeFunc registers a gauge whose value is read at render time.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
-	f := r.register(name, help, kindGauge, "")
+	f := r.register(name, help, kindGauge, "", "")
 	f.mu.Lock()
 	f.gauge = fn
 	f.mu.Unlock()
@@ -188,13 +220,29 @@ func (r *Registry) HistogramVec(name, help, key string, buckets []float64) *Hist
 	if buckets == nil {
 		buckets = DefaultLatencyBuckets
 	}
-	f := r.register(name, help, kindHistogram, key)
+	f := r.register(name, help, kindHistogram, key, "")
 	f.mu.Lock()
 	if f.buckets == nil {
 		f.buckets = buckets
 	}
 	f.mu.Unlock()
 	return &HistogramVec{f: f}
+}
+
+// HistogramVec2 registers (or returns) a histogram family with two
+// label dimensions, with the given bucket bounds (DefaultLatencyBuckets
+// when nil).
+func (r *Registry) HistogramVec2(name, help, key1, key2 string, buckets []float64) *HistogramVec2 {
+	if buckets == nil {
+		buckets = DefaultLatencyBuckets
+	}
+	f := r.register(name, help, kindHistogram2, key1, key2)
+	f.mu.Lock()
+	if f.buckets == nil {
+		f.buckets = buckets
+	}
+	f.mu.Unlock()
+	return &HistogramVec2{f: f}
 }
 
 // WriteTo renders every registered family, in registration order, in
@@ -212,7 +260,7 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	}
 
 	for _, f := range families {
-		typ := map[metricKind]string{kindCounter: "counter", kindGauge: "gauge", kindHistogram: "histogram"}[f.kind]
+		typ := map[metricKind]string{kindCounter: "counter", kindGauge: "gauge", kindHistogram: "histogram", kindHistogram2: "histogram"}[f.kind]
 		if err := p("# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, typ); err != nil {
 			return n, err
 		}
@@ -271,6 +319,43 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 				if err := p("%s_count%s %d\n", f.name, suffix, h.count.Load()); err != nil {
 					f.mu.Unlock()
 					return n, err
+				}
+			}
+		case kindHistogram2:
+			outer := make([]string, 0, len(f.hists2))
+			for v1 := range f.hists2 {
+				outer = append(outer, v1)
+			}
+			sort.Strings(outer)
+			for _, v1 := range outer {
+				inner := make([]string, 0, len(f.hists2[v1]))
+				for v2 := range f.hists2[v1] {
+					inner = append(inner, v2)
+				}
+				sort.Strings(inner)
+				for _, v2 := range inner {
+					h := f.hists2[v1][v2]
+					label := fmt.Sprintf("%s=%q,%s=%q", f.label, v1, f.label2, v2)
+					var cum int64
+					for i, ub := range h.buckets {
+						cum += h.counts[i].Load()
+						if err := p("%s_bucket{%s,le=%q} %d\n", f.name, label, fmt.Sprintf("%g", ub), cum); err != nil {
+							f.mu.Unlock()
+							return n, err
+						}
+					}
+					if err := p("%s_bucket{%s,le=\"+Inf\"} %d\n", f.name, label, h.count.Load()); err != nil {
+						f.mu.Unlock()
+						return n, err
+					}
+					if err := p("%s_sum{%s} %g\n", f.name, label, float64(h.sumMicros.Load())/1e6); err != nil {
+						f.mu.Unlock()
+						return n, err
+					}
+					if err := p("%s_count{%s} %d\n", f.name, label, h.count.Load()); err != nil {
+						f.mu.Unlock()
+						return n, err
+					}
 				}
 			}
 		}

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"ppatc/internal/carbon"
 	"ppatc/internal/core"
 	"ppatc/internal/embench"
+	"ppatc/internal/obs/flight"
 )
 
 // maxBatchItems bounds one /v1/batch request. A full cross product of
@@ -74,6 +76,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	att := attributionOf(w)
+	att.BatchSize = len(req.Items)
+
 	out := batchResponse{
 		Count: len(req.Items),
 		Items: make([]batchItemResult, len(req.Items)),
@@ -86,6 +91,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		work workFn
 	}
 	var misses []pending
+	//ppatcvet:ignore determinism latency attribution measures wall time only; it never flows into response bytes
+	lookupStart := time.Now()
+	sawHit := false
 	for i, it := range req.Items {
 		res := &out.Items[i]
 		res.Index = i
@@ -113,10 +121,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			s.metrics.CacheHits.Add(1)
 			res.Cache = "HIT"
 			res.Result = b
+			sawHit = true
 			continue
 		}
 		misses = append(misses, pending{idx: i, key: key, work: s.evaluateWork(sysName, wl, grid)})
 	}
+	att.CacheLookupNS += time.Since(lookupStart).Nanoseconds()
 
 	// Second pass: evaluate the misses concurrently. compute() already
 	// bounds real work by the pool and coalesces duplicate tuples, so
@@ -125,30 +135,112 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		ctx := r.Context()
 		sem := make(chan struct{}, s.cfg.Workers)
 		var wg sync.WaitGroup
-		for _, p := range misses {
+		// Per-item attributions are private to each goroutine; after the
+		// barrier they are folded into the request's attribution with the
+		// concurrent fan-out's wall clock split proportionally across
+		// stages — item times overlap, so their raw sum would exceed the
+		// latency the client actually saw.
+		itemAtts := make([]flight.Attribution, len(misses))
+		//ppatcvet:ignore determinism latency attribution measures wall time only; it never flows into response bytes
+		fanStart := time.Now()
+		for mi, p := range misses {
 			wg.Add(1)
-			go func(p pending) {
+			go func(mi int, p pending) {
 				defer wg.Done()
+				ia := &itemAtts[mi]
+				ia.RequestID = att.RequestID
+				// Time spent waiting on the fan-out semaphore is the same
+				// head-of-line pressure as the pool queue: count it as
+				// queue_wait so a cold batch behind a saturated pool
+				// attributes honestly.
+				//ppatcvet:ignore determinism latency attribution measures wall time only; it never flows into response bytes
+				semStart := time.Now()
 				sem <- struct{}{}
+				ia.QueueWaitNS += time.Since(semStart).Nanoseconds()
 				defer func() { <-sem }()
 				res := &out.Items[p.idx]
-				body, disposition, err := s.compute(ctx, p.key, p.work)
+				body, disposition, err := s.compute(ctx, p.key, p.work, ia)
+				ia.Disposition = disposition
 				if err != nil {
 					res.Error = err.Error()
 					return
 				}
 				res.Cache = disposition
 				res.Result = body
-			}(p)
+			}(mi, p)
 		}
 		wg.Wait()
+		wallNS := time.Since(fanStart).Nanoseconds()
+		att.AddBreakdown(splitFanOut(itemAtts, wallNS))
 		// A dead client can't use partial results; report the
 		// cancellation (or timeout) as the batch outcome.
 		if err := ctx.Err(); err != nil {
 			s.writeComputeError(w, err)
 			return
 		}
+		att.Disposition = aggregateDisposition(itemAtts, sawHit)
+	} else if sawHit {
+		att.Disposition = "HIT"
 	}
+	w.Header().Set("X-Cache", att.DispositionOrNone())
 
 	writeJSON(w, out)
+}
+
+// splitFanOut folds the per-item stage timings of a concurrent fan-out
+// into one breakdown whose sum equals the fan-out's wall clock: each
+// stage gets its proportional share. Wall-clock attribution of
+// overlapping work is inherently a model; proportional split keeps the
+// partition invariant (stages re-add to the total) while preserving
+// what dominated — a cold batch stuck behind a saturated pool shows up
+// as mostly queue_wait, exactly the head-of-line signal ROADMAP item 2
+// needs.
+func splitFanOut(items []flight.Attribution, wallNS int64) flight.Breakdown {
+	var qw, cl, cp, en, sw int64
+	for i := range items {
+		qw += items[i].QueueWaitNS
+		cl += items[i].CacheLookupNS
+		cp += items[i].ComputeNS
+		en += items[i].EncodeNS
+		sw += items[i].StoreWriteNS
+	}
+	sum := qw + cl + cp + en + sw
+	if sum <= 0 || wallNS <= 0 {
+		return flight.Breakdown{}
+	}
+	scale := float64(wallNS) / float64(sum)
+	if scale > 1 {
+		// Items accounted for less than the wall clock (scheduling
+		// overhead); never inflate stages — the residual lands in
+		// "other".
+		scale = 1
+	}
+	return flight.Breakdown{
+		QueueWaitNS:   int64(float64(qw) * scale),
+		CacheLookupNS: int64(float64(cl) * scale),
+		ComputeNS:     int64(float64(cp) * scale),
+		EncodeNS:      int64(float64(en) * scale),
+		StoreWriteNS:  int64(float64(sw) * scale),
+	}
+}
+
+// aggregateDisposition reduces a batch's per-item dispositions to one
+// headline value, worst-first: a single miss makes the batch a MISS.
+func aggregateDisposition(items []flight.Attribution, sawHit bool) string {
+	saw := map[string]bool{}
+	for i := range items {
+		saw[items[i].Disposition] = true
+	}
+	switch {
+	case saw["MISS"]:
+		return "MISS"
+	case saw["STORE"]:
+		return "STORE"
+	case saw["COALESCED"]:
+		return "COALESCED"
+	case sawHit || saw["HIT"]:
+		return "HIT"
+	default:
+		return ""
+	}
 }

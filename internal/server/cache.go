@@ -7,6 +7,9 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sync"
+	"time"
+
+	"ppatc/internal/obs/flight"
 )
 
 // The evaluation pipeline is deterministic — same system, workload and
@@ -190,6 +193,7 @@ type flightGroup struct {
 type flightCall struct {
 	done chan struct{}
 	val  []byte
+	bd   flight.Breakdown
 	err  error
 }
 
@@ -208,15 +212,24 @@ func newFlightGroup() *flightGroup {
 // the cache). Without the detachment a cancelled leader would either
 // poison coalesced waiters with its context.Canceled or hold its handler
 // goroutine hostage until the computation finished.
-func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, error)) (val []byte, shared bool, err error) {
+//
+// The returned breakdown attributes this caller's own wall clock: the
+// leader gets fn's measured stages, while a coalesced waiter — whose
+// entire time was spent blocked behind someone else's in-flight
+// computation — gets that wait as queue_wait. The distinction keeps
+// every request's stage sum equal to its own latency rather than the
+// leader's.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, flight.Breakdown, error)) (val []byte, bd flight.Breakdown, shared bool, err error) {
 	g.mu.Lock()
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()
+		//ppatcvet:ignore determinism latency attribution measures wall time only; it never flows into cached bytes
+		waitStart := time.Now()
 		select {
 		case <-c.done:
-			return c.val, true, c.err
+			return c.val, flight.Breakdown{QueueWaitNS: time.Since(waitStart).Nanoseconds()}, true, c.err
 		case <-ctx.Done():
-			return nil, true, ctx.Err()
+			return nil, flight.Breakdown{QueueWaitNS: time.Since(waitStart).Nanoseconds()}, true, ctx.Err()
 		}
 	}
 	c := &flightCall{done: make(chan struct{})}
@@ -224,7 +237,7 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, err
 	g.mu.Unlock()
 
 	go func() {
-		c.val, c.err = fn()
+		c.val, c.bd, c.err = fn()
 		g.mu.Lock()
 		delete(g.calls, key)
 		g.mu.Unlock()
@@ -233,8 +246,8 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, err
 
 	select {
 	case <-c.done:
-		return c.val, false, c.err
+		return c.val, c.bd, false, c.err
 	case <-ctx.Done():
-		return nil, false, ctx.Err()
+		return nil, flight.Breakdown{}, false, ctx.Err()
 	}
 }

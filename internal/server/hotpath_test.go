@@ -12,6 +12,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"ppatc/internal/obs/flight"
 )
 
 func TestShardedLRURoundsAndSpreads(t *testing.T) {
@@ -144,10 +146,10 @@ func TestFlightGroupLeaderCancel(t *testing.T) {
 
 	leaderErr := make(chan error, 1)
 	go func() {
-		_, _, err := g.Do(ctx, "k", func() ([]byte, error) {
+		_, _, _, err := g.Do(ctx, "k", func() ([]byte, flight.Breakdown, error) {
 			close(started)
 			<-release
-			return []byte("result"), nil
+			return []byte("result"), flight.Breakdown{}, nil
 		})
 		leaderErr <- err
 	}()
@@ -160,8 +162,8 @@ func TestFlightGroupLeaderCancel(t *testing.T) {
 	}
 	waiter := make(chan waitResult, 1)
 	go func() {
-		v, sh, err := g.Do(context.Background(), "k", func() ([]byte, error) {
-			return nil, errors.New("waiter must not start its own computation")
+		v, _, sh, err := g.Do(context.Background(), "k", func() ([]byte, flight.Breakdown, error) {
+			return nil, flight.Breakdown{}, errors.New("waiter must not start its own computation")
 		})
 		waiter <- waitResult{v, sh, err}
 	}()
@@ -208,17 +210,33 @@ func TestCacheHitAllocBudget(t *testing.T) {
 		t.Fatalf("warm request failed: %d %s", rec.Code, rec.Body.String())
 	}
 
-	allocs := testing.AllocsPerRun(50, func() {
+	hit := func() {
 		r := httptest.NewRequest(http.MethodPost, "/v1/evaluate", strings.NewReader(body))
 		w := httptest.NewRecorder()
 		h.ServeHTTP(w, r)
 		if w.Code != http.StatusOK || w.Header().Get("X-Cache") != "HIT" {
 			t.Errorf("not a cache hit: %d %q", w.Code, w.Header().Get("X-Cache"))
 		}
-	})
+	}
+
+	// The flight recorder is always on, so this budget covers the full
+	// attribution + recording path.
+	allocs := testing.AllocsPerRun(50, hit)
 	const budget = 200
 	if allocs > budget {
 		t.Errorf("cache-hit request allocates %.0f times, budget %d (baseline ~700)", allocs, budget)
+	}
+
+	// A live stream subscriber must not add per-request allocations:
+	// publishing an event into the hub's buffered channel is alloc-free.
+	events, cancel := srv.Recorder().Hub().Subscribe(4096)
+	defer cancel()
+	withSub := testing.AllocsPerRun(50, hit)
+	if withSub > allocs+1 {
+		t.Errorf("cache-hit allocates %.0f times with a stream subscriber vs %.0f without", withSub, allocs)
+	}
+	if len(events) == 0 {
+		t.Error("stream subscriber received no events")
 	}
 }
 

@@ -1,7 +1,10 @@
 package server
 
 import (
+	"fmt"
 	"io"
+	"sort"
+	"sync"
 	"time"
 
 	"ppatc/internal/core"
@@ -15,10 +18,19 @@ import (
 // counters, and per-pipeline-stage latency histograms fed from trace
 // spans. All methods are safe for concurrent use.
 type Metrics struct {
-	reg      *obs.Registry
-	requests *obs.CounterVec
-	latency  *obs.HistogramVec
-	stages   *obs.HistogramVec
+	reg         *obs.Registry
+	requests    *obs.CounterVec
+	latency     *obs.HistogramVec
+	stages      *obs.HistogramVec
+	disposition *obs.HistogramVec2
+
+	// slowest tracks the worst-latency request seen per
+	// endpoint × disposition pair, with its request ID — the exemplar
+	// that turns a histogram tail into a greppable flight-recorder and
+	// log lookup. Rendered by WriteTo as
+	// ppatcd_slowest_request_seconds gauge lines.
+	slowMu  sync.Mutex
+	slowest map[string]map[string]slowExemplar
 
 	// CacheHits/CacheMisses count result-cache lookups; Coalesced counts
 	// requests that piggybacked on an identical in-flight computation;
@@ -37,12 +49,20 @@ type Metrics struct {
 	// counts store operations that failed and degraded to compute.
 	StoreHits, StoreWrites, StoreErrors *obs.Counter
 
-	// queueDepth, cacheLen, sweepQueue and storeKeys are gauge hooks
-	// wired by the server.
-	queueDepth func() int64
-	cacheLen   func() int
-	sweepQueue func() int
-	storeKeys  func() int
+	// queueDepth, cacheLen, sweepQueue, storeKeys, flightDropped and
+	// streamSubs are gauge hooks wired by the server.
+	queueDepth    func() int64
+	cacheLen      func() int
+	sweepQueue    func() int
+	storeKeys     func() int
+	flightDropped func() int64
+	streamSubs    func() int64
+}
+
+// slowExemplar is one endpoint × disposition pair's worst request.
+type slowExemplar struct {
+	requestID string
+	d         time.Duration
 }
 
 // sweepBuckets span the sweep-duration range: seconds for smoke sweeps
@@ -53,11 +73,14 @@ var sweepBuckets = []float64{0.1, 0.5, 1, 5, 10, 30, 60, 300, 600, 1800, 3600}
 func NewMetrics() *Metrics {
 	reg := obs.NewRegistry()
 	m := &Metrics{
-		reg:        reg,
-		queueDepth: func() int64 { return 0 },
-		cacheLen:   func() int { return 0 },
-		sweepQueue: func() int { return 0 },
-		storeKeys:  func() int { return 0 },
+		reg:           reg,
+		slowest:       make(map[string]map[string]slowExemplar),
+		queueDepth:    func() int64 { return 0 },
+		cacheLen:      func() int { return 0 },
+		sweepQueue:    func() int { return 0 },
+		storeKeys:     func() int { return 0 },
+		flightDropped: func() int64 { return 0 },
+		streamSubs:    func() int64 { return 0 },
 	}
 	m.requests = reg.CounterVec("ppatcd_requests_total", "Requests served, by endpoint.", "endpoint")
 	m.CacheHits = reg.Counter("ppatcd_cache_hits_total", "Result-cache hits.")
@@ -69,7 +92,14 @@ func NewMetrics() *Metrics {
 	reg.GaugeFunc("ppatcd_cache_entries", "Entries in the result cache.",
 		func() float64 { return float64(m.cacheLen()) })
 	m.latency = reg.HistogramVec("ppatcd_request_seconds", "Request latency, by endpoint.", "endpoint", nil)
+	m.disposition = reg.HistogramVec2("ppatcd_request_disposition_seconds",
+		"Request latency, by endpoint and cache disposition (HIT/MISS/COALESCED/STORE/BYPASS/NONE).",
+		"endpoint", "disposition", nil)
 	m.stages = reg.HistogramVec("ppatcd_stage_seconds", "Pipeline stage latency, by stage.", "stage", nil)
+	reg.GaugeFunc("ppatcd_flight_dropped_total", "Flight-recorder events dropped to slot contention.",
+		func() float64 { return float64(m.flightDropped()) })
+	reg.GaugeFunc("ppatcd_stream_subscribers", "Live /v1/metrics/stream subscriptions.",
+		func() float64 { return float64(m.streamSubs()) })
 	m.SweepPoints = reg.Counter("ppatcd_sweep_points_total", "Design points evaluated by sweep jobs.")
 	m.SweepJobs = reg.CounterVec("ppatcd_sweep_jobs_total", "Sweep jobs finished, by terminal status.", "status")
 	m.SweepSeconds = reg.HistogramVec("ppatcd_sweep_seconds", "Sweep job duration, by terminal status.", "status", sweepBuckets)
@@ -87,6 +117,33 @@ func NewMetrics() *Metrics {
 func (m *Metrics) Observe(endpoint string, d time.Duration) {
 	m.requests.With(endpoint).Add(1)
 	m.latency.With(endpoint).Observe(d)
+}
+
+// ObserveDisposition records one served request on the
+// endpoint × disposition latency surface — fed from every request,
+// cache hits and coalesced requests included (the plain stage
+// histograms only see cache-miss computations) — and keeps the
+// worst-latency request ID as an exemplar.
+//
+//ppatc:hotpath
+func (m *Metrics) ObserveDisposition(endpoint, disposition string, d time.Duration, requestID string) {
+	m.disposition.With(endpoint, disposition).Observe(d)
+	m.slowMu.Lock()
+	inner, ok := m.slowest[endpoint]
+	if !ok {
+		inner = make(map[string]slowExemplar)
+		m.slowest[endpoint] = inner
+	}
+	if d > inner[disposition].d {
+		inner[disposition] = slowExemplar{requestID: requestID, d: d}
+	}
+	m.slowMu.Unlock()
+}
+
+// DispositionCount reports the endpoint × disposition histogram's
+// observation count (used by tests).
+func (m *Metrics) DispositionCount(endpoint, disposition string) int64 {
+	return m.disposition.With(endpoint, disposition).Count()
 }
 
 // Requests reports the request count of an endpoint.
@@ -119,7 +176,56 @@ func (m *Metrics) StageCount(stage string) int64 {
 	return m.stages.With(stage).Count()
 }
 
-// WriteTo renders the registry in Prometheus text exposition format.
+// WriteTo renders the registry in Prometheus text exposition format,
+// followed by the slowest-request exemplar gauges.
 func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
-	return m.reg.WriteTo(w)
+	n, err := m.reg.WriteTo(w)
+	if err != nil {
+		return n, err
+	}
+	en, err := m.writeExemplars(w)
+	return n + en, err
+}
+
+// writeExemplars renders one gauge line per endpoint × disposition
+// pair carrying the worst observed latency and the request ID that
+// produced it — the jump-off point from a histogram tail to the flight
+// recorder and logs.
+func (m *Metrics) writeExemplars(w io.Writer) (int64, error) {
+	m.slowMu.Lock()
+	type row struct {
+		endpoint, disposition, requestID string
+		seconds                          float64
+	}
+	rows := make([]row, 0, len(m.slowest))
+	for ep, inner := range m.slowest {
+		for disp, ex := range inner {
+			rows = append(rows, row{ep, disp, ex.requestID, ex.d.Seconds()})
+		}
+	}
+	m.slowMu.Unlock()
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].endpoint != rows[j].endpoint {
+			return rows[i].endpoint < rows[j].endpoint
+		}
+		return rows[i].disposition < rows[j].disposition
+	})
+	var n int64
+	c, err := fmt.Fprintf(w, "# HELP ppatcd_slowest_request_seconds Worst observed request latency, by endpoint and disposition, with its request ID.\n# TYPE ppatcd_slowest_request_seconds gauge\n")
+	n += int64(c)
+	if err != nil {
+		return n, err
+	}
+	for _, r := range rows {
+		c, err := fmt.Fprintf(w, "ppatcd_slowest_request_seconds{endpoint=%q,disposition=%q,request_id=%q} %g\n",
+			r.endpoint, r.disposition, r.requestID, r.seconds)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
 }

@@ -116,12 +116,19 @@ func storeKind(key string) string {
 // Failures are metered and logged, never propagated — losing
 // persistence must not fail the request that computed the result.
 func (s *Server) persistResult(key string, body []byte) {
+	s.persistResultFor(key, body, "")
+}
+
+// persistResultFor is persistResult carrying the originating request's
+// ID, so a failed (or slow) write-through joins back to the request
+// that computed the result in the logs and flight recorder.
+func (s *Server) persistResultFor(key string, body []byte, requestID string) {
 	if s.store == nil {
 		return
 	}
 	if err := s.store.Put(store.Record{Key: key, Kind: storeKind(key), Body: body}); err != nil {
 		s.metrics.StoreErrors.Add(1)
-		s.log.Warn("store write-through failed", "key", key, "error", err)
+		s.log.Warn("store write-through failed", "key", key, "request_id", requestID, "error", err)
 		return
 	}
 	s.metrics.StoreWrites.Add(1)
@@ -151,13 +158,13 @@ func (s *Server) storeLookup(key string) (body []byte, ok bool) {
 // persistPoint writes one freshly evaluated sweep point through to the
 // store under its coordinate key. Metered log-don't-fail, like every
 // persistence write.
-func (s *Server) persistPoint(plan *dse.Plan, r dse.Result) {
+func (s *Server) persistPoint(plan *dse.Plan, r dse.Result, requestID string) {
 	if s.store == nil {
 		return
 	}
 	if err := dse.PersistPoint(s.store, plan, r); err != nil {
 		s.metrics.StoreErrors.Add(1)
-		s.log.Warn("point persist failed", "index", r.Index, "error", err)
+		s.log.Warn("point persist failed", "index", r.Index, "request_id", requestID, "error", err)
 		return
 	}
 	s.metrics.StoreWrites.Add(1)
@@ -226,13 +233,13 @@ func (s *Server) serveStoredSweepStatus(w http.ResponseWriter, r *http.Request) 
 // persistSweep stores a finished sweep's result set for post-restart
 // replay; per-point records were already written by the OnComplete
 // write-through.
-func (s *Server) persistSweep(id string, results []dse.Result) {
+func (s *Server) persistSweep(id string, results []dse.Result, requestID string) {
 	if s.store == nil {
 		return
 	}
 	if err := dse.PersistSweep(s.store, id, results); err != nil {
 		s.metrics.StoreErrors.Add(1)
-		s.log.Warn("sweep persist failed", "id", id, "error", err)
+		s.log.Warn("sweep persist failed", "id", id, "request_id", requestID, "error", err)
 		return
 	}
 	s.metrics.StoreWrites.Add(1)

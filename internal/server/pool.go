@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrQueueFull is returned by Pool.Do when the request queue is at
@@ -30,6 +31,11 @@ type job struct {
 	ctx  context.Context
 	fn   func()
 	done chan struct{}
+	enq  time.Time
+	// wait is how long the job sat queued before a worker picked it up.
+	// Written by the worker before close(done); reading it after <-done
+	// is ordered by that happens-before edge.
+	wait time.Duration
 }
 
 // NewPool starts workers goroutines consuming a queue of at most queue
@@ -53,6 +59,7 @@ func (p *Pool) worker() {
 	defer p.wg.Done()
 	for j := range p.jobs {
 		p.depth.Add(-1)
+		j.wait = time.Since(j.enq)
 		if j.ctx.Err() == nil {
 			j.fn()
 		}
@@ -64,11 +71,20 @@ func (p *Pool) worker() {
 // done. A full queue fails fast with ErrQueueFull. When ctx expires while
 // the job is still queued, the job is abandoned (the worker skips it).
 func (p *Pool) Do(ctx context.Context, fn func()) error {
-	j := &job{ctx: ctx, fn: fn, done: make(chan struct{})}
+	_, err := p.DoMeasured(ctx, fn)
+	return err
+}
+
+// DoMeasured is Do plus the job's measured queue wait — how long it sat
+// behind other work before a worker picked it up, the raw signal for
+// head-of-line-blocking attribution. The wait is only meaningful when
+// err is nil (an abandoned or rejected job reports 0).
+func (p *Pool) DoMeasured(ctx context.Context, fn func()) (time.Duration, error) {
+	j := &job{ctx: ctx, fn: fn, done: make(chan struct{}), enq: time.Now()}
 	p.mu.RLock()
 	if p.done {
 		p.mu.RUnlock()
-		return ErrPoolClosed
+		return 0, ErrPoolClosed
 	}
 	select {
 	case p.jobs <- j:
@@ -76,13 +92,13 @@ func (p *Pool) Do(ctx context.Context, fn func()) error {
 		p.mu.RUnlock()
 	default:
 		p.mu.RUnlock()
-		return ErrQueueFull
+		return 0, ErrQueueFull
 	}
 	select {
 	case <-j.done:
-		return nil
+		return j.wait, nil
 	case <-ctx.Done():
-		return ctx.Err()
+		return 0, ctx.Err()
 	}
 }
 

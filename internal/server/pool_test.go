@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"ppatc/internal/obs/flight"
 )
 
 func TestPoolRunsJobs(t *testing.T) {
@@ -151,10 +153,10 @@ func TestFlightGroupCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func(slot int) {
 			defer wg.Done()
-			v, shared, err := g.Do(context.Background(), "key", func() ([]byte, error) {
+			v, _, shared, err := g.Do(context.Background(), "key", func() ([]byte, flight.Breakdown, error) {
 				executions.Add(1)
 				<-block
-				return []byte("result"), nil
+				return []byte("result"), flight.Breakdown{}, nil
 			})
 			if err != nil {
 				t.Errorf("Do: %v", err)
@@ -192,16 +194,16 @@ func TestFlightGroupWaiterCancel(t *testing.T) {
 	g := newFlightGroup()
 	block := make(chan struct{})
 	started := make(chan struct{})
-	go g.Do(context.Background(), "key", func() ([]byte, error) {
+	go g.Do(context.Background(), "key", func() ([]byte, flight.Breakdown, error) {
 		close(started)
 		<-block
-		return nil, nil
+		return nil, flight.Breakdown{}, nil
 	})
 	<-started
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, shared, err := g.Do(ctx, "key", func() ([]byte, error) { return nil, nil })
+	_, _, shared, err := g.Do(ctx, "key", func() ([]byte, flight.Breakdown, error) { return nil, flight.Breakdown{}, nil })
 	if !shared || !errors.Is(err, context.Canceled) {
 		t.Errorf("canceled waiter: shared=%v err=%v", shared, err)
 	}

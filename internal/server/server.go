@@ -24,6 +24,7 @@ import (
 	"ppatc/internal/core"
 	"ppatc/internal/embench"
 	"ppatc/internal/obs"
+	"ppatc/internal/obs/flight"
 	"ppatc/internal/store"
 	"ppatc/internal/tcdp"
 	"ppatc/internal/units"
@@ -75,6 +76,16 @@ type Config struct {
 	// Store injects a caller-built ResultStore (tests, embedding); it
 	// takes precedence over StoreDir and is closed with the server.
 	Store store.ResultStore
+
+	// FlightRecentSlots sizes the flight recorder's recent-events ring
+	// (rounded up to a power of two; default 1024).
+	FlightRecentSlots int
+	// FlightSlowSlots sizes the ring retaining slow requests (default 256).
+	FlightSlowSlots int
+	// SlowThreshold marks requests at or above this latency as slow:
+	// they are retained in the slow ring and logged at Warn (default
+	// 100ms; negative disables).
+	SlowThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -105,24 +116,37 @@ func (c Config) withDefaults() Config {
 	if c.SweepMaxPoints <= 0 {
 		c.SweepMaxPoints = 100000
 	}
+	if c.FlightRecentSlots <= 0 {
+		c.FlightRecentSlots = 1024
+	}
+	if c.FlightSlowSlots <= 0 {
+		c.FlightSlowSlots = 256
+	}
+	if c.SlowThreshold == 0 {
+		c.SlowThreshold = 100 * time.Millisecond
+	}
+	if c.SlowThreshold < 0 {
+		c.SlowThreshold = 0
+	}
 	return c
 }
 
 // Server is the PPAtC evaluation service.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
-	pool    *Pool
-	cache   *LRU
-	flight  *flightGroup
-	sweeps  *sweepManager
-	store   store.ResultStore
-	persist persistStatus
-	metrics *Metrics
-	log     *slog.Logger
-	base    context.Context
-	cancel  context.CancelFunc
-	started time.Time
+	cfg      Config
+	mux      *http.ServeMux
+	pool     *Pool
+	cache    *LRU
+	flight   *flightGroup
+	sweeps   *sweepManager
+	store    store.ResultStore
+	persist  persistStatus
+	metrics  *Metrics
+	recorder *flight.Recorder
+	log      *slog.Logger
+	base     context.Context
+	cancel   context.CancelFunc
+	started  time.Time
 
 	// gridsBody and workloadsBody are the static discovery responses,
 	// encoded once at startup and written verbatim per request.
@@ -143,10 +167,13 @@ func New(cfg Config) *Server {
 		log:     cfg.Logger,
 		started: time.Now(),
 	}
+	s.recorder = flight.NewRecorder(cfg.FlightRecentSlots, cfg.FlightSlowSlots, cfg.SlowThreshold)
 	s.encodeStaticBodies()
 	s.base, s.cancel = context.WithCancel(context.Background())
 	s.metrics.queueDepth = s.pool.QueueDepth
 	s.metrics.cacheLen = s.cache.Len
+	s.metrics.flightDropped = s.recorder.Dropped
+	s.metrics.streamSubs = s.recorder.Hub().Subscribers
 
 	s.persist.SweepDir = "ok"
 	if cfg.SweepDir == "" {
@@ -182,8 +209,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/results/{key}", s.instrument("result_get", s.handleResultGet))
 	s.mux.HandleFunc("GET /v1/grids", s.instrument("grids", s.handleGrids))
 	s.mux.HandleFunc("GET /v1/workloads", s.instrument("workloads", s.handleWorkloads))
+	// The stream and flight-dump endpoints are deliberately outside
+	// instrument(): a stream lives as long as its client, which would
+	// read as one enormous "slow request" in its own recorder.
+	s.mux.HandleFunc("GET /v1/metrics/stream", s.handleMetricsStream)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -214,15 +246,32 @@ func (s *Server) Close() {
 	}
 }
 
-// statusWriter captures the status code for logging and metrics.
+// statusWriter captures the status code for logging and metrics, and
+// carries the request's latency attribution: embedding the Attribution
+// in the writer the request already allocates keeps the telemetry from
+// costing a second per-request allocation.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	att    flight.Attribution
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// attributionOf recovers the request's Attribution from the response
+// writer instrument() wrapped. Handlers invoked outside instrument()
+// (tests calling them directly) get a throwaway so the timing calls
+// stay unconditional.
+//
+//ppatc:hotpath
+func attributionOf(w http.ResponseWriter) *flight.Attribution {
+	if sw, ok := w.(*statusWriter); ok {
+		return &sw.att
+	}
+	return &flight.Attribution{}
 }
 
 // instrument wraps a handler with the request's whole observability
@@ -244,9 +293,31 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		}
 		w.Header().Set("X-Request-ID", rid)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sw.att.Endpoint = endpoint
+		sw.att.RequestID = rid
+		// Pool depth at admission: the head-of-line pressure this request
+		// walked into, stamped before any of its own work queued.
+		sw.att.PoolDepth = s.pool.QueueDepth()
 		h(sw, r)
 		d := time.Since(start)
 		s.metrics.Observe(endpoint, d)
+		s.metrics.ObserveDisposition(endpoint, sw.att.DispositionOrNone(), d, rid)
+		ev := sw.att.Finish(start, d, sw.status)
+		s.recorder.Record(ev)
+		if s.recorder.IsSlow(d) {
+			s.log.LogAttrs(r.Context(), slog.LevelWarn, "slow request",
+				slog.String("endpoint", endpoint),
+				slog.String("request_id", rid),
+				slog.Float64("duration_ms", float64(d.Microseconds())/1e3),
+				slog.String("cache", ev.Disposition),
+				slog.Int("batch_size", ev.BatchSize),
+				slog.Int64("pool_depth", ev.PoolDepth),
+				slog.Float64("queue_wait_ms", float64(ev.QueueWaitNS)/1e6),
+				slog.Float64("compute_ms", float64(ev.ComputeNS)/1e6),
+				slog.Float64("encode_ms", float64(ev.EncodeNS)/1e6),
+				slog.Float64("store_write_ms", float64(ev.StoreWriteNS)/1e6),
+			)
+		}
 		if s.log.Enabled(r.Context(), slog.LevelInfo) {
 			s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
 				slog.String("endpoint", endpoint),
@@ -284,7 +355,9 @@ func decodeBody(r *http.Request, v any) error {
 // workFn is one evaluation's encoder: it computes under ctx and writes
 // the JSON body into buf, which the caller owns (it comes from a reused
 // buffer pool — implementations must not retain buf or its bytes).
-type workFn func(ctx context.Context, buf *bytes.Buffer) error
+// encodeNS reports the time spent serializing the result (as opposed to
+// computing it), so attribution can split the two.
+type workFn func(ctx context.Context, buf *bytes.Buffer) (encodeNS int64, err error)
 
 // encodePool recycles the encode buffers that workFns write into; the
 // cache copies what it stores, so a buffer is free for reuse the moment
@@ -315,16 +388,25 @@ func putEncodeBuf(buf *bytes.Buffer) {
 // restart, without recomputation).
 //
 //ppatc:hotpath
-func (s *Server) compute(ctx context.Context, key string, work workFn) (body []byte, disposition string, err error) {
+func (s *Server) compute(ctx context.Context, key string, work workFn, att *flight.Attribution) (body []byte, disposition string, err error) {
+	lookupStart := time.Now()
 	if b, ok := s.cache.Get(key); ok {
 		s.metrics.CacheHits.Add(1)
+		att.CacheLookupNS += time.Since(lookupStart).Nanoseconds()
 		return b, "HIT", nil
 	}
 	s.metrics.CacheMisses.Add(1)
+	// The persistent store is the second cache tier; its lookup time is
+	// cache_lookup like the LRU's.
 	if b, ok := s.storeLookup(key); ok {
+		att.CacheLookupNS += time.Since(lookupStart).Nanoseconds()
 		return b, "STORE", nil
 	}
-	b, shared, err := s.flight.Do(ctx, key, func() ([]byte, error) {
+	att.CacheLookupNS += time.Since(lookupStart).Nanoseconds()
+	// rid is captured before the detached goroutine: the leader's
+	// response header must not be touched after the handler returns.
+	rid := att.RequestID
+	b, bd, shared, err := s.flight.Do(ctx, key, func() ([]byte, flight.Breakdown, error) {
 		// The computation runs under the server's lifetime, not any
 		// requester's context, so a canceled requester cannot poison
 		// coalesced waiters; the pool enforces queue bounds.
@@ -333,26 +415,41 @@ func (s *Server) compute(ctx context.Context, key string, work workFn) (body []b
 		buf := getEncodeBuf()
 		defer putEncodeBuf(buf)
 		var werr error
+		var encodeNS int64
+		var bd flight.Breakdown
 		// Every real computation runs under a trace so its stage spans
 		// feed the per-stage latency histograms; the trace itself is
 		// discarded (the ?trace=1 path returns one to the caller).
 		tr := obs.NewTrace("")
 		tctx := obs.WithTrace(jctx, tr)
-		if perr := s.pool.Do(jctx, func() { werr = work(tctx, buf) }); perr != nil {
-			return nil, perr
+		workStart := time.Now()
+		wait, perr := s.pool.DoMeasured(jctx, func() { encodeNS, werr = work(tctx, buf) })
+		if perr != nil {
+			return nil, bd, perr
 		}
+		// The pool-measured wait is queue_wait; what the worker actually
+		// ran splits into compute and the workFn's self-reported encode.
+		bd.QueueWaitNS = wait.Nanoseconds()
+		bd.ComputeNS = time.Since(workStart).Nanoseconds() - bd.QueueWaitNS - encodeNS
+		if bd.ComputeNS < 0 {
+			bd.ComputeNS = 0
+		}
+		bd.EncodeNS = encodeNS
 		s.metrics.ObserveStages(tr)
 		if werr != nil {
-			return nil, werr
+			return nil, bd, werr
 		}
 		// Put copies buf's bytes and returns the cache-owned copy; the
 		// buffer itself goes straight back to the pool. The stored copy
 		// also writes through to the persistent store, so the result
 		// survives both eviction and restart.
+		storeStart := time.Now()
 		stored := s.cache.Put(key, buf.Bytes())
-		s.persistResult(key, stored)
-		return stored, nil
+		s.persistResultFor(key, stored, rid)
+		bd.StoreWriteNS = time.Since(storeStart).Nanoseconds()
+		return stored, bd, nil
 	})
+	att.AddBreakdown(bd)
 	if shared {
 		s.metrics.Coalesced.Add(1)
 		return b, "COALESCED", err
@@ -390,7 +487,9 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, key strin
 			return
 		}
 	}
-	body, disposition, err := s.compute(r.Context(), key, work)
+	att := attributionOf(w)
+	body, disposition, err := s.compute(r.Context(), key, work, att)
+	att.Disposition = disposition
 	if err != nil {
 		s.writeComputeError(w, err)
 		return
@@ -418,6 +517,8 @@ type tracedTrace struct {
 // read back from the response header instrument set.
 func (s *Server) serveTraced(w http.ResponseWriter, r *http.Request, work workFn) {
 	rid := w.Header().Get("X-Request-ID")
+	att := attributionOf(w)
+	att.Disposition = "BYPASS"
 	jctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	tr := obs.NewTrace(rid)
@@ -425,9 +526,17 @@ func (s *Server) serveTraced(w http.ResponseWriter, r *http.Request, work workFn
 	buf := getEncodeBuf()
 	defer putEncodeBuf(buf)
 	var werr error
-	if perr := s.pool.Do(jctx, func() { werr = work(tctx, buf) }); perr != nil {
+	var encodeNS int64
+	workStart := time.Now()
+	wait, perr := s.pool.DoMeasured(jctx, func() { encodeNS, werr = work(tctx, buf) })
+	if perr != nil {
 		s.writeComputeError(w, perr)
 		return
+	}
+	att.QueueWaitNS += wait.Nanoseconds()
+	att.EncodeNS += encodeNS
+	if c := time.Since(workStart).Nanoseconds() - wait.Nanoseconds() - encodeNS; c > 0 {
+		att.ComputeNS += c
 	}
 	s.metrics.ObserveStages(tr)
 	if werr != nil {
@@ -487,16 +596,18 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 // tuple — shared by /v1/evaluate and /v1/batch items so both populate
 // the same cache entries.
 func (s *Server) evaluateWork(sysName string, wl embench.Workload, grid carbon.Grid) workFn {
-	return func(ctx context.Context, buf *bytes.Buffer) error {
+	return func(ctx context.Context, buf *bytes.Buffer) (int64, error) {
 		sys, err := core.SystemByName(sysName)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		res, err := core.EvaluateContext(ctx, sys, wl, grid)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		return core.WriteJSONOne(buf, res)
+		encStart := time.Now()
+		err = core.WriteJSONOne(buf, res)
+		return time.Since(encStart).Nanoseconds(), err
 	}
 }
 
@@ -521,12 +632,14 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := suiteKey(grid.Name)
-	s.serveComputed(w, r, key, func(ctx context.Context, buf *bytes.Buffer) error {
+	s.serveComputed(w, r, key, func(ctx context.Context, buf *bytes.Buffer) (int64, error) {
 		rows, err := core.SuiteContext(ctx, grid)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		return core.WriteSuiteJSON(buf, rows)
+		encStart := time.Now()
+		err = core.WriteSuiteJSON(buf, rows)
+		return time.Since(encStart).Nanoseconds(), err
 	})
 }
 
@@ -615,19 +728,19 @@ func (s *Server) handleTCDP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := RequestKey("tcdp", wl.Name, grid.Name, req.Months, req.OpScales)
-	s.serveComputed(w, r, key, func(ctx context.Context, buf *bytes.Buffer) error {
+	s.serveComputed(w, r, key, func(ctx context.Context, buf *bytes.Buffer) (int64, error) {
 		return computeTCDP(ctx, buf, wl, grid, req.Months, req.OpScales)
 	})
 }
 
-func computeTCDP(ctx context.Context, buf *bytes.Buffer, wl embench.Workload, grid carbon.Grid, months float64, opScales []float64) error {
+func computeTCDP(ctx context.Context, buf *bytes.Buffer, wl embench.Workload, grid carbon.Grid, months float64, opScales []float64) (int64, error) {
 	si, err := core.EvaluateContext(ctx, core.AllSiSystem(), wl, grid)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	m3d, err := core.EvaluateContext(ctx, core.M3DSystem(), wl, grid)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	sc := tcdp.PaperScenario()
 	life := units.Months(months)
@@ -635,7 +748,7 @@ func computeTCDP(ctx context.Context, buf *bytes.Buffer, wl embench.Workload, gr
 
 	ratio, err := tcdp.Ratio(a, b, sc, life)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	resp := tcdpResponse{
 		Workload:  wl.Name,
@@ -649,15 +762,15 @@ func computeTCDP(ctx context.Context, buf *bytes.Buffer, wl embench.Workload, gr
 	}{{a, &resp.Si}, {b, &resp.M3D}} {
 		tc, err := tcdp.TC(d.pt, sc, life)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		prod, err := tcdp.TCDP(d.pt, sc, life)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		cross, err := tcdp.EmbodiedOperationalCrossover(d.pt, sc)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		*d.out = tcdpDesign{
 			System:            d.pt.Name,
@@ -674,14 +787,16 @@ func computeTCDP(ctx context.Context, buf *bytes.Buffer, wl embench.Workload, gr
 	}
 	iso, err := tcdp.Isoline(b, a, sc, life)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	for _, y := range opScales {
 		resp.Isoline = append(resp.Isoline, isolinePoint{OpScale: y, EmbodiedScale: iso(y)})
 	}
+	encStart := time.Now()
 	enc := json.NewEncoder(buf)
 	enc.SetIndent("", "  ")
-	return enc.Encode(resp)
+	err = enc.Encode(resp)
+	return time.Since(encStart).Nanoseconds(), err
 }
 
 // gridInfo is one entry of the /v1/grids discovery response.

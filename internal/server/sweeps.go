@@ -30,6 +30,10 @@ var errSweepCancelled = errors.New("sweep cancelled")
 type sweepJob struct {
 	id   string
 	plan *dse.Plan
+	// requestID is the X-Request-ID of the POST that created the job,
+	// carried into sweep and persistence log records so an async
+	// failure joins back to its originating request.
+	requestID string
 
 	mu       sync.Mutex
 	status   string
@@ -214,14 +218,14 @@ func (s *Server) runSweep(j *sweepJob) {
 				return err
 			}
 		}
-		s.persistPoint(j.plan, r)
+		s.persistPoint(j.plan, r, j.requestID)
 		return nil
 	}
 
 	results, err := dse.RunPlan(ctx, j.plan, opts)
 	switch {
 	case err == nil:
-		s.persistSweep(j.id, results)
+		s.persistSweep(j.id, results, j.requestID)
 		s.finishSweep(j, SweepDone, nil, start)
 	case errors.Is(err, errSweepCancelled):
 		s.finishSweep(j, SweepCancelled, nil, start)
@@ -247,6 +251,7 @@ func (s *Server) finishSweep(j *sweepJob, status string, err error, start time.T
 		"status", status,
 		"points", len(j.plan.Points),
 		"duration_ms", float64(time.Since(start).Microseconds())/1e3,
+		"request_id", j.requestID,
 		"error", msg,
 	)
 }
@@ -306,11 +311,12 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := &sweepJob{
-		id:      plan.Hash[:12],
-		plan:    plan,
-		status:  SweepQueued,
-		notify:  make(chan struct{}),
-		created: time.Now(),
+		id:        plan.Hash[:12],
+		plan:      plan,
+		requestID: w.Header().Get("X-Request-ID"),
+		status:    SweepQueued,
+		notify:    make(chan struct{}),
+		created:   time.Now(),
 	}
 	existing, queued := s.sweeps.add(j)
 	if existing != nil {
