@@ -17,10 +17,23 @@
 //
 // -attribution additionally subscribes to the server's flight recorder
 // and folds per-endpoint stage breakdowns (queue_wait / cache_lookup /
-// compute / encode / store_write / other, mean ms per request) into the
-// report's "attribution" section; -flight-out writes the post-run
-// flight-recorder dump as NDJSON, the same format GET /debug/flight
-// serves.
+// compute / peer_forward / encode / store_write / other, mean ms per
+// request) into the report's "attribution" section; -flight-out writes
+// the post-run flight-recorder dump as NDJSON, the same format
+// GET /debug/flight serves.
+//
+// -targets switches to multi-node mode: instead of an in-process
+// server, the harness spreads the same request schedule over several
+// running daemons (typically a -join'd cluster) via real HTTP and
+// reports per-node stats — requests absorbed, local cache hits,
+// one-hop forwards to the key's owner (X-Cache: REMOTE), latency
+// percentiles — next to the merged cluster-wide view:
+//
+//	go run ./cmd/ppatcload -targets http://127.0.0.1:8037,http://127.0.0.1:8038 -out BENCH_cluster.json
+//
+// Multi-node numbers include real kernel networking, so they only
+// compare against other multi-node runs. -attribution needs the
+// in-process flight recorder and is rejected with -targets.
 package main
 
 import (
@@ -82,6 +95,9 @@ type benchConfig struct {
 	// serverWorkers/cacheShards size the server under test.
 	serverWorkers int
 	cacheShards   int
+	// targets switches to multi-node mode: base URLs of running
+	// daemons the schedule is spread over (empty = in-process server).
+	targets []string
 }
 
 func parseFlags(args []string) (benchConfig, error) {
@@ -102,12 +118,22 @@ func parseFlags(args []string) (benchConfig, error) {
 	fs.StringVar(&cfg.flightOut, "flight-out", "", "write the post-run flight-recorder dump (NDJSON) to this file (implies -attribution)")
 	fs.IntVar(&cfg.serverWorkers, "server-workers", runtime.GOMAXPROCS(0), "server worker-pool size")
 	fs.IntVar(&cfg.cacheShards, "cache-shards", 16, "server response-cache shards")
+	var targets string
+	fs.StringVar(&targets, "targets", "", "comma-separated daemon base URLs: drive a running (multi-node) cluster over HTTP instead of an in-process server")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
 	cfg.warmup = !noWarmup
 	if cfg.flightOut != "" {
 		cfg.attribution = true
+	}
+	for _, t := range strings.Split(targets, ",") {
+		if t = strings.TrimRight(strings.TrimSpace(t), "/"); t != "" {
+			cfg.targets = append(cfg.targets, t)
+		}
+	}
+	if len(cfg.targets) > 0 && cfg.attribution {
+		return cfg, fmt.Errorf("ppatcload: -attribution/-flight-out need the in-process flight recorder and cannot combine with -targets")
 	}
 	var err error
 	if cfg.mix, err = parseMix(mix); err != nil {
@@ -209,30 +235,58 @@ func buildRequests(cfg benchConfig) []request {
 // sample is one measured request.
 type sample struct {
 	endpoint string
-	latency  time.Duration
-	hit      bool
-	err      bool
+	// node is the target URL the request went to ("" in-process).
+	node    string
+	latency time.Duration
+	hit     bool
+	// remote marks responses served by a one-hop forward to the key's
+	// cluster owner (X-Cache: REMOTE).
+	remote bool
+	err    bool
 }
 
 func run(cfg benchConfig) (*bench.Report, error) {
-	srv := server.New(server.Config{
-		Workers:     cfg.serverWorkers,
-		QueueDepth:  cfg.workers * 4,
-		CacheShards: cfg.cacheShards,
-		// Request logging off: the harness measures the serving path,
-		// not the log encoder.
-		Logger: slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError})),
-	})
-	defer srv.Close()
-	h := srv.Handler()
+	// In-process mode spins up the server under test; -targets mode
+	// drives already-running daemons over real HTTP instead.
+	var srv *server.Server
+	var h http.Handler
+	if len(cfg.targets) == 0 {
+		srv = server.New(server.Config{
+			Workers:     cfg.serverWorkers,
+			QueueDepth:  cfg.workers * 4,
+			CacheShards: cfg.cacheShards,
+			// Request logging off: the harness measures the serving path,
+			// not the log encoder.
+			Logger: slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError})),
+		})
+		defer srv.Close()
+		h = srv.Handler()
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	// send issues one request — in-process or to the wk-rotating
+	// target — and reports the status code, disposition and node.
+	send := func(wk, n int, r request) (code int, disposition, node string) {
+		if h != nil {
+			code, disposition = issue(h, r)
+			return code, disposition, ""
+		}
+		node = cfg.targets[(wk+n)%len(cfg.targets)]
+		code, disposition = issueHTTP(client, node, r)
+		return code, disposition, node
+	}
 
 	reqs := buildRequests(cfg)
 	schedule := weightedSchedule(cfg.mix, reqs)
 
 	if cfg.warmup {
+		// Warm every node: forwarded replies are cached locally, so one
+		// pass per target makes the steady state all-hits cluster-wide.
 		for _, r := range reqs {
-			if code, _ := issue(h, r); code != http.StatusOK {
-				return nil, fmt.Errorf("ppatcload: warmup %s returned %d", r.path, code)
+			for ti := range max(len(cfg.targets), 1) {
+				if code, _, _ := send(ti, 0, r); code != http.StatusOK {
+					return nil, fmt.Errorf("ppatcload: warmup %s returned %d", r.path, code)
+				}
 			}
 		}
 	}
@@ -274,14 +328,16 @@ func run(cfg benchConfig) (*bench.Report, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.seed + int64(wk)))
 			samples := make([]sample, 0, 4096)
-			for time.Now().Before(deadline) {
+			for n := 0; time.Now().Before(deadline); n++ {
 				r := schedule.pick(rng)
 				start := time.Now()
-				code, hit := issue(h, r)
+				code, disp, node := send(wk, n, r)
 				samples = append(samples, sample{
 					endpoint: r.endpoint,
+					node:     node,
 					latency:  time.Since(start),
-					hit:      hit,
+					hit:      disp == "HIT",
+					remote:   disp == "REMOTE",
 					err:      code != http.StatusOK,
 				})
 			}
@@ -313,8 +369,10 @@ func run(cfg benchConfig) (*bench.Report, error) {
 	rep.Config.Warmup = cfg.warmup
 	rep.Config.ServerWorkers = cfg.serverWorkers
 	rep.Config.CacheShards = cfg.cacheShards
+	rep.Config.Targets = cfg.targets
 
 	byEndpoint := make(map[string][]time.Duration)
+	byNode := make(map[string][]time.Duration)
 	total := 0
 	for _, samples := range perWorker {
 		for _, s := range samples {
@@ -333,7 +391,35 @@ func run(cfg benchConfig) (*bench.Report, error) {
 			}
 			byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s.latency)
 			total++
+			if s.node == "" {
+				continue
+			}
+			if rep.Nodes == nil {
+				rep.Nodes = make(map[string]*bench.NodeStats)
+			}
+			ns := rep.Nodes[s.node]
+			if ns == nil {
+				ns = &bench.NodeStats{Target: s.node}
+				rep.Nodes[s.node] = ns
+			}
+			ns.Requests++
+			if s.err {
+				ns.Errors++
+			}
+			if s.hit {
+				ns.CacheHits++
+			}
+			if s.remote {
+				ns.Remote++
+			}
+			byNode[s.node] = append(byNode[s.node], s.latency)
 		}
+	}
+	for node, lats := range byNode {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		ns := rep.Nodes[node]
+		ns.P50Ms = percentile(lats, 50).Seconds() * 1e3
+		ns.P95Ms = percentile(lats, 95).Seconds() * 1e3
 	}
 	for name, lats := range byEndpoint {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
@@ -376,6 +462,7 @@ type attributionAgg struct {
 type stageSums struct {
 	events                            int
 	queueWait, cacheLookup, compute   int64
+	peerForward                       int64
 	encode, storeWrite, other, totals int64
 }
 
@@ -393,6 +480,7 @@ func (a *attributionAgg) add(e *flight.Event) {
 	s.queueWait += e.QueueWaitNS
 	s.cacheLookup += e.CacheLookupNS
 	s.compute += e.ComputeNS
+	s.peerForward += e.PeerForwardNS
 	s.encode += e.EncodeNS
 	s.storeWrite += e.StoreWriteNS
 	s.other += e.OtherNS
@@ -408,6 +496,7 @@ func (a *attributionAgg) finish() map[string]*bench.StageAttribution {
 			QueueWaitMs:   float64(s.queueWait) / n,
 			CacheLookupMs: float64(s.cacheLookup) / n,
 			ComputeMs:     float64(s.compute) / n,
+			PeerForwardMs: float64(s.peerForward) / n,
 			EncodeMs:      float64(s.encode) / n,
 			StoreWriteMs:  float64(s.storeWrite) / n,
 			OtherMs:       float64(s.other) / n,
@@ -436,12 +525,25 @@ func writeFlightDump(srv *server.Server, path string) error {
 }
 
 // issue sends one in-process request and reports the status code and
-// whether the response was a cache hit.
-func issue(h http.Handler, r request) (code int, hit bool) {
+// the X-Cache disposition.
+func issue(h http.Handler, r request) (code int, disposition string) {
 	req := httptest.NewRequest(http.MethodPost, r.path, strings.NewReader(r.body))
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
-	return rec.Code, rec.Header().Get("X-Cache") == "HIT"
+	return rec.Code, rec.Header().Get("X-Cache")
+}
+
+// issueHTTP sends one request to a running daemon and reports the
+// status code and the X-Cache disposition. The body is drained so the
+// client reuses connections.
+func issueHTTP(client *http.Client, base string, r request) (code int, disposition string) {
+	resp, err := client.Post(base+r.path, "application/json", strings.NewReader(r.body))
+	if err != nil {
+		return 0, ""
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, resp.Header.Get("X-Cache")
 }
 
 // weightedPool maps mix weights onto the request pool.
@@ -513,6 +615,19 @@ func printReport(w io.Writer, r *bench.Report) {
 		}
 		fmt.Fprintf(w, "  %-9s %7d reqs  p50 %8.3fms  p95 %8.3fms  p99 %8.3fms  max %8.3fms  hits %d\n",
 			name, st.Count, st.P50Ms, st.P95Ms, st.P99Ms, st.MaxMs, st.CacheHits)
+	}
+	if len(r.Nodes) > 0 {
+		targets := make([]string, 0, len(r.Nodes))
+		for t := range r.Nodes {
+			targets = append(targets, t)
+		}
+		sort.Strings(targets)
+		fmt.Fprintln(w, "  nodes:")
+		for _, t := range targets {
+			ns := r.Nodes[t]
+			fmt.Fprintf(w, "    %-28s %7d reqs  p50 %8.3fms  p95 %8.3fms  hits %d  remote %d  errors %d\n",
+				ns.Target, ns.Requests, ns.P50Ms, ns.P95Ms, ns.CacheHits, ns.Remote, ns.Errors)
+		}
 	}
 	if len(r.Attribution) > 0 {
 		fmt.Fprintln(w, "  attribution (mean ms/request):")

@@ -68,6 +68,11 @@ type Config struct {
 	// Attribution marks runs that aggregated the flight recorder's
 	// latency attributions into the report (ppatcload -attribution).
 	Attribution bool `json:"attribution,omitempty"`
+	// Targets lists the daemon base URLs of a multi-node run
+	// (ppatcload -targets); empty for the in-process single-server
+	// harness. Multi-node latency includes real HTTP, so it only
+	// compares against other multi-node runs.
+	Targets []string `json:"targets,omitempty"`
 }
 
 // StageAttribution aggregates the flight recorder's per-request latency
@@ -80,10 +85,29 @@ type StageAttribution struct {
 	QueueWaitMs   float64 `json:"queue_wait_ms"`
 	CacheLookupMs float64 `json:"cache_lookup_ms"`
 	ComputeMs     float64 `json:"compute_ms"`
+	// PeerForwardMs is time spent forwarding to a key's cluster owner
+	// (zero on unclustered runs).
+	PeerForwardMs float64 `json:"peer_forward_ms,omitempty"`
 	EncodeMs      float64 `json:"encode_ms"`
 	StoreWriteMs  float64 `json:"store_write_ms"`
 	OtherMs       float64 `json:"other_ms"`
 	TotalMs       float64 `json:"total_ms"`
+}
+
+// NodeStats aggregates one target node's share of a multi-node run
+// (ppatcload -targets): how much traffic it absorbed, how it resolved
+// (local cache hit / one-hop forward to the key's owner / error), and
+// its own latency percentiles.
+type NodeStats struct {
+	Target    string  `json:"target"`
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"`
+	CacheHits int     `json:"cache_hits"`
+	// Remote counts responses served by forwarding to the key's
+	// consistent-hash owner (X-Cache: REMOTE).
+	Remote int     `json:"remote"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
 }
 
 // Totals aggregates the whole run.
@@ -124,6 +148,10 @@ type Report struct {
 	// Attribution holds per-endpoint stage breakdowns when the run was
 	// taken with -attribution (absent otherwise; still ppatc-bench/v2).
 	Attribution map[string]*StageAttribution `json:"attribution,omitempty"`
+	// Nodes holds per-target stats on multi-node runs (-targets),
+	// keyed by target URL; the merged cluster-wide view stays in
+	// Endpoints/Totals. Absent on in-process runs.
+	Nodes map[string]*NodeStats `json:"nodes,omitempty"`
 }
 
 // SeqFromFilename extracts the trailing integer of a report filename:

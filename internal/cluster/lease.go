@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// LeaseTable shards a plan of total points into contiguous [Lo, Hi)
+// ranges and tracks who is working on each. A range is claimable when
+// it is not done and either unleased or its lease has expired — so a
+// worker that dies mid-range loses the lease and another worker steals
+// the range, while a live worker's range is protected from duplicate
+// execution. Complete is first-wins: exactly one completion per range
+// is accepted, which (with the engine's determinism) preserves the
+// "no point evaluated twice" invariant at range granularity even when
+// a presumed-dead worker turns out to still be running.
+type LeaseTable struct {
+	mu     sync.Mutex
+	ranges []RangeLease
+	done   int
+	// now is the clock, swappable by tests to force expiry.
+	now func() time.Time
+}
+
+// RangeLease is one shard's state snapshot.
+type RangeLease struct {
+	Lo, Hi int
+	// Owner is the worker holding the lease ("" when unleased).
+	Owner string
+	// Expiry is when the lease lapses and the range becomes stealable.
+	Expiry time.Time
+	// Done marks an accepted completion.
+	Done bool
+	// Claims counts how many times the range was handed out — 1 in the
+	// happy path, more when a lease expired and the range was stolen.
+	Claims int
+}
+
+// NewLeaseTable shards total points into ranges of rangeSize (minimum
+// 1; the final range may be shorter).
+func NewLeaseTable(total, rangeSize int) *LeaseTable {
+	if rangeSize < 1 {
+		rangeSize = 1
+	}
+	t := &LeaseTable{now: time.Now}
+	for lo := 0; lo < total; lo += rangeSize {
+		hi := lo + rangeSize
+		if hi > total {
+			hi = total
+		}
+		t.ranges = append(t.ranges, RangeLease{Lo: lo, Hi: hi})
+	}
+	return t
+}
+
+// Claim hands worker the first claimable range under a ttl-long lease.
+// ok is false when nothing is claimable right now — either every range
+// is done (check Done) or the remaining ranges are validly leased to
+// other workers (retry after a lease interval).
+func (t *LeaseTable) Claim(worker string, ttl time.Duration) (lo, hi int, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	for i := range t.ranges {
+		r := &t.ranges[i]
+		if r.Done {
+			continue
+		}
+		if r.Owner != "" && now.Before(r.Expiry) {
+			continue // validly leased to someone else (or to worker itself)
+		}
+		r.Owner = worker
+		r.Expiry = now.Add(ttl)
+		r.Claims++
+		return r.Lo, r.Hi, true
+	}
+	return 0, 0, false
+}
+
+// Complete records the completion of [lo, hi). The first completion
+// wins; a duplicate (the original lease holder finishing after its
+// range was stolen and completed) returns false and must be discarded
+// by the caller. An unknown range is an error.
+func (t *LeaseTable) Complete(lo, hi int) (accepted bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.ranges {
+		r := &t.ranges[i]
+		if r.Lo != lo || r.Hi != hi {
+			continue
+		}
+		if r.Done {
+			return false, nil
+		}
+		r.Done = true
+		t.done++
+		return true, nil
+	}
+	return false, fmt.Errorf("cluster: no range [%d, %d) in lease table", lo, hi)
+}
+
+// Done reports whether every range has completed.
+func (t *LeaseTable) Done() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.done == len(t.ranges)
+}
+
+// Remaining reports the count of ranges not yet completed.
+func (t *LeaseTable) Remaining() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ranges) - t.done
+}
+
+// Snapshot copies the table's current state (status endpoints, tests).
+func (t *LeaseTable) Snapshot() []RangeLease {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]RangeLease(nil), t.ranges...)
+}
+
+// setClock swaps the lease clock (tests).
+func (t *LeaseTable) setClock(now func() time.Time) {
+	t.mu.Lock()
+	t.now = now
+	t.mu.Unlock()
+}

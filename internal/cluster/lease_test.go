@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLeaseTableSharding(t *testing.T) {
+	tbl := NewLeaseTable(10, 4)
+	snap := tbl.Snapshot()
+	want := []RangeLease{{Lo: 0, Hi: 4}, {Lo: 4, Hi: 8}, {Lo: 8, Hi: 10}}
+	if len(snap) != len(want) {
+		t.Fatalf("got %d ranges, want %d", len(snap), len(want))
+	}
+	for i, w := range want {
+		if snap[i].Lo != w.Lo || snap[i].Hi != w.Hi {
+			t.Errorf("range %d = [%d, %d), want [%d, %d)", i, snap[i].Lo, snap[i].Hi, w.Lo, w.Hi)
+		}
+	}
+	if NewLeaseTable(5, 0).Remaining() != 5 {
+		t.Error("rangeSize 0 should clamp to 1")
+	}
+	if !NewLeaseTable(0, 4).Done() {
+		t.Error("empty table should be done")
+	}
+}
+
+func TestLeaseClaimCompleteLifecycle(t *testing.T) {
+	tbl := NewLeaseTable(6, 3)
+	lo, hi, ok := tbl.Claim("w1", time.Minute)
+	if !ok || lo != 0 || hi != 3 {
+		t.Fatalf("first claim = [%d, %d) ok=%v, want [0, 3)", lo, hi, ok)
+	}
+	lo, hi, ok = tbl.Claim("w2", time.Minute)
+	if !ok || lo != 3 || hi != 6 {
+		t.Fatalf("second claim = [%d, %d) ok=%v, want [3, 6)", lo, hi, ok)
+	}
+	// Everything leased and unexpired: nothing claimable.
+	if _, _, ok := tbl.Claim("w3", time.Minute); ok {
+		t.Fatal("claim on a fully leased table succeeded")
+	}
+	if acc, err := tbl.Complete(0, 3); err != nil || !acc {
+		t.Fatalf("Complete(0, 3) = %v, %v", acc, err)
+	}
+	if acc, err := tbl.Complete(3, 6); err != nil || !acc {
+		t.Fatalf("Complete(3, 6) = %v, %v", acc, err)
+	}
+	if !tbl.Done() || tbl.Remaining() != 0 {
+		t.Errorf("Done=%v Remaining=%d after completing all", tbl.Done(), tbl.Remaining())
+	}
+}
+
+// TestLeaseStealAfterExpiry pins the work-stealing behavior: a range
+// leased by a worker that went silent becomes claimable once the lease
+// expires, and the claim count records the steal.
+func TestLeaseStealAfterExpiry(t *testing.T) {
+	tbl := NewLeaseTable(4, 4)
+	clock := time.Now()
+	tbl.setClock(func() time.Time { return clock })
+
+	if _, _, ok := tbl.Claim("ghost", 30*time.Second); !ok {
+		t.Fatal("initial claim failed")
+	}
+	if _, _, ok := tbl.Claim("thief", 30*time.Second); ok {
+		t.Fatal("stole an unexpired lease")
+	}
+	clock = clock.Add(31 * time.Second)
+	lo, hi, ok := tbl.Claim("thief", 30*time.Second)
+	if !ok || lo != 0 || hi != 4 {
+		t.Fatalf("steal = [%d, %d) ok=%v, want [0, 4)", lo, hi, ok)
+	}
+	if claims := tbl.Snapshot()[0].Claims; claims != 2 {
+		t.Errorf("Claims = %d after a steal, want 2", claims)
+	}
+}
+
+// TestLeaseCompleteFirstWins pins exactly-once completion: when a
+// stolen range is completed by the thief and later by the resurrected
+// original owner, only the first completion is accepted.
+func TestLeaseCompleteFirstWins(t *testing.T) {
+	tbl := NewLeaseTable(4, 4)
+	if acc, err := tbl.Complete(0, 4); err != nil || !acc {
+		t.Fatalf("first Complete = %v, %v", acc, err)
+	}
+	acc, err := tbl.Complete(0, 4)
+	if err != nil {
+		t.Fatalf("duplicate Complete errored: %v", err)
+	}
+	if acc {
+		t.Fatal("duplicate Complete was accepted")
+	}
+	if _, err := tbl.Complete(1, 2); err == nil {
+		t.Fatal("Complete of an unknown range did not error")
+	}
+}

@@ -1,0 +1,431 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Member states. A member is routable (on the ring) only while alive;
+// leaving is gossiped by a draining node so peers stop routing to it
+// before its listener closes, and dead is a local verdict reached when
+// a member's heartbeat hasn't advanced within the TTL.
+const (
+	StateAlive   = "alive"
+	StateLeaving = "leaving"
+	StateDead    = "dead"
+)
+
+// GossipPath is the membership exchange endpoint every node mounts.
+const GossipPath = "/cluster/v1/gossip"
+
+// Member is one node's view of a cluster participant, as it rides the
+// gossip wire.
+type Member struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+	// State is alive, leaving, or dead.
+	State string `json:"state"`
+	// Heartbeat is the member's own monotonic counter; the highest
+	// heartbeat seen for an ID wins a merge, so fresher state always
+	// overwrites staler state regardless of gossip path.
+	Heartbeat uint64 `json:"heartbeat"`
+}
+
+// GossipMsg is one membership exchange: the sender's identity plus its
+// full member table. The receiver merges and replies with its own
+// table, so a single round trip synchronizes both directions.
+type GossipMsg struct {
+	From    Member   `json:"from"`
+	Members []Member `json:"members"`
+}
+
+// NodeConfig shapes a cluster node. Zero values take the documented
+// defaults.
+type NodeConfig struct {
+	// ID is this node's unique identity (required).
+	ID string
+	// Advertise is the base URL peers reach this node at (required).
+	Advertise string
+	// VNodes is the ring's virtual-node count per member (default 128).
+	VNodes int
+	// GossipInterval paces the gossip loop (default 1s).
+	GossipInterval time.Duration
+	// PeerTTL marks a member dead when its heartbeat hasn't advanced
+	// for this long (default 5×GossipInterval).
+	PeerTTL time.Duration
+	// HTTPTimeout bounds one peer HTTP call (default 5s).
+	HTTPTimeout time.Duration
+	// Logger receives membership transitions (default slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c NodeConfig) withDefaults() NodeConfig {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = time.Second
+	}
+	if c.PeerTTL <= 0 {
+		c.PeerTTL = 5 * c.GossipInterval
+	}
+	if c.HTTPTimeout <= 0 {
+		c.HTTPTimeout = 5 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// memberEntry is the node's local bookkeeping around a Member.
+type memberEntry struct {
+	Member
+	lastSeen time.Time
+}
+
+// Node is one cluster participant: the local membership table, the
+// ring derived from it, and the gossip loop keeping both in sync with
+// peers. All methods are safe for concurrent use.
+type Node struct {
+	cfg    NodeConfig
+	client *http.Client
+	ring   atomic.Pointer[Ring]
+
+	mu        sync.Mutex
+	members   map[string]*memberEntry // keyed by ID; includes self
+	seeds     []string                // join URLs not yet matched to a member
+	heartbeat uint64                  // self heartbeat
+	leaving   bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// StartNode brings up a cluster node and begins gossiping with the
+// seed URLs (the -join list; may be empty for the first node).
+func StartNode(cfg NodeConfig, seeds []string) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("cluster: node needs an ID")
+	}
+	if cfg.Advertise == "" {
+		return nil, fmt.Errorf("cluster: node needs an advertise URL")
+	}
+	n := &Node{
+		cfg:     cfg,
+		client:  &http.Client{Timeout: cfg.HTTPTimeout},
+		members: make(map[string]*memberEntry),
+		stop:    make(chan struct{}),
+	}
+	for _, s := range seeds {
+		if s != "" && s != cfg.Advertise {
+			n.seeds = append(n.seeds, s)
+		}
+	}
+	n.members[cfg.ID] = &memberEntry{
+		Member:   Member{ID: cfg.ID, URL: cfg.Advertise, State: StateAlive, Heartbeat: 1},
+		lastSeen: time.Now(),
+	}
+	n.heartbeat = 1
+	n.rebuildRingLocked()
+	n.wg.Add(1)
+	go n.gossipLoop()
+	return n, nil
+}
+
+// ID returns this node's identity.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// Advertise returns this node's advertised base URL.
+func (n *Node) Advertise() string { return n.cfg.Advertise }
+
+// Client returns the shared peer HTTP client (forwarding, sweep
+// distribution) so every cross-node call obeys the same timeout.
+func (n *Node) Client() *http.Client { return n.client }
+
+// Ring returns the current routing ring (alive members only).
+func (n *Node) Ring() *Ring { return n.ring.Load() }
+
+// Owner resolves the member owning key on the current ring. self
+// reports whether that member is this node.
+func (n *Node) Owner(key string) (m Member, self bool, ok bool) {
+	id, ok := n.Ring().Owner(key)
+	if !ok {
+		return Member{}, false, false
+	}
+	if id == n.cfg.ID {
+		return Member{ID: id, URL: n.cfg.Advertise, State: StateAlive}, true, true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e, found := n.members[id]
+	if !found {
+		return Member{}, false, false
+	}
+	return e.Member, false, true
+}
+
+// Members returns the full membership table, sorted by ID.
+func (n *Node) Members() []Member {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Member, 0, len(n.members))
+	for _, e := range n.members {
+		out = append(out, e.Member)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AliveCount reports the number of alive members, this node included —
+// the ppatcd_cluster_peers gauge.
+func (n *Node) AliveCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c := 0
+	for _, e := range n.members {
+		if e.State == StateAlive {
+			c++
+		}
+	}
+	return c
+}
+
+// AlivePeers returns the alive members other than this node, sorted by
+// ID — the work-distribution fan-out set.
+func (n *Node) AlivePeers() []Member {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []Member
+	for _, e := range n.members {
+		if e.ID != n.cfg.ID && e.State == StateAlive {
+			out = append(out, e.Member)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// HandleGossip merges an incoming exchange and returns this node's
+// view — the server mounts it behind POST /cluster/v1/gossip.
+func (n *Node) HandleGossip(msg GossipMsg) GossipMsg {
+	n.merge(append(msg.Members, msg.From))
+	return n.snapshotMsg()
+}
+
+// snapshotMsg builds the outgoing gossip message.
+func (n *Node) snapshotMsg() GossipMsg {
+	n.mu.Lock()
+	self := n.members[n.cfg.ID].Member
+	n.mu.Unlock()
+	return GossipMsg{From: self, Members: n.Members()}
+}
+
+// merge folds remote member views in: higher heartbeat wins per ID,
+// new IDs join the table, and the ring rebuilds when routability
+// changed. Self entries are special — a stale echo of us can never
+// overwrite our own state, but if a peer somehow holds a higher
+// heartbeat for us we jump past it so our next gossip wins.
+func (n *Node) merge(remote []Member) {
+	n.mu.Lock()
+	changed := false
+	now := time.Now()
+	for _, m := range remote {
+		if m.ID == "" || m.State == "" {
+			continue
+		}
+		if m.ID == n.cfg.ID {
+			if m.Heartbeat > n.heartbeat {
+				n.heartbeat = m.Heartbeat + 1
+				self := n.members[n.cfg.ID]
+				self.Heartbeat = n.heartbeat
+				changed = true
+			}
+			continue
+		}
+		e, ok := n.members[m.ID]
+		switch {
+		case !ok:
+			n.members[m.ID] = &memberEntry{Member: m, lastSeen: now}
+			changed = changed || m.State == StateAlive
+			n.cfg.Logger.Info("cluster member discovered", "id", m.ID, "url", m.URL, "state", m.State)
+		case m.Heartbeat > e.Heartbeat:
+			if e.State != m.State {
+				changed = true
+				n.cfg.Logger.Info("cluster member state", "id", m.ID, "from", e.State, "to", m.State)
+			}
+			e.Member = m
+			e.lastSeen = now
+		case m.Heartbeat == e.Heartbeat:
+			e.lastSeen = now
+		}
+	}
+	// Seed URLs that now correspond to a known member are resolved.
+	if len(n.seeds) > 0 {
+		known := make(map[string]bool, len(n.members))
+		for _, e := range n.members {
+			known[e.URL] = true
+		}
+		kept := n.seeds[:0]
+		for _, s := range n.seeds {
+			if !known[s] {
+				kept = append(kept, s)
+			}
+		}
+		n.seeds = kept
+	}
+	if changed {
+		n.rebuildRingLocked()
+	}
+	n.mu.Unlock()
+}
+
+// rebuildRingLocked rebuilds the routing ring from the alive members.
+func (n *Node) rebuildRingLocked() {
+	ids := make([]string, 0, len(n.members))
+	for _, e := range n.members {
+		if e.State == StateAlive {
+			ids = append(ids, e.ID)
+		}
+	}
+	n.ring.Store(NewRing(n.cfg.VNodes, ids...))
+}
+
+// gossipLoop drives periodic exchanges and TTL expiry until Close.
+func (n *Node) gossipLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.GossipInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			n.tick()
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// tick advances our heartbeat, expires silent members, and exchanges
+// views with every alive peer plus any unresolved seed URL. Small
+// clusters (the design target) tolerate full fan-out; the exchange is
+// one small JSON body per peer per interval.
+func (n *Node) tick() {
+	n.mu.Lock()
+	if !n.leaving {
+		n.heartbeat++
+		n.members[n.cfg.ID].Heartbeat = n.heartbeat
+		n.members[n.cfg.ID].lastSeen = time.Now()
+	}
+	changed := false
+	now := time.Now()
+	var urls []string
+	for _, e := range n.members {
+		if e.ID == n.cfg.ID {
+			continue
+		}
+		if e.State == StateAlive && now.Sub(e.lastSeen) > n.cfg.PeerTTL {
+			e.State = StateDead
+			changed = true
+			n.cfg.Logger.Warn("cluster member expired", "id", e.ID, "url", e.URL)
+		}
+		if e.State == StateAlive {
+			urls = append(urls, e.URL)
+		}
+	}
+	urls = append(urls, n.seeds...)
+	if changed {
+		n.rebuildRingLocked()
+	}
+	n.mu.Unlock()
+
+	msg := n.snapshotMsg()
+	for _, u := range urls {
+		if reply, err := n.exchange(u, msg); err == nil {
+			n.merge(append(reply.Members, reply.From))
+		}
+	}
+}
+
+// exchange POSTs one gossip message to a peer URL and decodes the
+// reply.
+func (n *Node) exchange(baseURL string, msg GossipMsg) (GossipMsg, error) {
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return GossipMsg{}, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.HTTPTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+GossipPath, bytes.NewReader(body))
+	if err != nil {
+		return GossipMsg{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return GossipMsg{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		return GossipMsg{}, fmt.Errorf("cluster: gossip to %s: %s", baseURL, resp.Status)
+	}
+	var reply GossipMsg
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&reply); err != nil {
+		return GossipMsg{}, err
+	}
+	return reply, nil
+}
+
+// Gossip forces one immediate gossip round (tests, join acceleration).
+func (n *Node) Gossip() { n.tick() }
+
+// Leave marks this node leaving and pushes the state to every alive
+// peer synchronously (best effort), so load balancers and ring lookups
+// on other nodes stop routing here before the listener drains. Call
+// before http.Server.Shutdown.
+func (n *Node) Leave() {
+	n.mu.Lock()
+	if n.leaving {
+		n.mu.Unlock()
+		return
+	}
+	n.leaving = true
+	n.heartbeat++
+	self := n.members[n.cfg.ID]
+	self.Heartbeat = n.heartbeat
+	self.State = StateLeaving
+	n.rebuildRingLocked()
+	var urls []string
+	for _, e := range n.members {
+		if e.ID != n.cfg.ID && e.State == StateAlive {
+			urls = append(urls, e.URL)
+		}
+	}
+	n.mu.Unlock()
+
+	msg := n.snapshotMsg()
+	for _, u := range urls {
+		if _, err := n.exchange(u, msg); err != nil {
+			n.cfg.Logger.Warn("cluster leave gossip failed", "url", u, "error", err)
+		}
+	}
+}
+
+// Close stops the gossip loop. It does not gossip leaving — call Leave
+// first when draining gracefully.
+func (n *Node) Close() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.wg.Wait()
+}

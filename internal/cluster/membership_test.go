@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// quietLogger drops membership chatter in tests.
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// testNode starts a node backed by an httptest server that mounts the
+// gossip endpoint, mirroring how ppatcd wires the handler.
+func testNode(t *testing.T, id string, seeds ...string) (*Node, *httptest.Server) {
+	t.Helper()
+	mux := http.NewServeMux()
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	n, err := StartNode(NodeConfig{
+		ID:             id,
+		Advertise:      ts.URL,
+		GossipInterval: time.Hour, // ticks driven manually via Gossip()
+		Logger:         quietLogger(),
+	}, seeds)
+	if err != nil {
+		t.Fatalf("StartNode(%s): %v", id, err)
+	}
+	t.Cleanup(n.Close)
+	mux.HandleFunc("POST "+GossipPath, func(w http.ResponseWriter, r *http.Request) {
+		var msg GossipMsg
+		if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(n.HandleGossip(msg))
+	})
+	return n, ts
+}
+
+func TestMembershipJoin(t *testing.T) {
+	a, tsA := testNode(t, "node-a")
+	b, _ := testNode(t, "node-b", tsA.URL)
+
+	b.Gossip() // b pushes to seed a; reply merges a's view into b
+
+	for _, n := range []*Node{a, b} {
+		if got := n.AliveCount(); got != 2 {
+			t.Errorf("%s AliveCount = %d, want 2", n.ID(), got)
+		}
+		if got := n.Ring().Len(); got != 2 {
+			t.Errorf("%s ring has %d members, want 2", n.ID(), got)
+		}
+	}
+	// Both nodes agree on every key's owner.
+	for _, k := range ringKeys(1000) {
+		ownerA, _, okA := a.Owner(k)
+		ownerB, _, okB := b.Owner(k)
+		if !okA || !okB || ownerA.ID != ownerB.ID {
+			t.Fatalf("owner disagreement on %q: a=%v b=%v", k, ownerA.ID, ownerB.ID)
+		}
+		if ownerA.URL == "" {
+			t.Fatalf("owner of %q has no URL", k)
+		}
+	}
+	peers := a.AlivePeers()
+	if len(peers) != 1 || peers[0].ID != "node-b" {
+		t.Errorf("a.AlivePeers() = %+v, want [node-b]", peers)
+	}
+}
+
+func TestMembershipTransitiveGossip(t *testing.T) {
+	a, tsA := testNode(t, "node-a")
+	b, _ := testNode(t, "node-b", tsA.URL)
+	c, _ := testNode(t, "node-c", tsA.URL)
+
+	// b and c each only seed a; a's merged table spreads them to each
+	// other on their next exchange.
+	b.Gossip()
+	c.Gossip()
+	b.Gossip()
+
+	for _, n := range []*Node{a, b, c} {
+		if got := n.AliveCount(); got != 3 {
+			t.Errorf("%s AliveCount = %d, want 3", n.ID(), got)
+		}
+	}
+}
+
+// TestMembershipLeave pins the drain ordering contract: Leave pushes
+// the leaving state to peers synchronously, so by the time it returns
+// the peer has already dropped the leaver from its ring.
+func TestMembershipLeave(t *testing.T) {
+	a, tsA := testNode(t, "node-a")
+	b, _ := testNode(t, "node-b", tsA.URL)
+	b.Gossip()
+	if a.Ring().Len() != 2 {
+		t.Fatal("join did not converge")
+	}
+
+	b.Leave()
+
+	if got := a.AliveCount(); got != 1 {
+		t.Errorf("a.AliveCount = %d after b left, want 1", got)
+	}
+	if got := a.Ring().Len(); got != 1 {
+		t.Errorf("a ring has %d members after b left, want 1", got)
+	}
+	for _, k := range ringKeys(100) {
+		if owner, _, ok := a.Owner(k); !ok || owner.ID != "node-a" {
+			t.Fatalf("key %q routed to %v after the only peer left", k, owner.ID)
+		}
+	}
+	// A second Leave is a no-op, and b still knows its own state.
+	b.Leave()
+	if got := b.AliveCount(); got != 1 { // only a remains alive in b's view
+		t.Errorf("b.AliveCount = %d after leaving, want 1 (peer a)", got)
+	}
+}
+
+// TestMembershipExpiry pins TTL-based failure detection: a peer whose
+// heartbeat stops advancing is declared dead and drops off the ring.
+func TestMembershipExpiry(t *testing.T) {
+	mux := http.NewServeMux()
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	a, err := StartNode(NodeConfig{
+		ID:             "node-a",
+		Advertise:      ts.URL,
+		GossipInterval: time.Hour,
+		PeerTTL:        50 * time.Millisecond,
+		Logger:         quietLogger(),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// Inject a peer directly, then let its TTL lapse with no heartbeats.
+	a.merge([]Member{{ID: "node-ghost", URL: "http://127.0.0.1:0", State: StateAlive, Heartbeat: 1}})
+	if a.AliveCount() != 2 {
+		t.Fatal("ghost did not join")
+	}
+	time.Sleep(60 * time.Millisecond)
+	a.Gossip()
+	if got := a.AliveCount(); got != 1 {
+		t.Errorf("AliveCount = %d after ghost expiry, want 1", got)
+	}
+	if got := a.Ring().Len(); got != 1 {
+		t.Errorf("ring has %d members after ghost expiry, want 1", got)
+	}
+}
+
+func TestMembershipStaleSelfEcho(t *testing.T) {
+	a, _ := testNode(t, "node-a")
+	// A peer echoing a stale "leaving" record for us must not flip our
+	// own state; the node bumps past the echoed heartbeat instead.
+	a.merge([]Member{{ID: "node-a", URL: a.Advertise(), State: StateLeaving, Heartbeat: 99}})
+	members := a.Members()
+	if len(members) != 1 || members[0].State != StateAlive {
+		t.Fatalf("self state = %+v after stale echo, want alive", members)
+	}
+	if members[0].Heartbeat <= 99 {
+		t.Errorf("self heartbeat = %d, want > 99 to outrun the echo", members[0].Heartbeat)
+	}
+}
+
+func TestStartNodeValidation(t *testing.T) {
+	if _, err := StartNode(NodeConfig{Advertise: "http://x"}, nil); err == nil {
+		t.Error("StartNode without ID succeeded")
+	}
+	if _, err := StartNode(NodeConfig{ID: "x"}, nil); err == nil {
+		t.Error("StartNode without advertise URL succeeded")
+	}
+}

@@ -1,0 +1,104 @@
+// Package cluster turns N ppatcd processes into one service: a
+// consistent-hash ring routing canonical cache keys to owner nodes, a
+// gossip-based membership table feeding the ring, and a lease table
+// sharding deterministic sweep plans into contiguous ranges that
+// workers claim, steal, and complete exactly once.
+//
+// Everything is stdlib-only and transport-agnostic where possible: the
+// ring and lease table are pure data structures; membership speaks
+// plain HTTP JSON so any node can join with a single -join flag.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per member. 128 vnodes keep
+// the max/min key share within ~25% of fair for small clusters while
+// the ring stays a few KB per node.
+const DefaultVNodes = 128
+
+// Ring is an immutable consistent-hash ring mapping keys to node IDs.
+// Every node builds the same ring from the same member set (the hash
+// is content-derived, no process state), so any two nodes agree on
+// every key's owner without coordination. Rebuild on membership change
+// with NewRing; lookups are lock-free.
+type Ring struct {
+	points []ringPoint // ascending by hash
+	nodes  []string    // sorted member IDs
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring of the given nodes with vnodes virtual points
+// each (<=0 selects DefaultVNodes). Node order doesn't matter; the
+// ring is a pure function of the member set.
+func NewRing(vnodes int, nodes ...string) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{
+		points: make([]ringPoint, 0, vnodes*len(nodes)),
+		nodes:  append([]string(nil), nodes...),
+	}
+	sort.Strings(r.nodes)
+	for _, n := range r.nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(n + "#" + strconv.Itoa(v)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A full-64-bit hash collision between vnode labels is
+		// vanishingly unlikely; break the tie deterministically anyway
+		// so every process sorts identically.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// hash64 is the ring's position hash: the first 8 bytes of SHA-256.
+// Speed is irrelevant here (rings rebuild on membership change, keys
+// hash once per cache miss); uniformity is what keeps shares balanced.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the node owning key: the first ring point at or after
+// the key's hash, wrapping at the top. Empty rings own nothing.
+func (r *Ring) Owner(key string) (node string, ok bool) {
+	if r == nil || len(r.points) == 0 {
+		return "", false
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node, true
+}
+
+// Nodes returns the member IDs on the ring, sorted.
+func (r *Ring) Nodes() []string {
+	if r == nil {
+		return nil
+	}
+	return append([]string(nil), r.nodes...)
+}
+
+// Len reports the member count.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.nodes)
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys generates a deterministic key population shaped like the
+// server's canonical cache keys.
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("evaluate|sys-%d|workload-%d|grid-%d", i%17, i%29, i)
+	}
+	return keys
+}
+
+// TestRingBalance pins the balance property the vnode count was chosen
+// for: at 128 vnodes, every node's key share stays within 25% of fair.
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(100_000)
+	for _, nNodes := range []int{2, 3, 5, 8} {
+		nodes := make([]string, nNodes)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("node-%d", i)
+		}
+		r := NewRing(DefaultVNodes, nodes...)
+		counts := make(map[string]int, nNodes)
+		for _, k := range keys {
+			owner, ok := r.Owner(k)
+			if !ok {
+				t.Fatalf("Owner(%q) not ok on a %d-node ring", k, nNodes)
+			}
+			counts[owner]++
+		}
+		fair := float64(len(keys)) / float64(nNodes)
+		for _, n := range nodes {
+			share := float64(counts[n])
+			dev := (share - fair) / fair
+			if dev < -0.25 || dev > 0.25 {
+				t.Errorf("%d nodes: %s owns %d keys (%.1f%% from fair share %.0f), want within 25%%",
+					nNodes, n, counts[n], dev*100, fair)
+			}
+		}
+	}
+}
+
+// TestRingMinimalRemapOnJoin pins the consistent-hashing property: when
+// a node joins an N-node ring, at most ~1/(N+1) of keys change owner
+// (bounded here at 2/(N+1) for slack), and every moved key moves TO the
+// new node — existing nodes never trade keys among themselves.
+func TestRingMinimalRemapOnJoin(t *testing.T) {
+	keys := ringKeys(50_000)
+	for _, nNodes := range []int{2, 4, 7} {
+		nodes := make([]string, nNodes)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("node-%d", i)
+		}
+		before := NewRing(DefaultVNodes, nodes...)
+		joined := fmt.Sprintf("node-%d", nNodes)
+		after := NewRing(DefaultVNodes, append(append([]string(nil), nodes...), joined)...)
+
+		moved := 0
+		for _, k := range keys {
+			a, _ := before.Owner(k)
+			b, _ := after.Owner(k)
+			if a == b {
+				continue
+			}
+			moved++
+			if b != joined {
+				t.Fatalf("join of %s moved key %q from %s to %s (not to the joiner)", joined, k, a, b)
+			}
+		}
+		limit := 2 * len(keys) / (nNodes + 1)
+		if moved > limit {
+			t.Errorf("join onto %d nodes moved %d/%d keys, want <= %d (2/N)", nNodes, moved, len(keys), limit)
+		}
+		if moved == 0 {
+			t.Errorf("join onto %d nodes moved no keys; the joiner owns nothing", nNodes)
+		}
+	}
+}
+
+// TestRingMinimalRemapOnLeave pins the inverse: removing a node moves
+// exactly that node's keys and nothing else.
+func TestRingMinimalRemapOnLeave(t *testing.T) {
+	keys := ringKeys(50_000)
+	nodes := []string{"node-0", "node-1", "node-2", "node-3"}
+	before := NewRing(DefaultVNodes, nodes...)
+	after := NewRing(DefaultVNodes, nodes[:3]...)
+	for _, k := range keys {
+		a, _ := before.Owner(k)
+		b, _ := after.Owner(k)
+		if a == "node-3" {
+			if b == "node-3" {
+				t.Fatalf("key %q still owned by removed node", k)
+			}
+			continue
+		}
+		if a != b {
+			t.Fatalf("leave of node-3 moved key %q from %s to %s; only the leaver's keys may move", k, a, b)
+		}
+	}
+}
+
+// TestRingDeterministic pins that two rings built from the same member
+// set (in any order) agree on every key — the property that lets nodes
+// route without coordination.
+func TestRingDeterministic(t *testing.T) {
+	r1 := NewRing(DefaultVNodes, "a", "b", "c")
+	r2 := NewRing(DefaultVNodes, "c", "a", "b")
+	for _, k := range ringKeys(10_000) {
+		o1, _ := r1.Owner(k)
+		o2, _ := r2.Owner(k)
+		if o1 != o2 {
+			t.Fatalf("rings built from reordered member sets disagree on %q: %s vs %s", k, o1, o2)
+		}
+	}
+}
+
+// TestRingEmptyAndSingle covers the degenerate shapes.
+func TestRingEmptyAndSingle(t *testing.T) {
+	if _, ok := NewRing(0).Owner("k"); ok {
+		t.Error("empty ring claimed an owner")
+	}
+	var nilRing *Ring
+	if _, ok := nilRing.Owner("k"); ok {
+		t.Error("nil ring claimed an owner")
+	}
+	single := NewRing(0, "only")
+	for _, k := range ringKeys(100) {
+		if o, ok := single.Owner(k); !ok || o != "only" {
+			t.Fatalf("single-node ring returned (%q, %v)", o, ok)
+		}
+	}
+	if single.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", single.Len())
+	}
+}

@@ -97,6 +97,80 @@ func TestOnResultOrder(t *testing.T) {
 	}
 }
 
+// TestRunPlanRange is the distributed-sweep shard contract: running a
+// plan as contiguous ranges and concatenating the outputs is
+// byte-identical to one full run, at any shard split.
+func TestRunPlanRange(t *testing.T) {
+	plan, err := Expand(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := RunPlan(context.Background(), plan, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ndjson(t, full)
+	for _, size := range []int{1, 3, 5, 8} {
+		var merged []Result
+		for lo := 0; lo < len(plan.Points); lo += size {
+			hi := lo + size
+			if hi > len(plan.Points) {
+				hi = len(plan.Points)
+			}
+			rs, err := RunPlanRange(context.Background(), plan, lo, hi, Options{Workers: 3})
+			if err != nil {
+				t.Fatalf("range [%d, %d): %v", lo, hi, err)
+			}
+			if len(rs) != hi-lo {
+				t.Fatalf("range [%d, %d) returned %d results", lo, hi, len(rs))
+			}
+			for i, r := range rs {
+				if r.Index != lo+i {
+					t.Fatalf("range [%d, %d) result %d has index %d", lo, hi, i, r.Index)
+				}
+			}
+			merged = append(merged, rs...)
+		}
+		if got := ndjson(t, merged); !bytes.Equal(got, want) {
+			t.Errorf("shard size %d: merged NDJSON differs from full run", size)
+		}
+	}
+	if _, err := RunPlanRange(context.Background(), plan, 2, 1, Options{}); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := RunPlanRange(context.Background(), plan, 0, len(plan.Points)+1, Options{}); err == nil {
+		t.Error("out-of-bounds range accepted")
+	}
+}
+
+// TestRunPlanRangeCompleted checks checkpointed results use absolute
+// plan indices: in-range entries are emitted verbatim without
+// re-evaluation, out-of-range entries are ignored.
+func TestRunPlanRangeCompleted(t *testing.T) {
+	plan, err := Expand(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := RunPlan(context.Background(), plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := obs.NewRegistry().Counter("test_evals", "test")
+	rs, err := RunPlanRange(context.Background(), plan, 2, 6, Options{
+		Completed:   map[int]Result{3: full[3], 7: full[7]},
+		EvalCounter: ctr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ndjson(t, rs); !bytes.Equal(got, ndjson(t, full[2:6])) {
+		t.Error("range with completed points differs from full-run slice")
+	}
+	if got := ctr.Load(); got != 3 {
+		t.Errorf("evaluated %d points in [2, 6) with one checkpointed, want 3", got)
+	}
+}
+
 // TestRunResults sanity-checks the physics wiring: coal fab carbon above
 // US, longer lifetime means more total carbon, exec time constant across
 // carbon axes.

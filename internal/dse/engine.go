@@ -49,7 +49,22 @@ func Run(ctx context.Context, spec *Spec, opts Options) ([]Result, error) {
 
 // RunPlan executes an already expanded plan. See Run.
 func RunPlan(ctx context.Context, plan *Plan, opts Options) ([]Result, error) {
-	total := len(plan.Points)
+	return RunPlanRange(ctx, plan, 0, len(plan.Points), opts)
+}
+
+// RunPlanRange executes the contiguous slice [lo, hi) of an expanded
+// plan's points — the shard primitive for distributed sweeps. Results
+// come back (and stream via OnResult) in plan-index order within the
+// range, carrying their absolute plan indices, so a coordinator can
+// concatenate range outputs back into the full plan order. Checkpointed
+// results in opts.Completed are keyed by absolute plan index; entries
+// outside the range are ignored.
+func RunPlanRange(ctx context.Context, plan *Plan, lo, hi int, opts Options) ([]Result, error) {
+	if lo < 0 || hi > len(plan.Points) || lo > hi {
+		return nil, fmt.Errorf("dse: range [%d, %d) outside plan of %d points", lo, hi, len(plan.Points))
+	}
+	points := plan.Points[lo:hi]
+	total := len(points)
 	if opts.MaxPoints > 0 && total > opts.MaxPoints {
 		return nil, fmt.Errorf("dse: plan has %d points, cap is %d", total, opts.MaxPoints)
 	}
@@ -100,7 +115,7 @@ func RunPlan(ctx context.Context, plan *Plan, opts Options) ([]Result, error) {
 	// Feeder: skip checkpointed points, stop on cancellation.
 	go func() {
 		defer close(todo)
-		for _, p := range plan.Points {
+		for _, p := range points {
 			if _, ok := opts.Completed[p.Index]; ok {
 				continue
 			}
@@ -119,12 +134,13 @@ func RunPlan(ctx context.Context, plan *Plan, opts Options) ([]Result, error) {
 	// Collector: record completions as they land (OnComplete), release
 	// results in index order (OnResult) through a reorder buffer. The
 	// done channel is always drained so the workers never block on send.
+	// Buffer slots are range-relative; Result.Index stays absolute.
 	results := make([]Result, total)
 	present := make([]bool, total)
 	for i, r := range opts.Completed {
-		if i >= 0 && i < total {
-			results[i] = r
-			present[i] = true
+		if i >= lo && i < hi {
+			results[i-lo] = r
+			present[i-lo] = true
 		}
 	}
 	next := 0 // first index not yet released
@@ -164,8 +180,8 @@ func RunPlan(ctx context.Context, plan *Plan, opts Options) ([]Result, error) {
 		if opts.EvalCounter != nil {
 			opts.EvalCounter.Add(1)
 		}
-		results[r.Index] = r
-		present[r.Index] = true
+		results[r.Index-lo] = r
+		present[r.Index-lo] = true
 		if err := release(); err != nil {
 			fail(err)
 		}

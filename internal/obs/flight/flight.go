@@ -23,7 +23,7 @@ import (
 // explicitly-reported unattributed residual (request decode, response
 // write, scheduling), so the stages always partition the total.
 var Stages = []string{
-	"queue_wait", "cache_lookup", "compute", "encode", "store_write", "other",
+	"queue_wait", "cache_lookup", "compute", "peer_forward", "encode", "store_write", "other",
 }
 
 // Event is one completed request's attribution record: the compact,
@@ -38,7 +38,8 @@ type Event struct {
 	Endpoint  string `json:"endpoint"`
 	RequestID string `json:"request_id"`
 	// Disposition is the cache disposition: HIT, MISS, COALESCED,
-	// STORE, BYPASS, or NONE for endpoints that don't compute.
+	// STORE, REMOTE (served by the key's owning cluster peer), BYPASS,
+	// or NONE for endpoints that don't compute.
 	Disposition string `json:"disposition"`
 	Status      int    `json:"status"`
 	// BatchSize is the item count of a /v1/batch request (0 otherwise).
@@ -52,6 +53,10 @@ type Event struct {
 	QueueWaitNS   int64 `json:"queue_wait_ns"`
 	CacheLookupNS int64 `json:"cache_lookup_ns"`
 	ComputeNS     int64 `json:"compute_ns"`
+	// PeerForwardNS is the time spent forwarding the request to the
+	// key's owning cluster peer and reading its response (0 when the
+	// request was served locally).
+	PeerForwardNS int64 `json:"peer_forward_ns,omitempty"`
 	EncodeNS      int64 `json:"encode_ns"`
 	StoreWriteNS  int64 `json:"store_write_ns"`
 	OtherNS       int64 `json:"other_ns"`
@@ -73,6 +78,8 @@ func (e *Event) StageNS(stage string) int64 {
 		return e.CacheLookupNS
 	case "compute":
 		return e.ComputeNS
+	case "peer_forward":
+		return e.PeerForwardNS
 	case "encode":
 		return e.EncodeNS
 	case "store_write":
@@ -86,8 +93,8 @@ func (e *Event) StageNS(stage string) int64 {
 // StageSumNS is the sum of every reported stage, including the
 // explicit residual.
 func (e *Event) StageSumNS() int64 {
-	return e.QueueWaitNS + e.CacheLookupNS + e.ComputeNS + e.EncodeNS +
-		e.StoreWriteNS + e.OtherNS
+	return e.QueueWaitNS + e.CacheLookupNS + e.ComputeNS + e.PeerForwardNS +
+		e.EncodeNS + e.StoreWriteNS + e.OtherNS
 }
 
 // CheckTotal cross-checks the stage sum against the end-to-end
@@ -115,8 +122,13 @@ type Breakdown struct {
 	QueueWaitNS   int64
 	CacheLookupNS int64
 	ComputeNS     int64
+	PeerForwardNS int64
 	EncodeNS      int64
 	StoreWriteNS  int64
+	// Remote marks a computation satisfied by forwarding to the key's
+	// owning cluster peer instead of evaluating locally; the caller
+	// reports disposition REMOTE instead of MISS.
+	Remote bool
 }
 
 // Attribution accumulates one request's stage timings while it is in
@@ -134,6 +146,7 @@ type Attribution struct {
 	QueueWaitNS   int64
 	CacheLookupNS int64
 	ComputeNS     int64
+	PeerForwardNS int64
 	EncodeNS      int64
 	StoreWriteNS  int64
 }
@@ -156,6 +169,7 @@ func (a *Attribution) AddBreakdown(b Breakdown) {
 	a.QueueWaitNS += b.QueueWaitNS
 	a.CacheLookupNS += b.CacheLookupNS
 	a.ComputeNS += b.ComputeNS
+	a.PeerForwardNS += b.PeerForwardNS
 	a.EncodeNS += b.EncodeNS
 	a.StoreWriteNS += b.StoreWriteNS
 }
@@ -168,7 +182,8 @@ func (a *Attribution) AddBreakdown(b Breakdown) {
 //ppatc:hotpath
 func (a *Attribution) Finish(start time.Time, total time.Duration, status int) Event {
 	totalNS := total.Nanoseconds()
-	attributed := a.QueueWaitNS + a.CacheLookupNS + a.ComputeNS + a.EncodeNS + a.StoreWriteNS
+	attributed := a.QueueWaitNS + a.CacheLookupNS + a.ComputeNS + a.PeerForwardNS +
+		a.EncodeNS + a.StoreWriteNS
 	other := totalNS - attributed
 	if other < 0 {
 		// Stage clocks read inside the computation can overshoot the
@@ -190,6 +205,7 @@ func (a *Attribution) Finish(start time.Time, total time.Duration, status int) E
 		QueueWaitNS:   a.QueueWaitNS,
 		CacheLookupNS: a.CacheLookupNS,
 		ComputeNS:     a.ComputeNS,
+		PeerForwardNS: a.PeerForwardNS,
 		EncodeNS:      a.EncodeNS,
 		StoreWriteNS:  a.StoreWriteNS,
 		OtherNS:       other,

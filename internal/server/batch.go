@@ -159,7 +159,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				ia.QueueWaitNS += time.Since(semStart).Nanoseconds()
 				defer func() { <-sem }()
 				res := &out.Items[p.idx]
-				body, disposition, err := s.compute(ctx, p.key, p.work, ia)
+				// Batch items never forward: one batch can touch many keys
+				// with many owners, and a burst of cross-node hops would
+				// cost more than the recompute it saves.
+				body, disposition, err := s.compute(ctx, p.key, p.work, ia, nil)
 				ia.Disposition = disposition
 				if err != nil {
 					res.Error = err.Error()

@@ -72,6 +72,11 @@ type streamSnapshot struct {
 // tighten it.
 var metricsStreamHeartbeat = 5 * time.Second
 
+// metricsStreamKeepAlive paces the ": ping" comment lines that keep an
+// idle stream's connection alive through proxies and NATs (SSE clients
+// ignore comment lines by spec); var so tests can tighten it.
+var metricsStreamKeepAlive = 15 * time.Second
+
 // handleMetricsStream pushes completed-request flight events as
 // Server-Sent Events ("event: flight"), with a periodic counter
 // snapshot ("event: metrics"). The subscription is released the moment
@@ -127,6 +132,8 @@ func (s *Server) handleMetricsStream(w http.ResponseWriter, r *http.Request) {
 
 	ticker := time.NewTicker(metricsStreamHeartbeat)
 	defer ticker.Stop()
+	keepAlive := time.NewTicker(metricsStreamKeepAlive)
+	defer keepAlive.Stop()
 	for {
 		select {
 		case ev := <-events:
@@ -137,6 +144,11 @@ func (s *Server) handleMetricsStream(w http.ResponseWriter, r *http.Request) {
 			if !writeEvent("metrics", snapshot()) {
 				return
 			}
+		case <-keepAlive.C:
+			if _, err := fmt.Fprint(w, ": ping\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
 		case <-r.Context().Done():
 			return
 		case <-s.base.Done():

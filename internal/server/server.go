@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ppatc/internal/carbon"
@@ -77,6 +78,20 @@ type Config struct {
 	// takes precedence over StoreDir and is closed with the server.
 	Store store.ResultStore
 
+	// ClusterGossipInterval paces cluster membership gossip (default 1s;
+	// only meaningful after StartCluster).
+	ClusterGossipInterval time.Duration
+	// ClusterPeerTTL declares a silent peer dead (default 5× the gossip
+	// interval).
+	ClusterPeerTTL time.Duration
+	// ClusterLeaseTTL bounds one distributed-sweep range lease; a worker
+	// silent longer than this loses the range to work-stealing (default
+	// 30s).
+	ClusterLeaseTTL time.Duration
+	// ClusterRangeSize fixes the distributed-sweep shard size in points
+	// (default: plan size / (members × 4), minimum 1).
+	ClusterRangeSize int
+
 	// FlightRecentSlots sizes the flight recorder's recent-events ring
 	// (rounded up to a power of two; default 1024).
 	FlightRecentSlots int
@@ -116,6 +131,12 @@ func (c Config) withDefaults() Config {
 	if c.SweepMaxPoints <= 0 {
 		c.SweepMaxPoints = 100000
 	}
+	if c.ClusterGossipInterval <= 0 {
+		c.ClusterGossipInterval = time.Second
+	}
+	if c.ClusterLeaseTTL <= 0 {
+		c.ClusterLeaseTTL = 30 * time.Second
+	}
 	if c.FlightRecentSlots <= 0 {
 		c.FlightRecentSlots = 1024
 	}
@@ -147,6 +168,12 @@ type Server struct {
 	base     context.Context
 	cancel   context.CancelFunc
 	started  time.Time
+
+	// cluster is set by StartCluster (nil in single-node mode);
+	// draining flips on BeginShutdown so /healthz reports not-ready
+	// before the listener starts refusing connections.
+	cluster  atomic.Pointer[clusterState]
+	draining atomic.Bool
 
 	// gridsBody and workloadsBody are the static discovery responses,
 	// encoded once at startup and written verbatim per request.
@@ -213,7 +240,15 @@ func New(cfg Config) *Server {
 	// instrument(): a stream lives as long as its client, which would
 	// read as one enormous "slow request" in its own recorder.
 	s.mux.HandleFunc("GET /v1/metrics/stream", s.handleMetricsStream)
+	// Cluster control plane: mounted unconditionally, 503 until
+	// StartCluster. Outside instrument() like the stream endpoints —
+	// gossip chatter would drown the request telemetry.
+	s.mux.HandleFunc("POST /cluster/v1/gossip", s.handleClusterGossip)
+	s.mux.HandleFunc("POST /cluster/v1/sweeps/work", s.handleClusterWork)
+	s.mux.HandleFunc("POST /cluster/v1/sweeps/{id}/claim", s.handleClusterClaim)
+	s.mux.HandleFunc("POST /cluster/v1/sweeps/{id}/complete", s.handleClusterComplete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /livez", s.handleLive)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	if cfg.EnablePprof {
@@ -239,6 +274,9 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 func (s *Server) Close() {
 	s.cancel()
 	s.pool.Close()
+	if c := s.cluster.Load(); c != nil {
+		c.node.Close()
+	}
 	if s.store != nil {
 		if err := s.store.Close(); err != nil {
 			s.log.Error("result store close", "error", err)
@@ -383,12 +421,15 @@ func putEncodeBuf(buf *bytes.Buffer) {
 // repeated requests are byte-identical; they are shared with the cache
 // and must not be mutated. disposition reports how the request was
 // served: "HIT", "MISS" (this request led the computation),
-// "COALESCED" (piggybacked on an identical in-flight computation) or
+// "COALESCED" (piggybacked on an identical in-flight computation),
 // "STORE" (served from the persistent result store after eviction or a
-// restart, without recomputation).
+// restart, without recomputation) or "REMOTE" (cluster mode: the key's
+// owning peer served it; fwd is nil outside cluster mode and on every
+// serve-locally path, and concurrent misses of a routed key coalesce
+// onto a single forward).
 //
 //ppatc:hotpath
-func (s *Server) compute(ctx context.Context, key string, work workFn, att *flight.Attribution) (body []byte, disposition string, err error) {
+func (s *Server) compute(ctx context.Context, key string, work workFn, att *flight.Attribution, fwd *forwardSpec) (body []byte, disposition string, err error) {
 	lookupStart := time.Now()
 	if b, ok := s.cache.Get(key); ok {
 		s.metrics.CacheHits.Add(1)
@@ -412,11 +453,21 @@ func (s *Server) compute(ctx context.Context, key string, work workFn, att *flig
 		// coalesced waiters; the pool enforces queue bounds.
 		jctx, cancel := context.WithTimeout(s.base, s.cfg.RequestTimeout)
 		defer cancel()
+		var forwardNS int64
+		if fwd != nil {
+			body, fbd, ok := s.computeForward(jctx, key, fwd)
+			if ok {
+				return body, fbd, nil
+			}
+			// Forward failed: fall through and compute locally, keeping
+			// the time already spent forwarding attributed to peer_forward.
+			forwardNS = fbd.PeerForwardNS
+		}
 		buf := getEncodeBuf()
 		defer putEncodeBuf(buf)
 		var werr error
 		var encodeNS int64
-		var bd flight.Breakdown
+		bd := flight.Breakdown{PeerForwardNS: forwardNS}
 		// Every real computation runs under a trace so its stage spans
 		// feed the per-stage latency histograms; the trace itself is
 		// discarded (the ?trace=1 path returns one to the caller).
@@ -454,6 +505,9 @@ func (s *Server) compute(ctx context.Context, key string, work workFn, att *flig
 		s.metrics.Coalesced.Add(1)
 		return b, "COALESCED", err
 	}
+	if bd.Remote {
+		return b, "REMOTE", err
+	}
 	return b, "MISS", err
 }
 
@@ -478,7 +532,7 @@ func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
 // ?trace=1 the request bypasses the cache, computes fresh under a trace
 // rooted at its request ID, and returns the span tree inline alongside
 // the result.
-func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, key string, work workFn) {
+func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, key string, work workFn, fwd *forwardSpec) {
 	// Query() allocates its map; the common request has no query string
 	// at all, so don't parse one unless it's there.
 	if r.URL.RawQuery != "" {
@@ -487,8 +541,11 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, key strin
 			return
 		}
 	}
+	if s.cluster.Load() != nil && s.refuseForwardLoop(w, r) {
+		return
+	}
 	att := attributionOf(w)
-	body, disposition, err := s.compute(r.Context(), key, work, att)
+	body, disposition, err := s.compute(r.Context(), key, work, att, fwd)
 	att.Disposition = disposition
 	if err != nil {
 		s.writeComputeError(w, err)
@@ -589,7 +646,9 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := evaluateKey(sysName, wl.Name, grid.Name)
-	s.serveComputed(w, r, key, s.evaluateWork(sysName, wl, grid))
+	fwd := s.forwardSpecFor(r, "/v1/evaluate", key,
+		evaluateRequest{System: sysName, Workload: wl.Name, Grid: grid.Name})
+	s.serveComputed(w, r, key, s.evaluateWork(sysName, wl, grid), fwd)
 }
 
 // evaluateWork builds the workFn computing one (system, workload, grid)
@@ -632,6 +691,7 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := suiteKey(grid.Name)
+	fwd := s.forwardSpecFor(r, "/v1/suite", key, suiteRequest{Grid: grid.Name})
 	s.serveComputed(w, r, key, func(ctx context.Context, buf *bytes.Buffer) (int64, error) {
 		rows, err := core.SuiteContext(ctx, grid)
 		if err != nil {
@@ -640,7 +700,7 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		encStart := time.Now()
 		err = core.WriteSuiteJSON(buf, rows)
 		return time.Since(encStart).Nanoseconds(), err
-	})
+	}, fwd)
 }
 
 // tcdpRequest asks for the carbon-efficiency comparison of the two
@@ -728,9 +788,12 @@ func (s *Server) handleTCDP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := RequestKey("tcdp", wl.Name, grid.Name, req.Months, req.OpScales)
+	fwd := s.forwardSpecFor(r, "/v1/tcdp", key, tcdpRequest{
+		Workload: wl.Name, Grid: grid.Name, Months: req.Months, OpScales: req.OpScales,
+	})
 	s.serveComputed(w, r, key, func(ctx context.Context, buf *bytes.Buffer) (int64, error) {
 		return computeTCDP(ctx, buf, wl, grid, req.Months, req.OpScales)
-	})
+	}, fwd)
 }
 
 func computeTCDP(ctx context.Context, buf *bytes.Buffer, wl embench.Workload, grid carbon.Grid, months float64, opScales []float64) (int64, error) {
@@ -855,18 +918,42 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
+// handleHealth is readiness: a draining server answers 503 so load
+// balancers and cluster peers stop routing to it before the listener
+// closes (BeginShutdown flips the flag ahead of drain). Use /livez for
+// liveness — it stays 200 for as long as the process can serve at all.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
+	code := http.StatusOK
 	if strings.HasPrefix(s.persist.SweepDir, "degraded") || strings.HasPrefix(s.persist.Store, "degraded") {
 		status = "degraded"
 	}
-	writeJSON(w, map[string]any{
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	body := map[string]any{
 		"status":       status,
 		"uptime_s":     time.Since(s.started).Seconds(),
 		"queue_depth":  s.pool.QueueDepth(),
 		"cache_shards": s.cache.Shards(),
 		"persistence":  s.persist,
-	})
+	}
+	if ch := s.clusterHealth(); ch != nil {
+		body["cluster"] = ch
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}
+
+// handleLive is liveness: 200 whenever the process is up, draining
+// included. Orchestrators restart on /livez failures and deroute on
+// /healthz failures; conflating the two turns every drain into a kill.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "alive"})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -222,6 +222,16 @@ func (s *Server) runSweep(j *sweepJob) {
 		return nil
 	}
 
+	// With alive peers, shard the plan across the cluster instead of
+	// running it on one box: the coordinator merges ranges back into
+	// plan order, so the committed results — and the checkpoint and
+	// persistence writes chained into opts.OnComplete — are the same
+	// either way.
+	if n := s.clusterNode(); n != nil && len(n.AlivePeers()) > 0 {
+		s.runDistributedSweep(ctx, j, completed, opts.OnComplete, start)
+		return
+	}
+
 	results, err := dse.RunPlan(ctx, j.plan, opts)
 	switch {
 	case err == nil:
