@@ -19,7 +19,7 @@
 //	diecount die-per-wafer estimates for both designs
 //	wafermap ASCII wafer map (dies magnified)
 //	montecarlo sampled robustness of the tCDP verdict
-//	sweep    design-space sweep from a JSON spec (-spec, -p, -checkpoint)
+//	sweep    design-space sweep from a JSON spec (-spec, -p, -checkpoint, -no-memo)
 //	report   everything, in order (-markdown for a markdown artifact)
 //
 // Observability flags: -trace <file> writes a Chrome trace-event file
@@ -65,6 +65,7 @@ func run(args []string) error {
 	specPath := fs.String("spec", "", "for sweep: JSON sweep spec file ('-' reads stdin)")
 	parallel := fs.Int("p", 0, "for sweep: worker count (default GOMAXPROCS; any value gives identical results)")
 	checkpoint := fs.String("checkpoint", "", "for sweep: checkpoint file — interrupted sweeps resume from it")
+	noMemo := fs.Bool("no-memo", false, "for sweep: disable stage memoization (identical output, slower)")
 	if len(args) == 0 {
 		fs.Usage()
 		return fmt.Errorf("missing experiment (fig2c fig2d table1 table2 fig4 fig5 fig6a fig6b suite score gases diecount wafermap montecarlo sweep report)")
@@ -251,7 +252,7 @@ func run(args []string) error {
 		}
 		fmt.Print(res.Format())
 	case "sweep":
-		return runSweep(ctx, *specPath, *parallel, *checkpoint)
+		return runSweep(ctx, *specPath, *parallel, *checkpoint, *noMemo)
 	case "report":
 		if *markdown {
 			w, err := embench.ByName(*workload)

@@ -16,7 +16,7 @@ import (
 // analyses (Pareto frontier, sensitivity, win probabilities) to stderr
 // so stdout stays machine-readable. With -checkpoint, completed points
 // persist across interrupts: Ctrl-C, re-run, and the sweep resumes.
-func runSweep(ctx context.Context, specPath string, workers int, ckptPath string) error {
+func runSweep(ctx context.Context, specPath string, workers int, ckptPath string, noMemo bool) error {
 	if specPath == "" {
 		return errors.New("sweep needs -spec <file> (or -spec - for stdin)")
 	}
@@ -46,6 +46,7 @@ func runSweep(ctx context.Context, specPath string, workers int, ckptPath string
 	defer out.Flush()
 	opts := dse.Options{
 		Workers: workers,
+		NoMemo:  noMemo,
 		OnResult: func(r dse.Result) error {
 			line, err := r.MarshalLine()
 			if err != nil {

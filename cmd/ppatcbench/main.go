@@ -10,12 +10,16 @@
 //	    BENCHMARK.md is in sync by regenerating and diffing.
 //
 //	ppatcbench check [-dir .] [-old a.json -new b.json]
-//	               [-max-p95-regress 10] [-max-allocs-regress 10]
+//	               [-max-p95-regress 10] [-max-p99-regress 25]
+//	               [-max-allocs-regress 10]
 //	    compares two reports (explicit files, or the two newest
 //	    sequence numbers in -dir) and exits nonzero when any endpoint's
-//	    p95 or the run's allocs/op regressed beyond the thresholds —
-//	    the CI gate. Latency thresholds only mean something between
-//	    runs on the same engine; the tool warns when engines differ.
+//	    p95 or p99, or the run's allocs/op, regressed beyond the
+//	    thresholds — the CI gate. The p99 threshold is looser than p95
+//	    by default: the tail is noisier, but an unbounded tail is
+//	    exactly the admission-control regression the gate exists to
+//	    catch. Latency thresholds only mean something between runs on
+//	    the same engine; the tool warns when engines differ.
 package main
 
 import (
@@ -114,6 +118,7 @@ func checkCmd(args []string, stdout *os.File) (failed bool, err error) {
 	oldPath := fs.String("old", "", "baseline report (overrides -dir selection)")
 	newPath := fs.String("new", "", "candidate report (overrides -dir selection)")
 	maxP95 := fs.Float64("max-p95-regress", 10, "max tolerated p95 regression, percent")
+	maxP99 := fs.Float64("max-p99-regress", 25, "max tolerated p99 regression, percent")
 	maxAllocs := fs.Float64("max-allocs-regress", 10, "max tolerated allocs/op regression, percent")
 	if err := fs.Parse(args); err != nil {
 		return false, err
@@ -139,7 +144,7 @@ func checkCmd(args []string, stdout *os.File) (failed bool, err error) {
 	default:
 		return false, fmt.Errorf("ppatcbench: -old and -new must be given together")
 	}
-	findings := compare(oldRep, newRep, *maxP95, *maxAllocs)
+	findings := compare(oldRep, newRep, *maxP95, *maxP99, *maxAllocs)
 	fmt.Fprintf(stdout, "ppatcbench: %s (seq %d) vs %s (seq %d)\n",
 		oldRep.File, oldRep.Seq, newRep.File, newRep.Seq)
 	if oldRep.Engine.String() != newRep.Engine.String() {
@@ -188,10 +193,10 @@ func deltaPct(old, new float64) float64 {
 	return (new - old) / old * 100
 }
 
-// compare builds the regression findings: per-endpoint p95 (endpoints
-// present in both reports) and whole-run allocs/op, each against its
-// threshold.
-func compare(oldRep, newRep *bench.Report, maxP95, maxAllocs float64) []finding {
+// compare builds the regression findings: per-endpoint p95 and p99
+// (endpoints present in both reports) and whole-run allocs/op, each
+// against its threshold.
+func compare(oldRep, newRep *bench.Report, maxP95, maxP99, maxAllocs float64) []finding {
 	var out []finding
 	for _, name := range newRep.SortedEndpoints() {
 		n := newRep.Endpoints[name]
@@ -203,6 +208,11 @@ func compare(oldRep, newRep *bench.Report, maxP95, maxAllocs float64) []finding 
 		out = append(out, finding{
 			Metric: name + " p95 ms", Old: o.P95Ms, New: n.P95Ms,
 			DeltaPct: d, Regression: d > maxP95,
+		})
+		d = deltaPct(o.P99Ms, n.P99Ms)
+		out = append(out, finding{
+			Metric: name + " p99 ms", Old: o.P99Ms, New: n.P99Ms,
+			DeltaPct: d, Regression: d > maxP99,
 		})
 	}
 	d := deltaPct(oldRep.Totals.AllocsPerOp, newRep.Totals.AllocsPerOp)

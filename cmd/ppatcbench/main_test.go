@@ -134,7 +134,7 @@ func TestCompareRegressions(t *testing.T) {
 			t.Fatal(err)
 		}
 		failed := false
-		for _, f := range compare(old, cur, 10, 10) {
+		for _, f := range compare(old, cur, 10, 25, 10) {
 			failed = failed || f.Regression
 		}
 		if failed != wantFail {
@@ -149,6 +149,16 @@ func TestCompareRegressions(t *testing.T) {
 	})
 	t.Run("allocs regression", func(t *testing.T) {
 		check(t, fixtureV2(8, 0.050, 120), true) // +20% allocs/op
+	})
+	t.Run("p99 regression", func(t *testing.T) {
+		// p95 within threshold but the tail blows out: +67% p99 on
+		// evaluate against the 25% gate.
+		body := strings.Replace(fixtureV2(8, 0.050, 100), `"p99_ms": 0.090`, `"p99_ms": 0.150`, 1)
+		check(t, body, true)
+	})
+	t.Run("p99 within threshold", func(t *testing.T) {
+		body := strings.Replace(fixtureV2(8, 0.050, 100), `"p99_ms": 0.090`, `"p99_ms": 0.100`, 1)
+		check(t, body, false) // +11% p99
 	})
 	t.Run("improvement", func(t *testing.T) {
 		check(t, fixtureV2(8, 0.030, 50), false)

@@ -34,6 +34,14 @@
 // Multi-node numbers include real kernel networking, so they only
 // compare against other multi-node runs. -attribution needs the
 // in-process flight recorder and is rejected with -targets.
+//
+// Two scenario sections ride along on demand (both in-process only):
+// -p99-scenario floods a dedicated tiny-cache server with cold
+// 256-tuple batches while a prober measures single /v1/evaluate
+// latency — the report's "p99_budget" section pins the admission
+// control's tail contract; -sweep-bench runs one mixed-axis DSE sweep
+// twice (memo off, then stage-memoized), byte-compares the NDJSON, and
+// reports the wall-clock speedup in "sweep_bench".
 package main
 
 import (
@@ -98,6 +106,14 @@ type benchConfig struct {
 	// targets switches to multi-node mode: base URLs of running
 	// daemons the schedule is spread over (empty = in-process server).
 	targets []string
+	// p99Scenario additionally runs the batch-saturation probe scenario
+	// (its own dedicated server) for p99Duration and folds the probe
+	// percentiles into the report's "p99_budget" section.
+	p99Scenario bool
+	p99Duration time.Duration
+	// sweepBench additionally runs the memoized-vs-direct mixed-axis
+	// sweep comparison into the report's "sweep_bench" section.
+	sweepBench bool
 }
 
 func parseFlags(args []string) (benchConfig, error) {
@@ -120,6 +136,9 @@ func parseFlags(args []string) (benchConfig, error) {
 	fs.IntVar(&cfg.cacheShards, "cache-shards", 16, "server response-cache shards")
 	var targets string
 	fs.StringVar(&targets, "targets", "", "comma-separated daemon base URLs: drive a running (multi-node) cluster over HTTP instead of an in-process server")
+	fs.BoolVar(&cfg.p99Scenario, "p99-scenario", false, "also run the batch-saturation probe scenario (cold 256-tuple batch flood + single-evaluate prober) and report its p99 budget")
+	fs.DurationVar(&cfg.p99Duration, "p99-duration", 5*time.Second, "probe window for -p99-scenario")
+	fs.BoolVar(&cfg.sweepBench, "sweep-bench", false, "also run the memoized-vs-direct mixed-axis sweep comparison and report the speedup")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -134,6 +153,12 @@ func parseFlags(args []string) (benchConfig, error) {
 	}
 	if len(cfg.targets) > 0 && cfg.attribution {
 		return cfg, fmt.Errorf("ppatcload: -attribution/-flight-out need the in-process flight recorder and cannot combine with -targets")
+	}
+	if len(cfg.targets) > 0 && (cfg.p99Scenario || cfg.sweepBench) {
+		return cfg, fmt.Errorf("ppatcload: -p99-scenario/-sweep-bench run in-process and cannot combine with -targets")
+	}
+	if cfg.p99Scenario && cfg.p99Duration <= 0 {
+		return cfg, fmt.Errorf("ppatcload: -p99-duration must be positive")
 	}
 	var err error
 	if cfg.mix, err = parseMix(mix); err != nil {
@@ -438,6 +463,22 @@ func run(cfg benchConfig) (*bench.Report, error) {
 			return nil, err
 		}
 	}
+	// The scenario sections run after the main measurement on their own
+	// dedicated servers, so they never perturb the endpoint percentiles.
+	if cfg.p99Scenario {
+		pb, err := runP99Scenario(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.P99Budget = pb
+	}
+	if cfg.sweepBench {
+		sb, err := runSweepBench(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.SweepBench = sb
+	}
 	rep.Totals.Requests = total
 	rep.Totals.ElapsedS = cfg.duration.Seconds()
 	if total > 0 {
@@ -628,6 +669,14 @@ func printReport(w io.Writer, r *bench.Report) {
 			fmt.Fprintf(w, "    %-28s %7d reqs  p50 %8.3fms  p95 %8.3fms  hits %d  remote %d  errors %d\n",
 				ns.Target, ns.Requests, ns.P50Ms, ns.P95Ms, ns.CacheHits, ns.Remote, ns.Errors)
 		}
+	}
+	if pb := r.P99Budget; pb != nil {
+		fmt.Fprintf(w, "  p99 budget: %d probes under %dx%d-item batch flood  p50 %.3fms  p95 %.3fms  p99 %.3fms  max %.3fms  p99/p95 %.2fx\n",
+			pb.Probes, pb.Flooders, pb.BatchSize, pb.P50Ms, pb.P95Ms, pb.P99Ms, pb.MaxMs, pb.P99OverP95)
+	}
+	if sb := r.SweepBench; sb != nil {
+		fmt.Fprintf(w, "  sweep bench: %d points (%s)  no-memo %.2fs  memo %.2fs  speedup %.1fx  identical %v\n",
+			sb.Points, sb.Spec, sb.NoMemoS, sb.MemoS, sb.SpeedupX, sb.Identical)
 	}
 	if len(r.Attribution) > 0 {
 		fmt.Fprintln(w, "  attribution (mean ms/request):")

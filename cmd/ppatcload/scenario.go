@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ppatc/internal/bench"
+	"ppatc/internal/core"
+	"ppatc/internal/dse"
+	"ppatc/internal/embench"
+	"ppatc/internal/server"
+)
+
+// p99 scenario shape: two clients flooding 256-item batches against a
+// cache too small to retain anything, so the pool is permanently
+// saturated with cold bulk work while one prober measures single
+// evaluations.
+const (
+	p99Flooders     = 2
+	p99BatchSize    = 256
+	p99CacheEntries = 4
+)
+
+// runP99Scenario measures the admission-control contract under
+// worst-case head-of-line pressure: flooder clients keep the worker
+// pool saturated with cold 256-tuple batches (the tiny cache evicts
+// everything between rounds), and a prober issues single /v1/evaluate
+// requests whose latency distribution becomes the report's p99 budget.
+// Probe tuples use grids the flooders never touch, so a probe is always
+// its own cold computation — never a coalesced ride on a batch item.
+func runP99Scenario(cfg benchConfig) (*bench.P99Budget, error) {
+	srv := server.New(server.Config{
+		Workers:      cfg.serverWorkers,
+		QueueDepth:   1024,
+		CacheEntries: p99CacheEntries,
+		CacheShards:  1,
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError})),
+	})
+	defer srv.Close()
+	h := srv.Handler()
+
+	systems := []string{"si", "m3d"}
+	var tuples []string
+	var probeReqs []request
+	for _, sys := range systems {
+		for _, wl := range embench.Workloads() {
+			for _, g := range []string{"US", "Coal"} {
+				tuples = append(tuples, fmt.Sprintf(`{"system":%q,"workload":%q,"grid":%q}`, sys, wl.Name, g))
+			}
+			for _, g := range []string{"Solar", "Taiwan"} {
+				probeReqs = append(probeReqs, request{
+					endpoint: "evaluate",
+					path:     "/v1/evaluate",
+					body:     fmt.Sprintf(`{"system":%q,"workload":%q,"grid":%q}`, sys, wl.Name, g),
+				})
+			}
+		}
+	}
+	items := make([]string, p99BatchSize)
+	for i := range items {
+		items[i] = tuples[i%len(tuples)]
+	}
+	floodReq := request{
+		endpoint: "batch",
+		path:     "/v1/batch",
+		body:     `{"items":[` + strings.Join(items, ",") + `]}`,
+	}
+
+	stop := make(chan struct{})
+	var fwg sync.WaitGroup
+	for i := 0; i < p99Flooders; i++ {
+		fwg.Add(1)
+		go func() {
+			defer fwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				issue(h, floodReq)
+			}
+		}()
+	}
+	// Let the flood establish pool pressure before the first probe.
+	time.Sleep(250 * time.Millisecond)
+
+	var lats []time.Duration
+	errors := 0
+	deadline := time.Now().Add(cfg.p99Duration)
+	for i := 0; time.Now().Before(deadline); i++ {
+		r := probeReqs[i%len(probeReqs)]
+		start := time.Now()
+		code, _ := issue(h, r)
+		if code != http.StatusOK {
+			errors++
+			continue
+		}
+		lats = append(lats, time.Since(start))
+	}
+	close(stop)
+	fwg.Wait()
+
+	if len(lats) == 0 {
+		return nil, fmt.Errorf("ppatcload: p99 scenario measured no successful probes (%d errors)", errors)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pb := &bench.P99Budget{
+		Flooders:     p99Flooders,
+		BatchSize:    p99BatchSize,
+		CacheEntries: p99CacheEntries,
+		Probes:       len(lats),
+		P50Ms:        percentile(lats, 50).Seconds() * 1e3,
+		P95Ms:        percentile(lats, 95).Seconds() * 1e3,
+		P99Ms:        percentile(lats, 99).Seconds() * 1e3,
+		MaxMs:        lats[len(lats)-1].Seconds() * 1e3,
+	}
+	if pb.P95Ms > 0 {
+		pb.P99OverP95 = pb.P99Ms / pb.P95Ms
+	}
+	return pb, nil
+}
+
+// Sweep-bench shape: a mixed-axis sweep where most points differ only
+// in grid intensity — the axis only the carbon stage reads — so the
+// stage memo collapses nearly all embench/EDRAM/synthesis/floorplan
+// work.
+const (
+	sweepBenchIntensities = 24
+	sweepBenchClocks      = 2
+)
+
+// runSweepBench runs one mixed-axis sweep twice — memo disabled, then
+// stage-memoized — byte-compares the NDJSON outputs, and reports the
+// wall-clock speedup with the memoized run's per-stage hit/miss
+// counters.
+func runSweepBench(cfg benchConfig) (*bench.SweepBench, error) {
+	vals := make([]float64, sweepBenchIntensities)
+	for i := range vals {
+		vals[i] = 40 + 40*float64(i)
+	}
+	mhz := make([]float64, sweepBenchClocks)
+	for i := range mhz {
+		mhz[i] = 500 - 100*float64(i)
+	}
+	spec := &dse.Spec{
+		Name: "sweep-bench-mixed",
+		Axes: dse.Axes{
+			System:   []string{"si", "m3d"},
+			Workload: []string{"huff"},
+			Grid:     &dse.GridAxis{Intensity: &dse.NumericAxis{Values: vals}},
+			ClockMHz: &dse.NumericAxis{Values: mhz},
+		},
+	}
+	plan, err := dse.Expand(spec)
+	if err != nil {
+		return nil, fmt.Errorf("ppatcload: sweep-bench spec: %w", err)
+	}
+	run := func(opts dse.Options) ([]byte, float64, error) {
+		start := time.Now()
+		results, err := dse.RunPlan(context.Background(), plan, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		elapsed := time.Since(start).Seconds()
+		var buf bytes.Buffer
+		if err := dse.WriteNDJSON(&buf, results); err != nil {
+			return nil, 0, err
+		}
+		return buf.Bytes(), elapsed, nil
+	}
+	plain, plainS, err := run(dse.Options{Workers: cfg.serverWorkers, NoMemo: true})
+	if err != nil {
+		return nil, fmt.Errorf("ppatcload: no-memo sweep: %w", err)
+	}
+	memo := core.NewMemo()
+	memoized, memoS, err := run(dse.Options{Workers: cfg.serverWorkers, Memo: memo})
+	if err != nil {
+		return nil, fmt.Errorf("ppatcload: memoized sweep: %w", err)
+	}
+	sb := &bench.SweepBench{
+		Points: len(plan.Points),
+		Spec: fmt.Sprintf("2 systems x 1 workload x %d grid intensities x %d clocks",
+			sweepBenchIntensities, sweepBenchClocks),
+		NoMemoS:    plainS,
+		MemoS:      memoS,
+		Identical:  bytes.Equal(plain, memoized),
+		MemoStages: make(map[string]bench.MemoStageCounters),
+	}
+	if memoS > 0 {
+		sb.SpeedupX = plainS / memoS
+	}
+	for stage, st := range memo.Stats() {
+		sb.MemoStages[stage] = bench.MemoStageCounters{Hits: st.Hits, Misses: st.Misses}
+	}
+	return sb, nil
+}

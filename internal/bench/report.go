@@ -131,6 +131,58 @@ type EndpointStats struct {
 	CacheHits int     `json:"cache_hits"`
 }
 
+// P99Budget records the head-of-line-blocking scenario (ppatcload
+// -p99-scenario): single-evaluation probe latency measured while
+// flooder clients keep the pool saturated with cold 256-tuple batches
+// against a deliberately tiny cache. The admission-control scheduler is
+// judged on P99OverP95 — without per-class admission the probe p99 is
+// two orders of magnitude above its p95; with it the tail stays within
+// single digits.
+type P99Budget struct {
+	// Flooders is the number of concurrent batch-flooding clients;
+	// BatchSize the items per flood batch; CacheEntries the per-shard
+	// cache capacity that keeps the batches cold.
+	Flooders     int `json:"flooders"`
+	BatchSize    int `json:"batch_size"`
+	CacheEntries int `json:"cache_entries"`
+	// Probes is the number of single /v1/evaluate requests measured.
+	Probes int     `json:"probes"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	// P99OverP95 is the probe tail ratio the admission gate pins.
+	P99OverP95 float64 `json:"p99_over_p95"`
+}
+
+// MemoStageCounters is one pipeline stage's memo traffic in a sweep
+// bench: Misses counts actual stage executions, Hits replays.
+type MemoStageCounters struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// SweepBench records the stage-memoization comparison (ppatcload
+// -sweep-bench): one mixed-axis sweep run twice — memo disabled, then
+// memoized — with byte-compared NDJSON output. Identical must be true
+// for SpeedupX to mean anything: the memo's contract is identical
+// results, only faster.
+type SweepBench struct {
+	// Points is the sweep's plan size; Spec names its shape.
+	Points int    `json:"points"`
+	Spec   string `json:"spec"`
+	// NoMemoS and MemoS are the two runs' wall-clock seconds; SpeedupX
+	// their ratio.
+	NoMemoS  float64 `json:"no_memo_s"`
+	MemoS    float64 `json:"memo_s"`
+	SpeedupX float64 `json:"speedup_x"`
+	// Identical reports whether the two runs' NDJSON bytes compared
+	// equal.
+	Identical bool `json:"identical"`
+	// MemoStages holds the memoized run's per-stage hit/miss counters.
+	MemoStages map[string]MemoStageCounters `json:"memo_stages,omitempty"`
+}
+
 // Report is one load-bench run's output document (BENCH_<seq>.json).
 type Report struct {
 	Schema string `json:"schema"`
@@ -152,6 +204,12 @@ type Report struct {
 	// keyed by target URL; the merged cluster-wide view stays in
 	// Endpoints/Totals. Absent on in-process runs.
 	Nodes map[string]*NodeStats `json:"nodes,omitempty"`
+	// P99Budget holds the batch-saturation probe scenario when the run
+	// was taken with -p99-scenario (absent otherwise).
+	P99Budget *P99Budget `json:"p99_budget,omitempty"`
+	// SweepBench holds the memoized-vs-direct sweep comparison when the
+	// run was taken with -sweep-bench (absent otherwise).
+	SweepBench *SweepBench `json:"sweep_bench,omitempty"`
 }
 
 // SeqFromFilename extracts the trailing integer of a report filename:

@@ -248,6 +248,16 @@ func Evaluate(sys SystemDesign, w embench.Workload, grid carbon.Grid) (*PPAtC, e
 // so callers serving many evaluations — the ppatcd daemon in particular —
 // can abandon work whose requester has gone away or timed out.
 func EvaluateContext(ctx context.Context, sys SystemDesign, w embench.Workload, grid carbon.Grid) (*PPAtC, error) {
+	return evaluateWithMemo(ctx, nil, sys, w, grid)
+}
+
+// evaluateWithMemo is the five-stage flow shared by the direct path
+// (m == nil: every stage runs) and the stage-memoized incremental path
+// (m != nil: each stage runs once per distinct input slice and is
+// replayed from the memo afterwards). Both paths assemble the PPAtC
+// from the same stage outputs, so their results — and anything encoded
+// from them — are identical.
+func evaluateWithMemo(ctx context.Context, m *Memo, sys SystemDesign, w embench.Workload, grid carbon.Grid) (*PPAtC, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -257,7 +267,8 @@ func EvaluateContext(ctx context.Context, sys SystemDesign, w embench.Workload, 
 
 	// Observability is opt-in per context and free when absent: spans are
 	// nil no-ops without a trace, and prov stays a nil no-op collector
-	// unless provenance was requested.
+	// unless provenance was requested. Stage spans open inside the memo
+	// closures, so a memo hit — a stage that did not run — emits no span.
 	ctx, evalSpan := obs.StartSpan(ctx, "evaluate")
 	defer evalSpan.End()
 	evalSpan.SetStr("system", sys.Name)
@@ -268,27 +279,27 @@ func EvaluateContext(ctx context.Context, sys SystemDesign, w embench.Workload, 
 		prov = obs.NewProvenance()
 	}
 
-	// Step 4 first: the workload's cycle count and access mix.
-	_, runSpan := obs.StartSpan(ctx, StageEmbench)
-	run, err := embench.Run(w, 1<<34)
-	runSpan.End()
+	// Step 4 first: the workload's cycle count and access mix. The only
+	// input is the workload itself (the cycle budget is fixed), so the
+	// memo key is the workload name.
+	run, err := memoEmbench(ctx, m, w)
 	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	runSpan.SetFloat("cycles", float64(run.Cycles))
 	prov.Record(StageEmbench, "cycles", float64(run.Cycles), "cycles")
 	prov.Record(StageEmbench, "instructions", float64(run.Instructions), "insns")
 	prov.Record(StageEmbench, "program_reads_per_cycle", run.ProgramReadsPerCycle(), "")
 	prov.Record(StageEmbench, "data_reads_per_cycle", run.DataReadsPerCycle(), "")
 	prov.Record(StageEmbench, "data_writes_per_cycle", run.DataWritesPerCycle(), "")
 
-	// Step 2: characterize the eDRAM macro.
-	_, memSpan := obs.StartSpan(ctx, StageEDRAM)
-	mem, err := edram.Build(sys.Cell, sys.Array, sys.Periphery)
-	memSpan.End()
+	// Step 2: characterize the eDRAM macro. The build depends only on
+	// the design's cell/array/periphery (identified by the system name);
+	// the timing check depends on the clock too, so it runs per call,
+	// outside the memo.
+	mem, err := memoEDRAM(ctx, m, sys)
 	if err != nil {
 		return nil, err
 	}
@@ -303,8 +314,6 @@ func EvaluateContext(ctx context.Context, sys SystemDesign, w embench.Workload, 
 		accessDelay = mem.WriteLatency
 	}
 	timingMarginPS := (sys.Clock.PeriodSeconds() - accessDelay) * 1e12
-	memSpan.SetFloat("area_mm2", mem.Area.SquareMillimeters())
-	memSpan.SetFloat("timing_margin_ps", timingMarginPS)
 	prov.Record(StageEDRAM, "macro_area_mm2", mem.Area.SquareMillimeters(), "mm2")
 	prov.Record(StageEDRAM, "read_energy_pj", mem.ReadEnergy*1e12, "pJ")
 	prov.Record(StageEDRAM, "write_energy_pj", mem.WriteEnergy*1e12, "pJ")
@@ -312,11 +321,9 @@ func EvaluateContext(ctx context.Context, sys SystemDesign, w embench.Workload, 
 	prov.Record(StageEDRAM, "leakage_power_mw", mem.LeakagePower*1e3, "mW")
 	prov.Record(StageEDRAM, "timing_margin_ps", timingMarginPS, "ps")
 
-	// Step 3: synthesize the core at the target clock.
-	var lib = stdcellFor(sys.CoreFlavor)
-	_, synSpan := obs.StartSpan(ctx, StageSynth)
-	cRes, err := synth.Close(sys.Core, lib, sys.Clock)
-	synSpan.End()
+	// Step 3: synthesize the core at the target clock (memo key: core
+	// flavour + clock, via the system name).
+	cRes, err := memoSynth(ctx, m, sys)
 	if err != nil {
 		return nil, err
 	}
@@ -326,7 +333,6 @@ func EvaluateContext(ctx context.Context, sys SystemDesign, w embench.Workload, 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	synSpan.SetFloat("dynamic_pj_per_cycle", cRes.DynamicEnergy.Picojoules())
 	prov.Record(StageSynth, "dynamic_energy_pj_per_cycle", cRes.DynamicEnergy.Picojoules(), "pJ")
 	prov.Record(StageSynth, "leakage_power_mw", cRes.LeakagePower.Milliwatts(), "mW")
 	prov.Record(StageSynth, "critical_path_ps", cRes.CriticalPath*1e12, "ps")
@@ -346,26 +352,37 @@ func EvaluateContext(ctx context.Context, sys SystemDesign, w embench.Workload, 
 	memPerCycle := progE + dataE
 	prov.Record(StageEDRAM, "memory_pj_per_cycle", memPerCycle.Picojoules(), "pJ")
 
-	// Floorplan: two macros plus the core.
-	_, fpSpan := obs.StartSpan(ctx, StageFloorplan)
-	chip, err := floorplan.Compose(mem.Width, mem.Height, mem.Area, sys.Core.Area())
-	fpSpan.End()
+	// Floorplan: two macros plus the core. Inputs are the macro
+	// dimensions (a function of the design) and the fixed core area, so
+	// the memo key is the system name.
+	chip, err := memoFloorplan(ctx, m, sys, mem)
 	if err != nil {
 		return nil, err
 	}
-	fpSpan.SetFloat("die_area_mm2", chip.Area.SquareMillimeters())
 	prov.Record(StageFloorplan, "die_width_um", chip.Width.Micrometers(), "um")
 	prov.Record(StageFloorplan, "die_height_um", chip.Height.Micrometers(), "um")
 	prov.Record(StageFloorplan, "die_area_mm2", chip.Area.SquareMillimeters(), "mm2")
 
-	// Step 5: carbon.
-	_, cbSpan := obs.StartSpan(ctx, StageCarbon)
-	res, err := carbonChain(sys, grid, chip, cRes, memPerCycle, prov)
-	cbSpan.End()
+	// Step 5: carbon. The embodied chain (EPA → GPA → MPA → per-wafer →
+	// yield → per-good-die) depends on the design, the die, and the
+	// fabrication grid's carbon intensity — the memo key — while Eq. 6's
+	// operational power also folds in the workload's memory energy, so
+	// it is cheap arithmetic done per call.
+	res, err := memoCarbon(ctx, m, sys, grid, chip)
 	if err != nil {
 		return nil, err
 	}
-	cbSpan.SetFloat("embodied_per_good_die_g", res.perGood.Grams())
+	opPower := carbon.OperationalPower(cRes.LeakagePower, cRes.DynamicEnergy, memPerCycle, sys.Clock)
+	prov.Record(StageCarbon, "epa_kwh_per_wafer", res.epa.KilowattHours(), "kWh")
+	prov.Record(StageCarbon, "epa_facility_kwh_per_wafer", res.breakdown.EPAFacility.KilowattHours(), "kWh")
+	prov.Record(StageCarbon, "gpa_kg_per_wafer", res.breakdown.Gases.Kilograms(), "kg")
+	prov.Record(StageCarbon, "mpa_kg_per_wafer", res.breakdown.Materials.Kilograms(), "kg")
+	prov.Record(StageCarbon, "electricity_kg_per_wafer", res.breakdown.Electricity.Kilograms(), "kg")
+	prov.Record(StageCarbon, "embodied_per_wafer_kg", res.breakdown.Total().Kilograms(), "kg")
+	prov.Record(StageCarbon, "dies_per_wafer", float64(res.dies), "dies")
+	prov.Record(StageCarbon, "yield", res.yield, "")
+	prov.Record(StageCarbon, "embodied_per_good_die_g", res.perGood.Grams(), "g")
+	prov.Record(StageCarbon, "operational_power_mw", opPower.Milliwatts(), "mW")
 
 	return &PPAtC{
 		System:               sys.Name,
@@ -376,7 +393,7 @@ func EvaluateContext(ctx context.Context, sys SystemDesign, w embench.Workload, 
 		M0DynamicPerCycle:    cRes.DynamicEnergy,
 		MemPerCycle:          memPerCycle,
 		M0LeakagePower:       cRes.LeakagePower,
-		OperationalPower:     res.opPower,
+		OperationalPower:     opPower,
 		MemoryArea:           mem.Area,
 		TotalArea:            chip.Area,
 		DieWidth:             chip.Width,
@@ -394,20 +411,22 @@ func EvaluateContext(ctx context.Context, sys SystemDesign, w embench.Workload, 
 	}, nil
 }
 
-// carbonResult is the Step-5 output bundle of carbonChain.
+// carbonResult is the embodied-carbon output bundle of carbonChain: the
+// workload-independent part of Step 5 (everything except Eq. 6's
+// operational power), which is what the stage memo caches per
+// (design, grid) pair.
 type carbonResult struct {
 	epa       units.Energy
 	breakdown carbon.EmbodiedBreakdown
 	dies      int
 	yield     float64
 	perGood   units.Carbon
-	opPower   units.Power
 }
 
 // carbonChain runs the EPA → GPA → MPA → embodied → yield → per-good-die
-// chain plus Eq. 6's operational power, recording each intermediate into
-// prov (a nil collector is a no-op).
-func carbonChain(sys SystemDesign, grid carbon.Grid, chip floorplan.Chip, cRes synth.Result, memPerCycle units.Energy, prov *obs.Provenance) (carbonResult, error) {
+// chain. It is a pure function of the design, the grid's fabrication
+// carbon intensity, and the floorplanned die.
+func carbonChain(sys SystemDesign, grid carbon.Grid, chip floorplan.Chip) (carbonResult, error) {
 	var out carbonResult
 	epa, err := sys.Flow.EPA(process.DefaultEnergyTable())
 	if err != nil {
@@ -458,19 +477,7 @@ func carbonChain(sys SystemDesign, grid carbon.Grid, chip floorplan.Chip, cRes s
 	if err != nil {
 		return out, err
 	}
-	opPower := carbon.OperationalPower(cRes.LeakagePower, cRes.DynamicEnergy, memPerCycle, sys.Clock)
 
-	prov.Record(StageCarbon, "epa_kwh_per_wafer", epa.KilowattHours(), "kWh")
-	prov.Record(StageCarbon, "epa_facility_kwh_per_wafer", breakdown.EPAFacility.KilowattHours(), "kWh")
-	prov.Record(StageCarbon, "gpa_kg_per_wafer", breakdown.Gases.Kilograms(), "kg")
-	prov.Record(StageCarbon, "mpa_kg_per_wafer", breakdown.Materials.Kilograms(), "kg")
-	prov.Record(StageCarbon, "electricity_kg_per_wafer", breakdown.Electricity.Kilograms(), "kg")
-	prov.Record(StageCarbon, "embodied_per_wafer_kg", breakdown.Total().Kilograms(), "kg")
-	prov.Record(StageCarbon, "dies_per_wafer", float64(dies), "dies")
-	prov.Record(StageCarbon, "yield", yieldVal, "")
-	prov.Record(StageCarbon, "embodied_per_good_die_g", perGood.Grams(), "g")
-	prov.Record(StageCarbon, "operational_power_mw", opPower.Milliwatts(), "mW")
-
-	out = carbonResult{epa: epa, breakdown: breakdown, dies: dies, yield: yieldVal, perGood: perGood, opPower: opPower}
+	out = carbonResult{epa: epa, breakdown: breakdown, dies: dies, yield: yieldVal, perGood: perGood}
 	return out, nil
 }

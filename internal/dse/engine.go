@@ -4,8 +4,11 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
+	"strconv"
 	"sync"
 
+	"ppatc/internal/core"
 	"ppatc/internal/obs"
 )
 
@@ -31,6 +34,15 @@ type Options struct {
 	// MaxPoints rejects plans larger than this many points (<=0 = no
 	// cap). Servers use it to bound job size.
 	MaxPoints int
+	// NoMemo disables stage memoization: every freshly evaluated tuple
+	// re-runs all five pipeline stages. Results are identical either
+	// way — the memo only skips recomputing pure stage outputs — so this
+	// exists for benchmarking the memo and as an escape hatch.
+	NoMemo bool
+	// Memo, when set, is the stage memo to evaluate through, letting a
+	// caller share stage results across runs (e.g. successive sweeps over
+	// the same designs). Nil means a fresh per-run memo (unless NoMemo).
+	Memo *core.Memo
 }
 
 // Run expands the spec and evaluates every point on a worker pool.
@@ -89,7 +101,11 @@ func RunPlanRange(ctx context.Context, plan *Plan, lo, hi int, opts Options) ([]
 		defer span.End()
 	}
 
-	ev := newEvaluator(plan.UseGrid)
+	memo := opts.Memo
+	if memo == nil && !opts.NoMemo {
+		memo = core.NewMemo()
+	}
+	ev := newEvaluator(plan.UseGrid, memo)
 	todo := make(chan Point)
 	done := make(chan Result, workers)
 
@@ -112,10 +128,15 @@ func RunPlanRange(ctx context.Context, plan *Plan, lo, hi int, opts Options) ([]
 		}()
 	}
 
-	// Feeder: skip checkpointed points, stop on cancellation.
+	// Feeder: skip checkpointed points, stop on cancellation. Points are
+	// fed in memo-locality order — grouped by core tuple so points
+	// sharing stage inputs run close together — which never changes
+	// results or output order (the collector's reorder buffer releases
+	// by plan index regardless of evaluation order).
 	go func() {
 		defer close(todo)
-		for _, p := range points {
+		for _, i := range feedOrder(points) {
+			p := points[i]
 			if _, ok := opts.Completed[p.Index]; ok {
 				continue
 			}
@@ -199,4 +220,32 @@ func RunPlanRange(ctx context.Context, plan *Plan, lo, hi int, opts Options) ([]
 		return nil, fmt.Errorf("dse: internal: released %d of %d points", next, total)
 	}
 	return results, nil
+}
+
+// feedOrder returns the points' positions in evaluation-feed order:
+// stable-grouped by the stage-heavy coordinate (system, workload,
+// clock) in order of first occurrence. Plan expansion puts the grid
+// axis between workload and clock, so a mixed grid × clock sweep would
+// otherwise alternate clocks between grid steps; grouping keeps every
+// point that shares embench/eDRAM/synth/floorplan memo entries
+// contiguous. Deterministic, and invisible in the output: the reorder
+// buffer releases results by plan index regardless of feed order.
+func feedOrder(points []Point) []int {
+	keys := make([]string, len(points))
+	rank := make(map[string]int)
+	for i, p := range points {
+		k := p.System + "\x00" + p.Workload + "\x00" + strconv.FormatFloat(p.ClockMHz, 'g', -1, 64)
+		keys[i] = k
+		if _, ok := rank[k]; !ok {
+			rank[k] = len(rank)
+		}
+	}
+	order := make([]int, len(points))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return rank[keys[order[a]]] < rank[keys[order[b]]]
+	})
+	return order
 }

@@ -24,6 +24,12 @@ type evaluator struct {
 	useGrid carbon.Grid
 	m3dName string
 	cache   sync.Map // core key -> *coreEntry
+	// memo, when set, memoizes the individual pipeline stages underneath
+	// the tuple cache: two tuples differing only in grid replay embench,
+	// the eDRAM macro, synthesis and the floorplan instead of re-running
+	// them. Stage outputs are pure, so memoized results are identical to
+	// direct evaluation.
+	memo *core.Memo
 }
 
 type coreEntry struct {
@@ -32,8 +38,8 @@ type coreEntry struct {
 	err  error
 }
 
-func newEvaluator(useGrid carbon.Grid) *evaluator {
-	return &evaluator{useGrid: useGrid, m3dName: core.M3DSystem().Name}
+func newEvaluator(useGrid carbon.Grid, memo *core.Memo) *evaluator {
+	return &evaluator{useGrid: useGrid, m3dName: core.M3DSystem().Name, memo: memo}
 }
 
 // coreEval runs (or reuses) the five-stage pipeline for the point's core
@@ -56,7 +62,11 @@ func (e *evaluator) coreEval(ctx context.Context, p Point) (*core.PPAtC, error) 
 			entry.err = err
 			return
 		}
-		entry.res, entry.err = core.EvaluateContext(ctx, sys, wl, p.Grid)
+		if e.memo != nil {
+			entry.res, entry.err = e.memo.EvaluateContext(ctx, sys, wl, p.Grid)
+		} else {
+			entry.res, entry.err = core.EvaluateContext(ctx, sys, wl, p.Grid)
+		}
 	})
 	return entry.res, entry.err
 }

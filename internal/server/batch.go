@@ -19,6 +19,11 @@ import (
 // leaves headroom without letting one request monopolize the pool.
 const maxBatchItems = 256
 
+// batchInteractiveMisses is the admission-control threshold: a batch
+// whose cache probe leaves at most this many misses is classified
+// interactive (it is request-sized work), anything colder is bulk.
+const batchInteractiveMisses = 4
+
 // batchItem names one evaluation tuple of a batch request.
 type batchItem struct {
 	// System is "all-Si", "M3D IGZO/CNFET/Si", or the shorthands si/m3d.
@@ -128,11 +133,31 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	att.CacheLookupNS += time.Since(lookupStart).Nanoseconds()
 
-	// Second pass: evaluate the misses concurrently. compute() already
-	// bounds real work by the pool and coalesces duplicate tuples, so
-	// the semaphore only caps how many goroutines sit waiting on it.
+	// Second pass: evaluate the misses. Admission classification uses
+	// the cache probe the first pass already paid for: a batch with at
+	// most a handful of misses is interactive-sized work, while a cold
+	// batch is bulk — its computations queue behind every interactive
+	// job, so single evaluations never wait out a 256-tuple fan-out.
+	// Bulk batches are additionally chunked: misses are split into
+	// bounded sub-units that run their items sequentially, so one batch
+	// occupies at most len(misses)/chunk pool slots at a time and the
+	// scheduler interleaves chunks of concurrent batches.
 	if len(misses) > 0 {
+		class := ClassBulk
+		if len(misses) <= batchInteractiveMisses {
+			class = ClassInteractive
+		}
+		att.Class = class.String()
 		ctx := r.Context()
+		chunkSize := s.cfg.BatchChunk
+		chunks := make([][]pending, 0, (len(misses)+chunkSize-1)/chunkSize)
+		for lo := 0; lo < len(misses); lo += chunkSize {
+			hi := lo + chunkSize
+			if hi > len(misses) {
+				hi = len(misses)
+			}
+			chunks = append(chunks, misses[lo:hi])
+		}
 		sem := make(chan struct{}, s.cfg.Workers)
 		var wg sync.WaitGroup
 		// Per-item attributions are private to each goroutine; after the
@@ -143,34 +168,38 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		itemAtts := make([]flight.Attribution, len(misses))
 		//ppatcvet:ignore determinism latency attribution measures wall time only; it never flows into response bytes
 		fanStart := time.Now()
-		for mi, p := range misses {
+		base := 0
+		for _, chunk := range chunks {
 			wg.Add(1)
-			go func(mi int, p pending) {
+			go func(base int, chunk []pending) {
 				defer wg.Done()
-				ia := &itemAtts[mi]
-				ia.RequestID = att.RequestID
-				// Time spent waiting on the fan-out semaphore is the same
-				// head-of-line pressure as the pool queue: count it as
-				// queue_wait so a cold batch behind a saturated pool
-				// attributes honestly.
-				//ppatcvet:ignore determinism latency attribution measures wall time only; it never flows into response bytes
-				semStart := time.Now()
 				sem <- struct{}{}
-				ia.QueueWaitNS += time.Since(semStart).Nanoseconds()
 				defer func() { <-sem }()
-				res := &out.Items[p.idx]
-				// Batch items never forward: one batch can touch many keys
-				// with many owners, and a burst of cross-node hops would
-				// cost more than the recompute it saves.
-				body, disposition, err := s.compute(ctx, p.key, p.work, ia, nil)
-				ia.Disposition = disposition
-				if err != nil {
-					res.Error = err.Error()
-					return
+				for i, p := range chunk {
+					ia := &itemAtts[base+i]
+					ia.RequestID = att.RequestID
+					ia.Class = class.String()
+					// Everything between the fan-out start and this item's
+					// turn — the chunk's semaphore wait plus its predecessors'
+					// runtime — is the same head-of-line pressure as the pool
+					// queue: count it as queue_wait so a cold batch behind a
+					// saturated pool attributes honestly.
+					ia.QueueWaitNS += time.Since(fanStart).Nanoseconds()
+					res := &out.Items[p.idx]
+					// Batch items never forward: one batch can touch many keys
+					// with many owners, and a burst of cross-node hops would
+					// cost more than the recompute it saves.
+					body, disposition, err := s.compute(ctx, p.key, p.work, ia, nil)
+					ia.Disposition = disposition
+					if err != nil {
+						res.Error = err.Error()
+						continue
+					}
+					res.Cache = disposition
+					res.Result = body
 				}
-				res.Cache = disposition
-				res.Result = body
-			}(mi, p)
+			}(base, chunk)
+			base += len(chunk)
 		}
 		wg.Wait()
 		wallNS := time.Since(fanStart).Nanoseconds()
@@ -208,23 +237,40 @@ func splitFanOut(items []flight.Attribution, wallNS int64) flight.Breakdown {
 		sw += items[i].StoreWriteNS
 	}
 	sum := qw + cl + cp + en + sw
-	if sum <= 0 || wallNS <= 0 {
+	if wallNS <= 0 {
+		// The whole fan-out fit inside one timer tick; there is no wall
+		// time to attribute.
 		return flight.Breakdown{}
+	}
+	if sum <= 0 {
+		// Zero denominator: every item completed without recording any
+		// stage time (an all-hit fan-out inside clock resolution).
+		// Dividing here would make the scale NaN and poison every stage;
+		// fall back to attributing the full wall time to "other" so the
+		// partition invariant (stages re-add to the total) still holds.
+		return flight.Breakdown{OtherNS: wallNS}
 	}
 	scale := float64(wallNS) / float64(sum)
 	if scale > 1 {
 		// Items accounted for less than the wall clock (scheduling
-		// overhead); never inflate stages — the residual lands in
+		// overhead); never inflate stages — the difference lands in
 		// "other".
 		scale = 1
 	}
-	return flight.Breakdown{
+	bd := flight.Breakdown{
 		QueueWaitNS:   int64(float64(qw) * scale),
 		CacheLookupNS: int64(float64(cl) * scale),
 		ComputeNS:     int64(float64(cp) * scale),
 		EncodeNS:      int64(float64(en) * scale),
 		StoreWriteNS:  int64(float64(sw) * scale),
 	}
+	// Truncation and the scale clamp leave the split short of the wall
+	// clock; report the shortfall explicitly instead of leaving it to
+	// the end-to-end residual.
+	if short := wallNS - (bd.QueueWaitNS + bd.CacheLookupNS + bd.ComputeNS + bd.EncodeNS + bd.StoreWriteNS); short > 0 {
+		bd.OtherNS = short
+	}
+	return bd
 }
 
 // aggregateDisposition reduces a batch's per-item dispositions to one

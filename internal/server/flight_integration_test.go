@@ -154,7 +154,7 @@ func TestSlowBatchAttributesQueueWait(t *testing.T) {
 	// A cold batch of distinct tuples: every item is a miss, and with one
 	// worker each one queues behind the previous item's computation.
 	items := make([]string, 0, 8)
-	for _, wl := range []string{"aha-mont64", "crc32", "cubic", "edn"} {
+	for _, wl := range []string{"crc32", "edn", "sieve", "strsearch"} {
 		items = append(items, fmt.Sprintf(`{"system":"si","workload":%q}`, wl))
 		items = append(items, fmt.Sprintf(`{"system":"m3d","workload":%q}`, wl))
 	}

@@ -23,6 +23,10 @@ type Metrics struct {
 	latency     *obs.HistogramVec
 	stages      *obs.HistogramVec
 	disposition *obs.HistogramVec2
+	// queueWait is the worker-pool queue wait by admission class
+	// (interactive/bulk) — the per-class head-of-line signal the
+	// admission-control scheduler is judged on.
+	queueWait *obs.HistogramVec
 
 	// slowest tracks the worst-latency request seen per
 	// endpoint × disposition pair, with its request ID — the exemplar
@@ -60,13 +64,15 @@ type Metrics struct {
 
 	// queueDepth, cacheLen, sweepQueue, storeKeys, flightDropped and
 	// streamSubs are gauge hooks wired by the server.
-	queueDepth    func() int64
-	cacheLen      func() int
-	sweepQueue    func() int
-	storeKeys     func() int
-	flightDropped func() int64
-	streamSubs    func() int64
-	clusterPeers  func() int
+	queueDepth            func() int64
+	queueDepthInteractive func() int64
+	queueDepthBulk        func() int64
+	cacheLen              func() int
+	sweepQueue            func() int
+	storeKeys             func() int
+	flightDropped         func() int64
+	streamSubs            func() int64
+	clusterPeers          func() int
 }
 
 // slowExemplar is one endpoint × disposition pair's worst request.
@@ -83,15 +89,17 @@ var sweepBuckets = []float64{0.1, 0.5, 1, 5, 10, 30, 60, 300, 600, 1800, 3600}
 func NewMetrics() *Metrics {
 	reg := obs.NewRegistry()
 	m := &Metrics{
-		reg:           reg,
-		slowest:       make(map[string]map[string]slowExemplar),
-		queueDepth:    func() int64 { return 0 },
-		cacheLen:      func() int { return 0 },
-		sweepQueue:    func() int { return 0 },
-		storeKeys:     func() int { return 0 },
-		flightDropped: func() int64 { return 0 },
-		streamSubs:    func() int64 { return 0 },
-		clusterPeers:  func() int { return 0 },
+		reg:                   reg,
+		slowest:               make(map[string]map[string]slowExemplar),
+		queueDepth:            func() int64 { return 0 },
+		queueDepthInteractive: func() int64 { return 0 },
+		queueDepthBulk:        func() int64 { return 0 },
+		cacheLen:              func() int { return 0 },
+		sweepQueue:            func() int { return 0 },
+		storeKeys:             func() int { return 0 },
+		flightDropped:         func() int64 { return 0 },
+		streamSubs:            func() int64 { return 0 },
+		clusterPeers:          func() int { return 0 },
 	}
 	m.requests = reg.CounterVec("ppatcd_requests_total", "Requests served, by endpoint.", "endpoint")
 	m.CacheHits = reg.Counter("ppatcd_cache_hits_total", "Result-cache hits.")
@@ -100,6 +108,12 @@ func NewMetrics() *Metrics {
 	m.Rejections = reg.Counter("ppatcd_rejections_total", "Requests rejected by a full queue.")
 	reg.GaugeFunc("ppatcd_queue_depth", "Jobs waiting in the worker queue.",
 		func() float64 { return float64(m.queueDepth()) })
+	reg.GaugeFunc("ppatcd_queue_depth_interactive", "Interactive-class jobs waiting in the worker queue.",
+		func() float64 { return float64(m.queueDepthInteractive()) })
+	reg.GaugeFunc("ppatcd_queue_depth_bulk", "Bulk-class jobs waiting in the worker queue.",
+		func() float64 { return float64(m.queueDepthBulk()) })
+	m.queueWait = reg.HistogramVec("ppatcd_queue_wait_seconds",
+		"Worker-pool queue wait, by admission class (interactive/bulk).", "class", nil)
 	reg.GaugeFunc("ppatcd_cache_entries", "Entries in the result cache.",
 		func() float64 { return float64(m.cacheLen()) })
 	m.latency = reg.HistogramVec("ppatcd_request_seconds", "Request latency, by endpoint.", "endpoint", nil)
@@ -155,6 +169,20 @@ func (m *Metrics) ObserveDisposition(endpoint, disposition string, d time.Durati
 		inner[disposition] = slowExemplar{requestID: requestID, d: d}
 	}
 	m.slowMu.Unlock()
+}
+
+// ObserveQueueWait records one computation's measured pool queue wait
+// on its admission class.
+//
+//ppatc:hotpath
+func (m *Metrics) ObserveQueueWait(class string, d time.Duration) {
+	m.queueWait.With(class).Observe(d)
+}
+
+// QueueWaitCount reports the per-class queue-wait histogram's
+// observation count (used by tests).
+func (m *Metrics) QueueWaitCount(class string) int64 {
+	return m.queueWait.With(class).Count()
 }
 
 // DispositionCount reports the endpoint × disposition histogram's

@@ -35,8 +35,16 @@ import (
 type Config struct {
 	// Workers is the evaluation concurrency (default GOMAXPROCS).
 	Workers int
-	// QueueDepth bounds waiting requests before 503s (default 64).
+	// QueueDepth bounds waiting requests per admission class before
+	// 503s (default 64). Interactive and bulk work queue separately, so
+	// a cold batch filling the bulk queue cannot starve (or reject)
+	// single evaluations.
 	QueueDepth int
+	// BatchChunk bounds one sub-unit of a cold /v1/batch fan-out: a
+	// bulk batch's misses are split into chunks of this many items that
+	// run sequentially, so one batch occupies at most misses/chunk pool
+	// slots at a time and concurrent batches interleave (default 16).
+	BatchChunk int
 	// CacheEntries bounds the LRU result cache (default 512).
 	CacheEntries int
 	// CacheShards stripes the result cache across this many mutex-guarded
@@ -109,6 +117,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	if c.BatchChunk <= 0 {
+		c.BatchChunk = 16
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 512
@@ -198,6 +209,8 @@ func New(cfg Config) *Server {
 	s.encodeStaticBodies()
 	s.base, s.cancel = context.WithCancel(context.Background())
 	s.metrics.queueDepth = s.pool.QueueDepth
+	s.metrics.queueDepthInteractive = func() int64 { return s.pool.QueueDepthClass(ClassInteractive) }
+	s.metrics.queueDepthBulk = func() int64 { return s.pool.QueueDepthClass(ClassBulk) }
 	s.metrics.cacheLen = s.cache.Len
 	s.metrics.flightDropped = s.recorder.Dropped
 	s.metrics.streamSubs = s.recorder.Hub().Subscribers
@@ -444,9 +457,15 @@ func (s *Server) compute(ctx context.Context, key string, work workFn, att *flig
 		return b, "STORE", nil
 	}
 	att.CacheLookupNS += time.Since(lookupStart).Nanoseconds()
-	// rid is captured before the detached goroutine: the leader's
-	// response header must not be touched after the handler returns.
+	// rid and the admission class are captured before the detached
+	// goroutine: the leader's response header must not be touched after
+	// the handler returns, and the class decides which pool queue the
+	// computation enters.
 	rid := att.RequestID
+	class := ClassInteractive
+	if att.Class == "bulk" {
+		class = ClassBulk
+	}
 	b, bd, shared, err := s.flight.Do(ctx, key, func() ([]byte, flight.Breakdown, error) {
 		// The computation runs under the server's lifetime, not any
 		// requester's context, so a canceled requester cannot poison
@@ -474,12 +493,13 @@ func (s *Server) compute(ctx context.Context, key string, work workFn, att *flig
 		tr := obs.NewTrace("")
 		tctx := obs.WithTrace(jctx, tr)
 		workStart := time.Now()
-		wait, perr := s.pool.DoMeasured(jctx, func() { encodeNS, werr = work(tctx, buf) })
+		wait, perr := s.pool.DoClassMeasured(jctx, class, func() { encodeNS, werr = work(tctx, buf) })
 		if perr != nil {
 			return nil, bd, perr
 		}
 		// The pool-measured wait is queue_wait; what the worker actually
 		// ran splits into compute and the workFn's self-reported encode.
+		s.metrics.ObserveQueueWait(class.String(), wait)
 		bd.QueueWaitNS = wait.Nanoseconds()
 		bd.ComputeNS = time.Since(workStart).Nanoseconds() - bd.QueueWaitNS - encodeNS
 		if bd.ComputeNS < 0 {
@@ -545,6 +565,9 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, key strin
 		return
 	}
 	att := attributionOf(w)
+	// Single evaluations are interactive by endpoint: the client is
+	// waiting on exactly one request-sized result.
+	att.Class = ClassInteractive.String()
 	body, disposition, err := s.compute(r.Context(), key, work, att, fwd)
 	att.Disposition = disposition
 	if err != nil {
