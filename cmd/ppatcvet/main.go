@@ -1,10 +1,13 @@
 // Command ppatcvet runs ppatc's domain-specific static-analysis suite
-// — unitcast, determinism, floatcmp, hotpath — over the packages
-// matching the given go-list patterns (default ./...).
+// — unitcast, determinism, floatcmp, hotpath, ctxflow, locksafe,
+// goleak, apicontract — over the packages matching the given go-list
+// patterns (default ./...).
 //
-//	go run ./cmd/ppatcvet ./...          # human-readable findings
-//	go run ./cmd/ppatcvet -json ./...    # JSON array of diagnostics
-//	go run ./cmd/ppatcvet -list          # analyzer names and docs
+//	go run ./cmd/ppatcvet ./...                 # human-readable findings
+//	go run ./cmd/ppatcvet -json ./...           # JSON array of diagnostics
+//	go run ./cmd/ppatcvet -format github ./...  # GitHub ::error annotations
+//	go run ./cmd/ppatcvet -changed origin/main  # only packages changed since the ref
+//	go run ./cmd/ppatcvet -list                 # analyzer names and docs
 //	go run ./cmd/ppatcvet -floatcmp=false ./internal/...
 //
 // Exit status: 0 when clean, 1 on findings, 2 on usage or load errors.
@@ -30,7 +33,9 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ppatcvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array of diagnostics")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array of diagnostics (same as -format json)")
+	format := fs.String("format", "", "output format: text (default), json, or github (::error workflow annotations)")
+	changed := fs.String("changed", "", "git base ref: analyze only packages with Go files changed since it (replaces the patterns)")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	dir := fs.String("dir", ".", "directory whose module the patterns resolve in")
 
@@ -39,6 +44,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer ("+a.Doc+")")
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch *format {
+	case "":
+		if *jsonOut {
+			*format = "json"
+		} else {
+			*format = "text"
+		}
+	case "text", "json", "github":
+		if *jsonOut && *format != "json" {
+			fmt.Fprintf(stderr, "ppatcvet: -json conflicts with -format %s\n", *format)
+			return 2
+		}
+	default:
+		fmt.Fprintf(stderr, "ppatcvet: unknown -format %q (want text, json, or github)\n", *format)
 		return 2
 	}
 
@@ -60,14 +81,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	pkgs, err := analysis.Load(*dir, fs.Args()...)
+	patterns := fs.Args()
+	if *changed != "" {
+		if len(patterns) > 0 {
+			fmt.Fprintln(stderr, "ppatcvet: -changed replaces the package patterns; pass one or the other")
+			return 2
+		}
+		files, err := gitChangedFiles(*dir, *changed)
+		if err != nil {
+			fmt.Fprintf(stderr, "ppatcvet: %v\n", err)
+			return 2
+		}
+		patterns = changedDirPatterns(files)
+		if len(patterns) == 0 {
+			if *format == "json" {
+				fmt.Fprintln(stdout, "[]")
+			}
+			fmt.Fprintf(stderr, "ppatcvet: no Go files changed since %s\n", *changed)
+			return 0
+		}
+	}
+
+	pkgs, err := analysis.Load(*dir, patterns...)
 	if err != nil {
 		fmt.Fprintf(stderr, "ppatcvet: %v\n", err)
 		return 2
 	}
 
 	diags := analysis.Run(pkgs, analyzers)
-	if *jsonOut {
+	switch *format {
+	case "json":
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -77,13 +120,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "ppatcvet: %v\n", err)
 			return 2
 		}
-	} else {
+	case "github":
+		for _, d := range diags {
+			fmt.Fprintln(stdout, githubAnnotation(d))
+		}
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}
 	}
 	if len(diags) > 0 {
-		if !*jsonOut {
+		if *format != "json" {
 			fmt.Fprintf(stderr, "ppatcvet: %d finding(s)\n", len(diags))
 		}
 		return 1

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os/exec"
 	"reflect"
 	"strings"
 	"testing"
@@ -76,7 +77,10 @@ func TestJSONEmptyIsArray(t *testing.T) {
 // TestFixtureExitCodes pins the exit-status contract on each
 // analyzer's fixture.
 func TestFixtureExitCodes(t *testing.T) {
-	for _, fixture := range []string{"unitcast", "dse", "core", "yield", "hotpath", "directives"} {
+	for _, fixture := range []string{
+		"unitcast", "dse", "core", "yield", "hotpath", "directives",
+		"server", "cluster", "store", "apicontract",
+	} {
 		var stdout, stderr bytes.Buffer
 		code := run([]string{"./internal/analysis/testdata/src/" + fixture}, &stdout, &stderr)
 		if code != 1 {
@@ -108,7 +112,95 @@ func TestUsageAndLoadErrors(t *testing.T) {
 	if code := run([]string{"-nosuchflag"}, &stdout, &stderr); code != 2 {
 		t.Errorf("bad flag exited %d, want 2", code)
 	}
-	if code := run([]string{"-unitcast=false", "-determinism=false", "-floatcmp=false", "-hotpath=false"}, &stdout, &stderr); code != 2 {
+	allOff := make([]string, 0, len(analysis.Analyzers()))
+	for _, a := range analysis.Analyzers() {
+		allOff = append(allOff, "-"+a.Name+"=false")
+	}
+	if code := run(allOff, &stdout, &stderr); code != 2 {
 		t.Errorf("all-disabled exited %d, want 2", code)
+	}
+}
+
+// TestFormatGitHub pins the -format github contract: one ::error
+// workflow command per finding, carrying the file, position, and
+// analyzer, with exit status 1.
+func TestFormatGitHub(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-format", "github", "./internal/analysis/testdata/src/yield"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("fixture run exited %d, want 1: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no annotations emitted")
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "::error file=internal/analysis/testdata/src/yield/") {
+			t.Errorf("annotation does not target the fixture file: %q", line)
+		}
+		if !strings.Contains(line, ",line=") || !strings.Contains(line, "title=ppatcvet(") {
+			t.Errorf("annotation missing position or title: %q", line)
+		}
+	}
+}
+
+func TestFormatValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-format", "nope"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown format exited %d, want 2", code)
+	}
+	if code := run([]string{"-json", "-format", "github"}, &stdout, &stderr); code != 2 {
+		t.Errorf("conflicting -json/-format exited %d, want 2", code)
+	}
+	if code := run([]string{"-changed", "HEAD", "./..."}, &stdout, &stderr); code != 2 {
+		t.Errorf("-changed with explicit patterns exited %d, want 2", code)
+	}
+}
+
+// TestChangedDirPatterns pins the pure file→pattern mapping -changed
+// rests on.
+func TestChangedDirPatterns(t *testing.T) {
+	got := changedDirPatterns([]string{
+		"internal/server/batch.go",
+		"internal/server/pool.go",
+		"internal/cluster/membership.go",
+		"internal/analysis/testdata/src/server/request.go", // fixture: dropped
+		"README.md",            // not Go: dropped
+		"main.go",              // module root
+		"docs/example_test.go", // any .go file counts
+	})
+	want := []string{".", "./docs", "./internal/cluster", "./internal/server"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("changedDirPatterns = %v, want %v", got, want)
+	}
+}
+
+// TestChangedModeAgainstHEAD runs the real git path: relative to HEAD
+// the tree either has no Go changes (exit 0, nothing loaded) or only
+// this PR's packages, which are clean at HEAD by the repo-clean gate.
+func TestChangedModeAgainstHEAD(t *testing.T) {
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not installed")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-changed", "HEAD", "-dir", "../.."}, &stdout, &stderr); code != 0 {
+		t.Errorf("-changed HEAD exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestGitHubEscaping keeps workflow-command metacharacters from
+// corrupting annotations.
+func TestGitHubEscaping(t *testing.T) {
+	d := analysis.Diagnostic{
+		Analyzer: "ctxflow",
+		File:     "a,b:c.go",
+		Line:     3,
+		Col:      7,
+		Message:  "50% done\nnext line",
+	}
+	got := githubAnnotation(d)
+	want := "::error file=a%2Cb%3Ac.go,line=3,col=7,title=ppatcvet(ctxflow)::50%25 done%0Anext line"
+	if got != want {
+		t.Errorf("githubAnnotation:\n got %q\nwant %q", got, want)
 	}
 }

@@ -62,6 +62,10 @@ func Analyzers() []*Analyzer {
 		Determinism,
 		FloatCmp,
 		HotPath,
+		CtxFlow,
+		LockSafe,
+		GoLeak,
+		APIContract,
 	}
 }
 

@@ -60,11 +60,20 @@ func TestDeterminismFileScope(t *testing.T) {
 func TestFloatCmpGolden(t *testing.T)   { golden(t, "yield", runFixture(t, "yield")) }
 func TestHotPathGolden(t *testing.T)    { golden(t, "hotpath", runFixture(t, "hotpath")) }
 func TestDirectivesGolden(t *testing.T) { golden(t, "directives", runFixture(t, "directives")) }
+func TestCtxFlowGolden(t *testing.T)    { golden(t, "server", runFixture(t, "server")) }
+func TestLockSafeGolden(t *testing.T)   { golden(t, "cluster", runFixture(t, "cluster")) }
+func TestGoLeakGolden(t *testing.T)     { golden(t, "store", runFixture(t, "store")) }
+func TestAPIContractGolden(t *testing.T) {
+	golden(t, "apicontract", runFixture(t, "apicontract"))
+}
 
 // TestFixturesExitNonzero pins the acceptance criterion that every
 // analyzer's fixture produces findings.
 func TestFixturesExitNonzero(t *testing.T) {
-	for _, fixture := range []string{"unitcast", "dse", "core", "yield", "hotpath", "directives"} {
+	for _, fixture := range []string{
+		"unitcast", "dse", "core", "yield", "hotpath", "directives",
+		"server", "cluster", "store", "apicontract",
+	} {
 		if len(runFixture(t, fixture)) == 0 {
 			t.Errorf("fixture %s produced no findings", fixture)
 		}

@@ -1,0 +1,46 @@
+// Package apicontract is the apicontract analyzer's fixture: handler
+// shapes exercising the Content-Type ordering rule, and a marked
+// schema struct with one tag DATA_SCHEMA.md does not document.
+package apicontract
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// handlerBad writes in every order the contract forbids.
+func handlerBad(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusTeapot)           // flagged: status line before Content-Type
+	fmt.Fprintln(w, "hello")                   // flagged: write before Content-Type
+	http.Error(w, "no", http.StatusBadRequest) // flagged: text/plain error path
+}
+
+// handlerGood sets Content-Type first; nothing to flag.
+func handlerGood(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("{}"))
+}
+
+// notAHandler writes without taking a request; the contract only
+// applies to handler-shaped functions.
+func notAHandler(w http.ResponseWriter) {
+	_, _ = w.Write([]byte("raw"))
+}
+
+// event mirrors one serialized artifact row.
+//
+//ppatc:schema
+type event struct {
+	Seq      uint64 `json:"seq"`               // documented in DATA_SCHEMA.md: ok
+	Mystery  int    `json:"zz_not_documented"` // flagged: undocumented tag
+	Internal int    `json:"-"`                 // never serialized: ok
+	plain    int    // untagged: ok
+}
+
+var (
+	_ = handlerBad
+	_ = handlerGood
+	_ = notAHandler
+	_ = event{}
+)

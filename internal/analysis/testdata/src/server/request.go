@@ -1,0 +1,68 @@
+// Package server is the ctxflow analyzer's fixture: its import-path
+// tail puts it in the analyzer's scope, and every function exercises
+// one cancellability rule. The file is named request.go so it stays
+// outside the determinism analyzer's server file list.
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// widget stores a context in a struct field — flagged wherever it
+// appears, parameters or not.
+type widget struct {
+	ctx context.Context
+	n   int
+}
+
+// process is request-scoped (ctx parameter): every blocking construct
+// in it must be cancellable.
+func process(ctx context.Context, ch chan int) {
+	ch <- 1 // bare send: flagged
+	v := <-ch
+	_ = v // bare receive: flagged
+	for range ch {
+		// range over a channel: flagged
+	}
+	select { // no default, no Done case: flagged
+	case ch <- 2:
+	}
+	select { // has a ctx.Done() case: ok
+	case ch <- 3:
+	case <-ctx.Done():
+	}
+	select { // has a default: ok
+	case ch <- 4:
+	default:
+	}
+	time.Sleep(time.Millisecond) // flagged
+	_, _ = http.Get("http://peer/x")
+	_, _ = http.NewRequest(http.MethodGet, "http://peer/x", nil)
+	defer func() { <-ch }() // deferred cleanup: ok
+}
+
+// helper has no ctx parameter, but context.Background() is still
+// flagged: only constructors mint lifetime roots.
+func helper() context.Context {
+	return context.Background()
+}
+
+// NewWidget is a constructor: Background is the component's lifetime
+// root here, not a cancellation escape.
+func NewWidget() *widget {
+	return &widget{ctx: context.Background()}
+}
+
+// idle takes neither a ctx nor a request, so its bare send is not
+// judged — it is not request-scoped.
+func idle(ch chan int) {
+	ch <- 9
+}
+
+var (
+	_ = process
+	_ = helper
+	_ = idle
+)

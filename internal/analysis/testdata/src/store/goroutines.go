@@ -1,0 +1,70 @@
+// Package store is the goleak analyzer's fixture: its import-path
+// tail puts it in the analyzer's scope. Functions here spawn
+// goroutines with and without a way to observe shutdown.
+package store
+
+import "context"
+
+// leak spawns a literal with no context, channel, or WaitGroup in its
+// body — nothing can ever stop it.
+func leak(work []int) {
+	go func() { // flagged
+		n := 0
+		for _, w := range work {
+			n += w
+		}
+		_ = n
+	}()
+}
+
+// leakNamed spawns a named function whose resolved body is equally
+// unstoppable.
+func leakNamed() {
+	go spin() // flagged
+}
+
+func spin() {
+	n := 0
+	for i := 0; i < 1e6; i++ {
+		n += i
+	}
+	_ = n
+}
+
+// okCtx ties the goroutine to the caller's context.
+func okCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// okArg hands the stop channel in as a spawn argument.
+func okArg(stop chan struct{}) {
+	go waitOn(stop)
+}
+
+func waitOn(stop chan struct{}) {
+	<-stop
+}
+
+// poller's loop observes the stop channel through its receiver — the
+// transitive same-package resolution follows start → loop.
+type poller struct {
+	stop chan struct{}
+}
+
+func (p *poller) start() {
+	go p.loop()
+}
+
+func (p *poller) loop() {
+	<-p.stop
+}
+
+var (
+	_ = leak
+	_ = leakNamed
+	_ = okCtx
+	_ = okArg
+	_ = (*poller).start
+)

@@ -26,6 +26,8 @@ const (
 // Engine identifies the toolchain and machine shape behind a report.
 // Latency numbers only compare meaningfully between reports with equal
 // engines; the check tool warns (but does not fail) across engines.
+//
+//ppatc:schema
 type Engine struct {
 	GoVersion  string `json:"go_version"`
 	GOOS       string `json:"goos"`
@@ -55,6 +57,8 @@ func (e *Engine) String() string {
 }
 
 // Config records the harness knobs that shaped a run.
+//
+//ppatc:schema
 type Config struct {
 	DurationS     float64        `json:"duration_s"`
 	Workers       int            `json:"workers"`
@@ -80,6 +84,8 @@ type Config struct {
 // each stage, over Events completed requests. The stage means re-add to
 // the endpoint's mean end-to-end latency — the same partition invariant
 // each individual flight event carries.
+//
+//ppatc:schema
 type StageAttribution struct {
 	Events        int     `json:"events"`
 	QueueWaitMs   float64 `json:"queue_wait_ms"`
@@ -98,11 +104,13 @@ type StageAttribution struct {
 // (ppatcload -targets): how much traffic it absorbed, how it resolved
 // (local cache hit / one-hop forward to the key's owner / error), and
 // its own latency percentiles.
+//
+//ppatc:schema
 type NodeStats struct {
-	Target    string  `json:"target"`
-	Requests  int     `json:"requests"`
-	Errors    int     `json:"errors"`
-	CacheHits int     `json:"cache_hits"`
+	Target    string `json:"target"`
+	Requests  int    `json:"requests"`
+	Errors    int    `json:"errors"`
+	CacheHits int    `json:"cache_hits"`
 	// Remote counts responses served by forwarding to the key's
 	// consistent-hash owner (X-Cache: REMOTE).
 	Remote int     `json:"remote"`
@@ -111,6 +119,8 @@ type NodeStats struct {
 }
 
 // Totals aggregates the whole run.
+//
+//ppatc:schema
 type Totals struct {
 	Requests      int     `json:"requests"`
 	Errors        int     `json:"errors"`
@@ -121,6 +131,8 @@ type Totals struct {
 }
 
 // EndpointStats aggregates one endpoint's measured requests.
+//
+//ppatc:schema
 type EndpointStats struct {
 	Count     int     `json:"count"`
 	Errors    int     `json:"errors"`
@@ -138,6 +150,8 @@ type EndpointStats struct {
 // judged on P99OverP95 — without per-class admission the probe p99 is
 // two orders of magnitude above its p95; with it the tail stays within
 // single digits.
+//
+//ppatc:schema
 type P99Budget struct {
 	// Flooders is the number of concurrent batch-flooding clients;
 	// BatchSize the items per flood batch; CacheEntries the per-shard
@@ -157,6 +171,8 @@ type P99Budget struct {
 
 // MemoStageCounters is one pipeline stage's memo traffic in a sweep
 // bench: Misses counts actual stage executions, Hits replays.
+//
+//ppatc:schema
 type MemoStageCounters struct {
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
@@ -167,6 +183,8 @@ type MemoStageCounters struct {
 // memoized — with byte-compared NDJSON output. Identical must be true
 // for SpeedupX to mean anything: the memo's contract is identical
 // results, only faster.
+//
+//ppatc:schema
 type SweepBench struct {
 	// Points is the sweep's plan size; Spec names its shape.
 	Points int    `json:"points"`
@@ -184,6 +202,8 @@ type SweepBench struct {
 }
 
 // Report is one load-bench run's output document (BENCH_<seq>.json).
+//
+//ppatc:schema
 type Report struct {
 	Schema string `json:"schema"`
 	// Seq orders reports in the bench history. V1 reports don't carry

@@ -107,6 +107,14 @@ type Node struct {
 	heartbeat uint64                  // self heartbeat
 	leaving   bool
 
+	// baseCtx bounds every outbound gossip exchange to the node's
+	// lifetime: Close cancels it, so an exchange stuck on a hung peer
+	// aborts immediately instead of running out its full HTTPTimeout
+	// while Close waits on the gossip loop.
+	//ppatcvet:ignore ctxflow node lifetime root, cancelled by Close; gossip exchanges derive their per-call timeout from it
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -128,6 +136,7 @@ func StartNode(cfg NodeConfig, seeds []string) (*Node, error) {
 		members: make(map[string]*memberEntry),
 		stop:    make(chan struct{}),
 	}
+	n.baseCtx, n.cancel = context.WithCancel(context.Background())
 	for _, s := range seeds {
 		if s != "" && s != cfg.Advertise {
 			n.seeds = append(n.seeds, s)
@@ -365,7 +374,7 @@ func (n *Node) exchange(baseURL string, msg GossipMsg) (GossipMsg, error) {
 	if err != nil {
 		return GossipMsg{}, err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.HTTPTimeout)
+	ctx, cancel := context.WithTimeout(n.baseCtx, n.cfg.HTTPTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+GossipPath, bytes.NewReader(body))
 	if err != nil {
@@ -423,9 +432,13 @@ func (n *Node) Leave() {
 	}
 }
 
-// Close stops the gossip loop. It does not gossip leaving — call Leave
-// first when draining gracefully.
+// Close stops the gossip loop and aborts any exchange still in flight.
+// It does not gossip leaving — call Leave first when draining
+// gracefully.
 func (n *Node) Close() {
-	n.stopOnce.Do(func() { close(n.stop) })
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		n.cancel()
+	})
 	n.wg.Wait()
 }

@@ -179,3 +179,59 @@ func TestStartNodeValidation(t *testing.T) {
 		t.Error("StartNode without advertise URL succeeded")
 	}
 }
+
+// TestCloseAbortsInFlightGossip pins the shutdown contract: Close
+// cancels the node's lifetime context, so a gossip exchange stuck on a
+// hung peer aborts immediately instead of running out its full
+// HTTPTimeout. Regression test for the exchange deriving its per-call
+// timeout from context.Background().
+func TestCloseAbortsInFlightGossip(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		// Hold the exchange open until the test is done asserting. The
+		// client gives up on its own when Close cancels the node context;
+		// the handler is released separately so hang.Close can drain.
+		<-release
+	}))
+	defer hang.Close()
+	defer close(release)
+
+	n, err := StartNode(NodeConfig{
+		ID:             "node-hang",
+		Advertise:      "http://127.0.0.1:0", // never contacted: the hung seed is the only peer
+		GossipInterval: time.Hour,            // the exchange is driven manually below
+		HTTPTimeout:    30 * time.Second,     // far above the test's own deadline
+		Logger:         quietLogger(),
+	}, []string{hang.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gossipDone := make(chan struct{})
+	go func() {
+		n.Gossip() // blocks inside exchange() on the hung peer
+		close(gossipDone)
+	}()
+	<-entered
+
+	closed := make(chan struct{})
+	go func() {
+		n.Close()
+		close(closed)
+	}()
+	for _, step := range []struct {
+		name string
+		ch   <-chan struct{}
+	}{{"Close", closed}, {"in-flight gossip", gossipDone}} {
+		select {
+		case <-step.ch:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s still blocked on a hung peer after Close; the exchange is not tied to the node's lifetime context", step.name)
+		}
+	}
+}

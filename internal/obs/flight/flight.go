@@ -28,6 +28,8 @@ var Stages = []string{
 
 // Event is one completed request's attribution record: the compact,
 // fixed-size value stored in the recorder rings and dumped as NDJSON.
+//
+//ppatc:schema
 type Event struct {
 	// Seq is the recorder-assigned monotonic sequence number (1-based;
 	// 0 marks an empty ring slot).

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -173,7 +174,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			wg.Add(1)
 			go func(base int, chunk []pending) {
 				defer wg.Done()
-				sem <- struct{}{}
+				if !acquireSlot(ctx, sem) {
+					return
+				}
 				defer func() { <-sem }()
 				for i, p := range chunk {
 					ia := &itemAtts[base+i]
@@ -271,6 +274,19 @@ func splitFanOut(items []flight.Attribution, wallNS int64) flight.Breakdown {
 		bd.OtherNS = short
 	}
 	return bd
+}
+
+// acquireSlot takes one fan-out semaphore slot, or gives up the moment
+// ctx dies: a cancelled batch must not keep its remaining chunks queued
+// behind a saturated fan-out, holding goroutines alive for a client
+// that already hung up.
+func acquireSlot(ctx context.Context, sem chan struct{}) bool {
+	select {
+	case sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // aggregateDisposition reduces a batch's per-item dispositions to one

@@ -721,6 +721,10 @@ func (s *Server) handleClusterWork(w http.ResponseWriter, r *http.Request) {
 	if !already {
 		go s.runClusterWorker(msg.JobID, msg.CoordinatorURL, plan)
 	}
+	// Content-Type must precede the status line: headers set after
+	// WriteHeader are silently dropped, and the 202 body would reach the
+	// coordinator untyped.
+	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	writeJSON(w, map[string]string{"status": "accepted"})
 }

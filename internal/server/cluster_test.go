@@ -15,6 +15,7 @@ import (
 	"ppatc/internal/carbon"
 	"ppatc/internal/cluster"
 	"ppatc/internal/core"
+	"ppatc/internal/dse"
 	"ppatc/internal/embench"
 )
 
@@ -450,4 +451,39 @@ func TestMetricsStreamKeepAlive(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Fatal("subscription not released after disconnect")
+}
+
+// TestClusterWorkAcceptContentType pins header ordering on the work
+// invitation's 202: Content-Type must be set before WriteHeader writes
+// the status line, because Go silently drops headers set afterwards and
+// the coordinator would receive an untyped body.
+func TestClusterWorkAcceptContentType(t *testing.T) {
+	_, _, tsA, tsB := twoNodeCluster(t)
+
+	spec, err := dse.ParseSpec(strings.NewReader(clusterSweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := dse.Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := json.Marshal(clusterWorkMsg{
+		// The job ID is the spec hash; the coordinator has no such sweep,
+		// so the spawned worker's first claim fails and it exits — the
+		// test only exercises the invitation response itself.
+		JobID:          plan.Hash[:12],
+		CoordinatorURL: tsA.URL,
+		Spec:           json.RawMessage(clusterSweep),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := post(t, tsB, "/cluster/v1/sweeps/work", string(msg))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("work invitation: %d %s, want 202", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/json" {
+		t.Fatalf("202 Content-Type = %q, want application/json (headers set after WriteHeader are dropped)", got)
+	}
 }

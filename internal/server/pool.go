@@ -60,6 +60,7 @@ type Pool struct {
 }
 
 type job struct {
+	//ppatcvet:ignore ctxflow a queue entry deliberately carries its submitter's context so the worker can skip work the caller abandoned
 	ctx  context.Context
 	fn   func()
 	done chan struct{}

@@ -176,9 +176,10 @@ type Server struct {
 	metrics  *Metrics
 	recorder *flight.Recorder
 	log      *slog.Logger
-	base     context.Context
-	cancel   context.CancelFunc
-	started  time.Time
+	//ppatcvet:ignore ctxflow server lifetime root: Close cancels it to stop detached computations and sweep runners
+	base    context.Context
+	cancel  context.CancelFunc
+	started time.Time
 
 	// cluster is set by StartCluster (nil in single-node mode);
 	// draining flips on BeginShutdown so /healthz reports not-ready
